@@ -1,0 +1,23 @@
+"""Figure 1: average query cost across database environments.
+
+Paper: the same 1000 queries cost 2-3x more under some of five random
+knob configurations than others, on both TPCH and Sysbench — the
+motivation for the feature snapshot.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import figure1
+from repro.eval.reporting import render_figure1
+
+
+def test_figure1_environment_spread(benchmark, context, save_result):
+    result = benchmark.pedantic(
+        lambda: figure1(context, n_environments=5, n_queries=60),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("figure1", render_figure1(result))
+    for per_env in result.values():
+        values = list(per_env.values())
+        assert max(values) > min(values)

@@ -1,0 +1,37 @@
+"""Figure 5: q-error quantile boxes (25/50/75 percentiles).
+
+Paper: QCFE reduces the variance of the q-error relative to the base
+models across benchmarks and scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.experiments import figure5
+from repro.eval.harness import default_scale
+from repro.eval.reporting import render_figure5
+
+
+def test_figure5_quantile_boxes(benchmark, context, save_result):
+    scale = default_scale()
+    boxes = benchmark.pedantic(
+        lambda: figure5(context, scales=(scale,)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("figure5", render_figure5(boxes))
+
+    for box in boxes.values():
+        assert 1.0 <= box["q25"] <= box["q50"] <= box["q75"]
+    # QCFE's inter-quartile spread is no worse than the base models' on
+    # average (the paper's variance-reduction claim).
+    def spread(model):
+        widths = [
+            box["q75"] - box["q25"]
+            for (bench_name, m, s), box in boxes.items()
+            if m == model
+        ]
+        return float(np.mean(widths))
+
+    assert spread("QCFE(qpp)") <= spread("QPPNet") * 1.2

@@ -1,0 +1,37 @@
+"""Figure 6: ablation of QCFE design choices on QPPNet.
+
+Paper: FST matches FSO's accuracy (simplified templates capture the
+original workload's characteristics); difference propagation (FR)
+outperforms gradient (GD) reduction, which suffers one-hot and dead
+ReLU blind spots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.experiments import ABLATION_VARIANTS, figure6
+from repro.eval.reporting import render_figure6
+
+
+def test_figure6_ablation(benchmark, context, save_result):
+    results = benchmark.pedantic(
+        lambda: figure6(context), rounds=1, iterations=1
+    )
+    save_result("figure6", render_figure6(results))
+
+    benchmarks = {bench for bench, _ in results}
+    for bench_name in benchmarks:
+        for variant in ABLATION_VARIANTS:
+            assert (bench_name, variant) in results
+
+    # FST stays within a factor of FSO on mean q-error (paper: 1.109
+    # vs 1.098 etc. — simplified templates are a faithful substitute).
+    fso = np.mean([results[(b, "FSO")].mean for b in benchmarks])
+    fst = np.mean([results[(b, "FST")].mean for b in benchmarks])
+    assert fst <= fso * 1.5
+
+    # FR beats GD on average (paper: GD's wrong prunes cost accuracy).
+    fr = np.mean([results[(b, "FSO+FR")].mean for b in benchmarks])
+    gd = np.mean([results[(b, "FSO+GD")].mean for b in benchmarks])
+    assert fr <= gd * 1.1

@@ -1,0 +1,28 @@
+"""Figure 8: convergence of direct vs transferred training.
+
+Paper: the transferred model reaches the direct model's accuracy with
+~25% of the training iterations on the new hardware.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import figure8
+from repro.eval.reporting import render_figure8
+
+
+def test_figure8_convergence(benchmark, context, save_result):
+    curves = benchmark.pedantic(
+        lambda: figure8(context, benchmark_name="tpch"), rounds=1, iterations=1
+    )
+    save_result("figure8", render_figure8(curves))
+
+    direct = dict(curves["direct"])
+    transfer = dict(curves["transfer"])
+    first = min(direct)
+    last = max(direct)
+    # At the first checkpoint the transferred model is already at least
+    # as good as the direct model...
+    assert transfer[first] <= direct[first]
+    # ...and its early accuracy is comparable to the direct model's
+    # final accuracy (the 25%-of-training-time claim).
+    assert transfer[first] <= direct[last] * 1.5

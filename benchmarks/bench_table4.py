@@ -1,0 +1,43 @@
+"""Table IV: time-accuracy of the five estimators across scales.
+
+Paper: PGSQL has three-to-six digit mean q-errors and weak Pearson;
+QCFE(mscn)/QCFE(qpp) beat MSCN/QPPNet on accuracy while training
+faster, on TPCH, Sysbench and job-light at every labelled-set scale.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import table4
+from repro.eval.harness import default_scale
+from repro.eval.reporting import render_table4
+
+
+def test_table4_time_accuracy(benchmark, context, save_result):
+    scale = default_scale()
+    rows = benchmark.pedantic(
+        lambda: table4(context, scales=(scale // 2, scale)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table4", render_table4(rows))
+
+    by_key = {(r.benchmark, r.model, r.scale): r for r in rows}
+    for bench_name in ("tpch", "sysbench", "joblight"):
+        # PG baseline is off by orders of magnitude, learned models are not.
+        assert by_key[(bench_name, "PGSQL", scale)].mean_q_error > 50
+        for model in ("QCFE(mscn)", "QCFE(qpp)", "MSCN", "QPPNet"):
+            assert by_key[(bench_name, model, scale)].mean_q_error < 50
+    # Headline: QCFE improves its base model on mean q-error for most
+    # (benchmark, scale) cells.
+    wins = 0
+    cells = 0
+    for bench_name in ("tpch", "sysbench", "joblight"):
+        for s in (scale // 2, scale):
+            for qcfe, base in (("QCFE(mscn)", "MSCN"), ("QCFE(qpp)", "QPPNet")):
+                cells += 1
+                if (
+                    by_key[(bench_name, qcfe, s)].mean_q_error
+                    <= by_key[(bench_name, base, s)].mean_q_error * 1.05
+                ):
+                    wins += 1
+    assert wins >= cells * 0.6

@@ -1,0 +1,36 @@
+"""Table V: robustness of the simplified-template scale.
+
+Paper: FST reaches FSO-competitive q-error while cutting snapshot
+collection cost (TPCH: 3.8h vs 7.7h; job-light: ~11%), and the q-error
+is robust to the template scale N.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.experiments import table5
+from repro.eval.reporting import render_table5
+
+
+def test_table5_template_scale(benchmark, context, save_result):
+    rows = benchmark.pedantic(
+        lambda: table5(context, scales=(1, 2, 4, 8)), rounds=1, iterations=1
+    )
+    save_result("table5", render_table5(rows))
+
+    for bench_name in ("tpch", "joblight"):
+        bench_rows = {r.label: r for r in rows if r.benchmark == bench_name}
+        fso = bench_rows["FSO"]
+        # Small-scale FST is cheaper to collect than FSO...
+        assert bench_rows["scale=1"].collection_ms < fso.collection_ms
+        # ... and q-error stays in the same ballpark and is robust in N.
+        fst_errors = [
+            row.mean_q_error for label, row in bench_rows.items() if label != "FSO"
+        ]
+        assert max(fst_errors) < 2.5 * fso.mean_q_error
+        assert np.std(fst_errors) < np.mean(fst_errors)  # no blow-ups
+        # Collection cost grows with the scale parameter.
+        assert (
+            bench_rows["scale=8"].collection_ms > bench_rows["scale=1"].collection_ms
+        )

@@ -1,0 +1,32 @@
+"""Table VI: robustness of the reference count in feature reduction.
+
+Paper: the q-error is stable as the reference-set size grows, the
+reduction ratio stays ~40%, and the FR runtime grows linearly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.experiments import table6
+from repro.eval.reporting import render_table6
+
+
+def test_table6_reference_robustness(benchmark, context, save_result):
+    counts = (4, 8, 16, 32, 64)
+    rows = benchmark.pedantic(
+        lambda: table6(context, reference_counts=counts), rounds=1, iterations=1
+    )
+    save_result("table6", render_table6(rows))
+
+    errors = [row.mean_q_error for row in rows]
+    ratios = [row.reduction_ratio for row in rows]
+    runtimes = [row.fr_runtime_seconds for row in rows]
+    # Accuracy robust to the reference count.
+    assert max(errors) < 1.5 * min(errors)
+    # Reduction ratio robust.
+    assert max(ratios) - min(ratios) < 0.2
+    # Runtime grows (roughly linearly) with the reference count.
+    assert runtimes[-1] > runtimes[0]
+    correlation = np.corrcoef(counts, runtimes)[0, 1]
+    assert correlation > 0.8

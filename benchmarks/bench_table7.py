@@ -1,0 +1,31 @@
+"""Table VII: transferability of the feature snapshot to new hardware.
+
+Paper: swapping in an h2-fitted snapshot plus a little retraining
+reaches accuracy similar to a model trained from scratch on h2 data,
+at a fraction of the training time; FST transfers as well as FSO.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import table7
+from repro.eval.reporting import render_table7
+
+
+def test_table7_transferability(benchmark, context, save_result):
+    rows = benchmark.pedantic(lambda: table7(context), rounds=1, iterations=1)
+    save_result("table7", render_table7(rows))
+
+    for bench_name in ("tpch", "joblight"):
+        by_model = {r.model: r for r in rows if r.benchmark == bench_name}
+        assert set(by_model) == {"basis", "direct", "trans-FSO", "trans-FST"}
+        # Transfer retraining is much cheaper than direct training.
+        assert (
+            by_model["trans-FSO"].train_seconds < 0.6 * by_model["direct"].train_seconds
+        )
+        assert (
+            by_model["trans-FST"].train_seconds < 0.6 * by_model["direct"].train_seconds
+        )
+        # And reaches accuracy comparable to (or better than) direct.
+        assert (
+            by_model["trans-FST"].mean_q_error < 1.5 * by_model["direct"].mean_q_error
+        )

@@ -1,0 +1,34 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one table/figure of the paper at a reduced
+default scale (override with QCFE_SCALE / QCFE_EPOCHS / QCFE_ENVS) and
+writes the rendered result to ``benchmarks/results/<name>.txt`` in the
+paper's row/series format, in addition to printing it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.eval.harness import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def context():
+    """One shared context so benches reuse labelled collections."""
+    return ExperimentContext(seed=0)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return save

@@ -1,0 +1,55 @@
+"""Explore the engine substrate: plans, EXPLAIN output and environments.
+
+Shows how the PostgreSQL-style simulator behind the reproduction works:
+parse SQL, build a plan, execute it under different knob configurations
+and inspect how the environment changes both the plan and the latency
+(the paper's Figure 1 phenomenon, one query at a time).
+
+Run:  python examples/explain_queries.py
+"""
+
+from __future__ import annotations
+
+from repro.engine import (
+    DatabaseEnvironment,
+    ExecutionSimulator,
+    default_configuration,
+    explain,
+    get_profile,
+)
+from repro.sql import parse_sql
+from repro.workload import get_benchmark
+
+QUERY = (
+    "SELECT * FROM lineitem "
+    "JOIN orders ON lineitem.l_orderkey = orders.o_orderkey "
+    "WHERE orders.o_totalprice < 2000 AND lineitem.l_shipdate > 2200 "
+    "ORDER BY lineitem.l_shipdate LIMIT 10"
+)
+
+
+def main() -> None:
+    benchmark = get_benchmark("tpch")
+    query = parse_sql(QUERY, benchmark.catalog)
+    print(f"Query:\n  {query.sql()}\n")
+
+    profile = get_profile("h1_r7_7735hs")
+    scenarios = {
+        "defaults": default_configuration(),
+        "tiny cache": default_configuration().with_overrides(
+            shared_buffers=16384, effective_cache_size=262144
+        ),
+        "no hash join": default_configuration().with_overrides(enable_hashjoin=False),
+        "no index scan": default_configuration().with_overrides(enable_indexscan=False),
+    }
+    for name, knobs in scenarios.items():
+        env = DatabaseEnvironment(knobs, profile)
+        simulator = ExecutionSimulator(benchmark.catalog, benchmark.stats, env)
+        result = simulator.run_query(query)
+        print(f"--- {name}: latency {result.latency_ms:.2f} ms ---")
+        print(explain(result.plan, analyze=True))
+        print()
+
+
+if __name__ == "__main__":
+    main()

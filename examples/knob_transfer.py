@@ -1,0 +1,76 @@
+"""Transferability: move a trained cost model to new hardware.
+
+Reproduces the Section V-E scenario interactively: a QPPNet basis model
+is trained on labelled plans from machine h1; to deploy it on machine
+h2 we only refit the feature snapshot there (with cheap simplified
+templates) and retrain briefly — instead of relabelling a full workload
+and training from scratch.
+
+Run:  python examples/knob_transfer.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import QCFEConfig, QCFE
+from repro.eval.experiments import _transfer_snapshot_set
+from repro.engine import random_environments
+from repro.models import evaluate_estimator, train_test_split
+from repro.nn import numpy_q_error
+from repro.workload import collect_labeled_plans, get_benchmark
+
+
+def main() -> None:
+    benchmark = get_benchmark("tpch")
+    envs_h1 = random_environments(5, seed=0, hardware="h1_r7_7735hs")
+    envs_h2 = random_environments(3, seed=9, hardware="h2_i7_12700h")
+
+    print("Labelling workloads (h1: full, h2: small) ...")
+    labeled_h1 = collect_labeled_plans(benchmark, envs_h1, total=400, seed=1)
+    labeled_h2 = collect_labeled_plans(benchmark, envs_h2, total=200, seed=7)
+    train_h2, test_h2 = train_test_split(labeled_h2, seed=0)
+
+    print("Fitting snapshots for every environment (FST, scale=8) ...")
+    snapshot_set = _transfer_snapshot_set(
+        benchmark, envs_h1, envs_h2, source="template", template_scale=8, seed=0
+    )
+
+    print("Training the basis model on h1 ...")
+    basis = QCFE(
+        benchmark, envs_h1,
+        QCFEConfig(model="qppnet", snapshot_source=None, reduction=None, epochs=15),
+    ).estimator
+    basis_stats = basis.fit(labeled_h1, snapshot_set=snapshot_set)
+    report = evaluate_estimator(basis, test_h2, snapshot_set=snapshot_set)
+    print(f"  basis on h2 test:    pearson={report.pearson:.3f} "
+          f"mean q={report.mean_q_error:.3f} (trained {basis_stats.train_seconds:.1f}s)")
+
+    print("Direct training from scratch on the small h2 set ...")
+    direct = QCFE(
+        benchmark, envs_h2,
+        QCFEConfig(model="qppnet", snapshot_source=None, reduction=None, epochs=15),
+    ).estimator
+    direct_stats = direct.fit(train_h2)
+    report = evaluate_estimator(direct, test_h2)
+    print(f"  direct on h2 test:   pearson={report.pearson:.3f} "
+          f"mean q={report.mean_q_error:.3f} (trained {direct_stats.train_seconds:.1f}s)")
+
+    print("Transferring the basis model (swap snapshot + brief retrain) ...")
+    basis.epochs = 4
+    retrain_stats = basis.fit(train_h2, snapshot_set=snapshot_set)
+    report = evaluate_estimator(basis, test_h2, snapshot_set=snapshot_set)
+    print(f"  transfer on h2 test: pearson={report.pearson:.3f} "
+          f"mean q={report.mean_q_error:.3f} (retrained {retrain_stats.train_seconds:.1f}s)")
+
+    predictions = basis.predict_many(test_h2, snapshot_set=snapshot_set)
+    actual = np.array([r.latency_ms for r in test_h2])
+    worst = np.argsort(numpy_q_error(predictions, actual))[-3:]
+    print("\nHardest h2 queries after transfer:")
+    for index in worst:
+        print(f"  q-error {numpy_q_error(predictions, actual)[index]:6.2f}  "
+              f"{test_h2[index].query_sql[:90]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: train a QCFE-enhanced cost estimator on TPC-H.
+
+Walks the full pipeline on a small labelled set:
+
+1. build the TPC-H benchmark (catalog + statistics + workload),
+2. sample random database environments (knob configurations),
+3. execute queries to collect labelled plans,
+4. fit QCFE (feature snapshot from simplified templates + difference-
+   propagation feature reduction) around a QPPNet estimator,
+5. compare against the raw PostgreSQL cost baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import QCFE, QCFEConfig
+from repro.models import PostgresCostEstimator, evaluate_estimator, train_test_split
+from repro.workload import collect_labeled_plans, get_benchmark, standard_environments
+
+
+def main() -> None:
+    benchmark = get_benchmark("tpch")
+    environments = standard_environments(6, seed=0)
+
+    print("Collecting labelled plans under 6 random knob configurations ...")
+    labeled = collect_labeled_plans(benchmark, environments, total=420, seed=1)
+    train, test = train_test_split(labeled, test_fraction=0.2, seed=0)
+    print(f"  {len(train)} training / {len(test)} test plans")
+
+    print("\nBaseline: raw PostgreSQL optimizer cost")
+    baseline = PostgresCostEstimator()
+    baseline.fit(train)
+    report = evaluate_estimator(baseline, test)
+    print(f"  pearson={report.pearson:.3f}  mean q-error={report.mean_q_error:.1f}")
+
+    print("\nQCFE(qpp): snapshot from simplified templates + feature reduction")
+    pipeline = QCFE(
+        benchmark,
+        environments,
+        QCFEConfig(
+            model="qppnet",
+            snapshot_source="template",
+            reduction="diff",
+            epochs=15,
+        ),
+    )
+    result = pipeline.fit(train)
+    report = pipeline.evaluate(test)
+    print(f"  pearson={report.pearson:.3f}  mean q-error={report.mean_q_error:.3f}")
+    print(f"  training time: {result.train_stats.train_seconds:.1f}s "
+          f"(snapshot {result.snapshot_seconds:.1f}s, "
+          f"reduction {result.reduction_seconds:.1f}s)")
+    print(f"  feature reduction pruned {result.reduction_ratio:.0%} of dimensions")
+
+
+if __name__ == "__main__":
+    main()

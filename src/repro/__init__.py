@@ -1,0 +1,37 @@
+"""QCFE: efficient feature engineering for query cost estimation.
+
+Reproduction of Yan et al., ICDE 2024 (arXiv:2310.00877).  See
+DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+results.
+
+Public entry points:
+
+- :mod:`repro.core` — feature snapshot, simplified templates,
+  difference-propagation feature reduction, and the QCFE pipeline;
+- :mod:`repro.models` — QPPNet, MSCN and the PostgreSQL baseline;
+- :mod:`repro.engine` — the PostgreSQL-style planner/executor simulator;
+- :mod:`repro.eval` — metrics and the per-table/figure experiments.
+"""
+
+from .errors import (
+    FeatureError,
+    ParseError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    SnapshotError,
+    TrainingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "ParseError",
+    "PlanError",
+    "TrainingError",
+    "FeatureError",
+    "SnapshotError",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Catalog substrate: schemas, statistics and benchmark databases."""
+
+from .schema import (
+    PAGE_SIZE_BYTES,
+    Catalog,
+    Column,
+    ColumnType,
+    Index,
+    Table,
+)
+from .statistics import (
+    CatalogStatistics,
+    DataAbstract,
+    Predicate,
+    TableStatistics,
+    zipf_frequencies,
+)
+from .tpch import TPCH_JOIN_EDGES, tpch_catalog
+from .imdb import (
+    IMDB_FACT_TABLES,
+    IMDB_JOIN_EDGES,
+    IMDB_PREDICATE_COLUMNS,
+    imdb_catalog,
+)
+from .sysbench import SYSBENCH_TABLE_SIZE, sysbench_catalog
+
+__all__ = [
+    "PAGE_SIZE_BYTES",
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "Index",
+    "Table",
+    "CatalogStatistics",
+    "DataAbstract",
+    "Predicate",
+    "TableStatistics",
+    "zipf_frequencies",
+    "tpch_catalog",
+    "TPCH_JOIN_EDGES",
+    "imdb_catalog",
+    "IMDB_JOIN_EDGES",
+    "IMDB_FACT_TABLES",
+    "IMDB_PREDICATE_COLUMNS",
+    "sysbench_catalog",
+    "SYSBENCH_TABLE_SIZE",
+]

@@ -1,0 +1,110 @@
+"""IMDB catalog restricted to the tables job-light touches.
+
+job-light (Kipf et al.) queries join ``title`` with up to four of the
+fact tables below on ``movie_id``; row counts follow the real IMDB
+snapshot used by the benchmark.  Fact-table value columns are strongly
+skewed (real IMDB is), which is what stresses the PG estimator.
+"""
+
+from __future__ import annotations
+
+from .schema import Catalog, Column, ColumnType, Index, Table
+
+
+def _c(name, ndv, lo=0, hi=None, skew=0.0, dtype=ColumnType.INT):
+    hi = ndv if hi is None else hi
+    return Column(name=name, dtype=dtype, ndv=ndv, min_value=lo, max_value=hi, skew=skew)
+
+
+def imdb_catalog() -> Catalog:
+    """Build the six-table job-light subset of IMDB."""
+    title = Table(
+        name="title",
+        row_count=2_528_312,
+        columns=[
+            _c("id", ndv=2_528_312),
+            _c("kind_id", ndv=7, skew=1.1),
+            _c("production_year", ndv=133, lo=1880, hi=2019, skew=0.6),
+        ],
+        indexes=[Index("title_pkey", "title", ("id",), unique=True)],
+    )
+    cast_info = Table(
+        name="cast_info",
+        row_count=36_244_344,
+        columns=[
+            _c("movie_id", ndv=2_331_601, hi=2_528_312, skew=0.9),
+            _c("person_id", ndv=4_051_810, skew=1.0),
+            _c("role_id", ndv=11, skew=1.2),
+        ],
+        indexes=[Index("cast_info_movie_idx", "cast_info", ("movie_id",))],
+    )
+    movie_info = Table(
+        name="movie_info",
+        row_count=14_835_720,
+        columns=[
+            _c("movie_id", ndv=2_468_825, hi=2_528_312, skew=0.8),
+            _c("info_type_id", ndv=71, skew=1.3),
+        ],
+        indexes=[Index("movie_info_movie_idx", "movie_info", ("movie_id",))],
+    )
+    movie_companies = Table(
+        name="movie_companies",
+        row_count=2_609_129,
+        columns=[
+            _c("movie_id", ndv=1_087_236, hi=2_528_312, skew=0.7),
+            _c("company_id", ndv=234_997, skew=1.1),
+            _c("company_type_id", ndv=2, skew=0.4),
+        ],
+        indexes=[Index("movie_companies_movie_idx", "movie_companies", ("movie_id",))],
+    )
+    movie_info_idx = Table(
+        name="movie_info_idx",
+        row_count=1_380_035,
+        columns=[
+            _c("movie_id", ndv=459_925, hi=2_528_312, skew=0.6),
+            _c("info_type_id", ndv=5, skew=0.9),
+        ],
+        indexes=[Index("movie_info_idx_movie_idx", "movie_info_idx", ("movie_id",))],
+    )
+    movie_keyword = Table(
+        name="movie_keyword",
+        row_count=4_523_930,
+        columns=[
+            _c("movie_id", ndv=476_794, hi=2_528_312, skew=0.8),
+            _c("keyword_id", ndv=134_170, skew=1.2),
+        ],
+        indexes=[Index("movie_keyword_movie_idx", "movie_keyword", ("movie_id",))],
+    )
+    return Catalog(
+        "imdb",
+        [title, cast_info, movie_info, movie_companies, movie_info_idx, movie_keyword],
+    )
+
+
+#: job-light joins: every fact table joins title on movie_id = title.id.
+IMDB_JOIN_EDGES = [
+    (("cast_info", "movie_id"), ("title", "id")),
+    (("movie_info", "movie_id"), ("title", "id")),
+    (("movie_companies", "movie_id"), ("title", "id")),
+    (("movie_info_idx", "movie_id"), ("title", "id")),
+    (("movie_keyword", "movie_id"), ("title", "id")),
+]
+
+#: Fact tables eligible for job-light style joins.
+IMDB_FACT_TABLES = [
+    "cast_info",
+    "movie_info",
+    "movie_companies",
+    "movie_info_idx",
+    "movie_keyword",
+]
+
+#: Predicate columns job-light filters on, per table.
+IMDB_PREDICATE_COLUMNS = {
+    "title": ["kind_id", "production_year"],
+    "cast_info": ["role_id"],
+    "movie_info": ["info_type_id"],
+    "movie_companies": ["company_type_id", "company_id"],
+    "movie_info_idx": ["info_type_id"],
+    "movie_keyword": ["keyword_id"],
+}

@@ -1,0 +1,38 @@
+"""Sysbench OLTP catalog: the single ``sbtest1`` table.
+
+The paper configures ``table size = 5000000`` and drives the
+``oltp_read_only.lua`` workload (point selects, range selects, range
+sum/order/distinct) against it.
+"""
+
+from __future__ import annotations
+
+from .schema import Catalog, Column, ColumnType, Index, Table
+
+SYSBENCH_TABLE_SIZE = 5_000_000
+
+
+def sysbench_catalog(table_size: int = SYSBENCH_TABLE_SIZE) -> Catalog:
+    """Build the one-table Sysbench catalog with *table_size* rows."""
+    sbtest = Table(
+        name="sbtest1",
+        row_count=table_size,
+        columns=[
+            Column("id", ColumnType.INT, ndv=table_size, min_value=1, max_value=table_size),
+            Column(
+                "k",
+                ColumnType.INT,
+                ndv=max(table_size // 100, 1),
+                min_value=1,
+                max_value=table_size,
+                skew=0.3,
+            ),
+            Column("c", ColumnType.TEXT, ndv=table_size, width=120),
+            Column("pad", ColumnType.TEXT, ndv=table_size, width=60),
+        ],
+        indexes=[
+            Index("sbtest1_pkey", "sbtest1", ("id",), unique=True),
+            Index("k_1", "sbtest1", ("k",)),
+        ],
+    )
+    return Catalog("sysbench", [sbtest])

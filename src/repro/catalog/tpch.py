@@ -1,0 +1,155 @@
+"""TPC-H catalog (scale factor 1 by default), as used in Section V.
+
+Row counts follow the TPC-H specification; column domains and skews are
+chosen to match the generator's documented distributions (uniform keys,
+skewed comment-ish text columns are irrelevant to the workload and kept
+narrow).
+"""
+
+from __future__ import annotations
+
+from .schema import Catalog, Column, ColumnType, Index, Table
+
+_SF = 1
+
+
+def _c(name, dtype=ColumnType.INT, ndv=1000, lo=0, hi=None, skew=0.0, width=None):
+    hi = ndv if hi is None else hi
+    return Column(
+        name=name, dtype=dtype, ndv=ndv, min_value=lo, max_value=hi, skew=skew, width=width
+    )
+
+
+def tpch_catalog(scale_factor: int = _SF) -> Catalog:
+    """Build the eight-table TPC-H catalog at *scale_factor*."""
+    sf = max(1, int(scale_factor))
+    region = Table(
+        name="region",
+        row_count=5,
+        columns=[
+            _c("r_regionkey", ndv=5),
+            _c("r_name", ColumnType.TEXT, ndv=5, width=12),
+        ],
+        indexes=[Index("region_pkey", "region", ("r_regionkey",), unique=True)],
+    )
+    nation = Table(
+        name="nation",
+        row_count=25,
+        columns=[
+            _c("n_nationkey", ndv=25),
+            _c("n_name", ColumnType.TEXT, ndv=25, width=16),
+            _c("n_regionkey", ndv=5),
+        ],
+        indexes=[Index("nation_pkey", "nation", ("n_nationkey",), unique=True)],
+    )
+    supplier = Table(
+        name="supplier",
+        row_count=10_000 * sf,
+        columns=[
+            _c("s_suppkey", ndv=10_000 * sf),
+            _c("s_name", ColumnType.TEXT, ndv=10_000 * sf, width=18),
+            _c("s_nationkey", ndv=25),
+            _c("s_acctbal", ColumnType.FLOAT, ndv=9_000, lo=-1_000, hi=10_000),
+        ],
+        indexes=[Index("supplier_pkey", "supplier", ("s_suppkey",), unique=True)],
+    )
+    customer = Table(
+        name="customer",
+        row_count=150_000 * sf,
+        columns=[
+            _c("c_custkey", ndv=150_000 * sf),
+            _c("c_name", ColumnType.TEXT, ndv=150_000 * sf, width=18),
+            _c("c_nationkey", ndv=25),
+            _c("c_acctbal", ColumnType.FLOAT, ndv=140_000, lo=-1_000, hi=10_000),
+            _c("c_mktsegment", ColumnType.TEXT, ndv=5, width=10, skew=0.4),
+        ],
+        indexes=[Index("customer_pkey", "customer", ("c_custkey",), unique=True)],
+    )
+    part = Table(
+        name="part",
+        row_count=200_000 * sf,
+        columns=[
+            _c("p_partkey", ndv=200_000 * sf),
+            _c("p_name", ColumnType.TEXT, ndv=200_000 * sf, width=32),
+            _c("p_brand", ColumnType.TEXT, ndv=25, width=10, skew=0.3),
+            _c("p_type", ColumnType.TEXT, ndv=150, width=24, skew=0.3),
+            _c("p_size", ndv=50, lo=1, hi=50),
+            _c("p_container", ColumnType.TEXT, ndv=40, width=10),
+            _c("p_retailprice", ColumnType.FLOAT, ndv=20_000, lo=900, hi=2_100),
+        ],
+        indexes=[Index("part_pkey", "part", ("p_partkey",), unique=True)],
+    )
+    partsupp = Table(
+        name="partsupp",
+        row_count=800_000 * sf,
+        columns=[
+            _c("ps_partkey", ndv=200_000 * sf),
+            _c("ps_suppkey", ndv=10_000 * sf),
+            _c("ps_availqty", ndv=10_000, lo=1, hi=10_000),
+            _c("ps_supplycost", ColumnType.FLOAT, ndv=100_000, lo=1, hi=1_000),
+        ],
+        indexes=[
+            Index("partsupp_pkey", "partsupp", ("ps_partkey", "ps_suppkey"), unique=True),
+            Index("partsupp_suppkey_idx", "partsupp", ("ps_suppkey",)),
+        ],
+    )
+    orders = Table(
+        name="orders",
+        row_count=1_500_000 * sf,
+        columns=[
+            _c("o_orderkey", ndv=1_500_000 * sf, hi=6_000_000 * sf),
+            _c("o_custkey", ndv=100_000 * sf, hi=150_000 * sf),
+            _c("o_orderstatus", ColumnType.TEXT, ndv=3, width=2, skew=0.8),
+            _c("o_totalprice", ColumnType.FLOAT, ndv=1_400_000, lo=850, hi=560_000),
+            _c("o_orderdate", ColumnType.DATE, ndv=2_406, lo=0, hi=2_406),
+            _c("o_orderpriority", ColumnType.TEXT, ndv=5, width=16, skew=0.2),
+            _c("o_shippriority", ndv=1, hi=1),
+        ],
+        indexes=[
+            Index("orders_pkey", "orders", ("o_orderkey",), unique=True),
+            Index("orders_custkey_idx", "orders", ("o_custkey",)),
+        ],
+    )
+    lineitem = Table(
+        name="lineitem",
+        row_count=6_001_215 * sf,
+        columns=[
+            _c("l_orderkey", ndv=1_500_000 * sf, hi=6_000_000 * sf),
+            _c("l_partkey", ndv=200_000 * sf),
+            _c("l_suppkey", ndv=10_000 * sf),
+            _c("l_linenumber", ndv=7, lo=1, hi=7),
+            _c("l_quantity", ColumnType.FLOAT, ndv=50, lo=1, hi=50),
+            _c("l_extendedprice", ColumnType.FLOAT, ndv=900_000, lo=900, hi=105_000),
+            _c("l_discount", ColumnType.FLOAT, ndv=11, lo=0.0, hi=0.10),
+            _c("l_tax", ColumnType.FLOAT, ndv=9, lo=0.0, hi=0.08),
+            _c("l_returnflag", ColumnType.TEXT, ndv=3, width=2, skew=0.5),
+            _c("l_linestatus", ColumnType.TEXT, ndv=2, width=2, skew=0.3),
+            _c("l_shipdate", ColumnType.DATE, ndv=2_526, lo=0, hi=2_526),
+            _c("l_commitdate", ColumnType.DATE, ndv=2_466, lo=0, hi=2_466),
+            _c("l_receiptdate", ColumnType.DATE, ndv=2_554, lo=0, hi=2_554),
+            _c("l_shipmode", ColumnType.TEXT, ndv=7, width=10, skew=0.2),
+        ],
+        indexes=[
+            Index("lineitem_pkey", "lineitem", ("l_orderkey", "l_linenumber"), unique=True),
+            Index("lineitem_partkey_idx", "lineitem", ("l_partkey",)),
+        ],
+    )
+    return Catalog(
+        "tpch",
+        [region, nation, supplier, customer, part, partsupp, orders, lineitem],
+    )
+
+
+#: Foreign-key join edges of the TPC-H schema, used by the workload
+#: generator and the join-graph builder.
+TPCH_JOIN_EDGES = [
+    (("nation", "n_regionkey"), ("region", "r_regionkey")),
+    (("supplier", "s_nationkey"), ("nation", "n_nationkey")),
+    (("customer", "c_nationkey"), ("nation", "n_nationkey")),
+    (("partsupp", "ps_partkey"), ("part", "p_partkey")),
+    (("partsupp", "ps_suppkey"), ("supplier", "s_suppkey")),
+    (("orders", "o_custkey"), ("customer", "c_custkey")),
+    (("lineitem", "l_orderkey"), ("orders", "o_orderkey")),
+    (("lineitem", "l_partkey"), ("part", "p_partkey")),
+    (("lineitem", "l_suppkey"), ("supplier", "s_suppkey")),
+]

@@ -1,0 +1,55 @@
+"""Greedy q-error feature reduction (paper Algorithm 2).
+
+The approximate greedy baseline: repeatedly evaluate the trained model
+with each remaining feature dropped (masked to zero), permanently drop
+the single feature whose removal lowers the q-error the most, and stop
+when no single removal helps.  Polynomial time (O(n^2) evaluations) but
+blind to feature co-relationships — pairs of features that are only
+useless together are never found, which is why the paper observes it
+reduces ~1% of dimensions where difference propagation reduces ~40%.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: evaluate(mask) -> mean q-error of the model when the features where
+#: mask is False are zeroed out.
+MaskEvaluator = Callable[[np.ndarray], float]
+
+
+def greedy_reduction(
+    evaluate: MaskEvaluator,
+    dim: int,
+    always_keep: Optional[Sequence[int]] = None,
+    max_rounds: Optional[int] = None,
+) -> Tuple[np.ndarray, float]:
+    """Run Algorithm 2; returns (keep mask, final q-error)."""
+    keep = np.ones(dim, dtype=bool)
+    protected = np.zeros(dim, dtype=bool)
+    if always_keep is not None:
+        protected[np.asarray(list(always_keep), dtype=int)] = True
+    best_error = evaluate(keep)
+    rounds = 0
+    while True:
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            break
+        drop_index = -1
+        drop_error = best_error
+        for index in range(dim):
+            if not keep[index] or protected[index]:
+                continue
+            keep[index] = False
+            error = evaluate(keep)
+            keep[index] = True
+            if error < drop_error:
+                drop_error = error
+                drop_index = index
+        if drop_index < 0:
+            break
+        keep[drop_index] = False
+        best_error = drop_error
+    return keep, best_error

@@ -1,0 +1,72 @@
+"""Engine substrate: a PostgreSQL-style planner + execution simulator."""
+
+from .knobs import (
+    KNOB_SPECS,
+    KnobConfiguration,
+    KnobSpec,
+    default_configuration,
+    random_configuration,
+    random_configurations,
+)
+from .hardware import DEFAULT_PROFILE, PROFILES, HardwareProfile, get_profile
+from .environment import (
+    RESOURCES,
+    DatabaseEnvironment,
+    default_environment,
+    random_environments,
+)
+from .operators import (
+    JOIN_OPERATORS,
+    LINEAR_OPERATORS,
+    SCAN_OPERATORS,
+    OperatorType,
+    PlanNode,
+    scan_node,
+)
+from .cardinality import CardinalityModel, estimated_distinct
+from .cost import CostModel, combine, resource_counts
+from .optimizer import DISABLE_COST, PlanBuilder
+from .executor import (
+    DEFAULT_NOISE_SIGMA,
+    ExecutionResult,
+    ExecutionSimulator,
+    LabeledPlan,
+    execute_workload,
+)
+from .explain import explain
+
+__all__ = [
+    "KNOB_SPECS",
+    "KnobConfiguration",
+    "KnobSpec",
+    "default_configuration",
+    "random_configuration",
+    "random_configurations",
+    "DEFAULT_PROFILE",
+    "PROFILES",
+    "HardwareProfile",
+    "get_profile",
+    "RESOURCES",
+    "DatabaseEnvironment",
+    "default_environment",
+    "random_environments",
+    "OperatorType",
+    "PlanNode",
+    "scan_node",
+    "SCAN_OPERATORS",
+    "JOIN_OPERATORS",
+    "LINEAR_OPERATORS",
+    "CardinalityModel",
+    "estimated_distinct",
+    "CostModel",
+    "combine",
+    "resource_counts",
+    "PlanBuilder",
+    "DISABLE_COST",
+    "ExecutionSimulator",
+    "ExecutionResult",
+    "LabeledPlan",
+    "execute_workload",
+    "DEFAULT_NOISE_SIGMA",
+    "explain",
+]

@@ -1,0 +1,120 @@
+"""Database environment = knob configuration + hardware profile.
+
+This is the paper's set of "ignored variables".  An environment exposes
+two coefficient views:
+
+* :meth:`optimizer_coefficients` — the abstract PG cost units the
+  planner uses for *estimated* cost (these are simply the cost knobs);
+* :meth:`true_coefficients` — milliseconds per resource unit that the
+  execution simulator charges, derived from hardware timings and the
+  cache behaviour implied by memory knobs.
+
+The feature snapshot's premise (Section III) is exactly that the
+environment moves the coefficient vector ``C`` while plans and
+statistics move the count vector ``N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .hardware import DEFAULT_PROFILE, HardwareProfile, get_profile
+from .knobs import KnobConfiguration, default_configuration, random_configurations
+
+#: Resource-count names shared by the cost model and the executor:
+#: sequential pages, random pages, tuples, index tuples, operator calls.
+RESOURCES = ("ns", "nr", "nt", "ni", "no")
+
+
+@dataclass(frozen=True)
+class DatabaseEnvironment:
+    """One (knobs, hardware) pair under which queries execute."""
+
+    knobs: KnobConfiguration
+    hardware: HardwareProfile
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            object.__setattr__(self, "name", f"{self.knobs.name}@{self.hardware.name}")
+
+    # ------------------------------------------------------------------
+    # optimizer view (abstract cost units)
+    # ------------------------------------------------------------------
+    def optimizer_coefficients(self) -> Dict[str, float]:
+        """PG cost-unit coefficients (cs, cr, ct, ci, co)."""
+        k = self.knobs
+        return {
+            "cs": float(k["seq_page_cost"]),
+            "cr": float(k["random_page_cost"]),
+            "ct": float(k["cpu_tuple_cost"]),
+            "ci": float(k["cpu_index_tuple_cost"]),
+            "co": float(k["cpu_operator_cost"]),
+        }
+
+    # ------------------------------------------------------------------
+    # executor view (milliseconds per resource unit)
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of page reads served by the buffer cache.
+
+        Grows logarithmically with ``shared_buffers`` and
+        ``effective_cache_size`` (diminishing returns), capped below 1.
+        """
+        shared_mb = float(self.knobs["shared_buffers"]) / 1024.0
+        cache_mb = float(self.knobs["effective_cache_size"]) / 1024.0
+        score = 0.35 + 0.055 * np.log2(max(shared_mb / 16.0, 1.0))
+        score += 0.02 * np.log2(max(cache_mb / 256.0, 1.0))
+        return float(np.clip(score, 0.05, 0.97))
+
+    def true_coefficients(self) -> Dict[str, float]:
+        """Milliseconds charged per resource unit on this environment."""
+        hw = self.hardware
+        hit = self.cache_hit_ratio
+        seq_ms = hw.seq_ms_per_page * (1.0 - hit) + hw.cached_ms_per_page * hit
+        rand_ms = hw.rand_ms_per_page * (1.0 - hit) + hw.cached_ms_per_page * hit
+        cpu_tuple_ms = hw.cpu_ms_per_ktuple / 1000.0
+        return {
+            "cs": seq_ms,
+            "cr": rand_ms,
+            "ct": cpu_tuple_ms,
+            # Index tuple processing is ~60% of a heap tuple; operator
+            # calls (comparison, hash, aggregate transition) ~25%.
+            "ci": 0.6 * cpu_tuple_ms,
+            "co": 0.25 * cpu_tuple_ms,
+        }
+
+    @property
+    def work_mem_kb(self) -> float:
+        return float(self.knobs["work_mem"])
+
+    def spill_factor(self, bytes_needed: float) -> float:
+        """Slow-down multiplier when an operator's working set exceeds
+        ``work_mem`` (external sort / batched hash join)."""
+        budget = self.work_mem_kb * 1024.0
+        if bytes_needed <= budget:
+            return 1.0
+        # Each doubling beyond the budget costs an extra merge pass.
+        passes = np.log2(bytes_needed / budget)
+        return float(1.0 + 0.6 * passes)
+
+
+def default_environment(hardware: str = DEFAULT_PROFILE) -> DatabaseEnvironment:
+    """PostgreSQL defaults on the paper's collection machine."""
+    return DatabaseEnvironment(default_configuration(), get_profile(hardware))
+
+
+def random_environments(
+    count: int, seed: object = 0, hardware: str = DEFAULT_PROFILE
+) -> List[DatabaseEnvironment]:
+    """The paper's environment pool: *count* random knob configurations
+    on a fixed hardware profile."""
+    profile = get_profile(hardware)
+    return [
+        DatabaseEnvironment(cfg, profile)
+        for cfg in random_configurations(count, seed=seed)
+    ]

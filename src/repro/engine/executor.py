@@ -1,0 +1,155 @@
+"""Execution-latency simulation: the source of ground-truth labels.
+
+Stands in for running queries on PostgreSQL and reading
+``EXPLAIN ANALYZE``.  Every operator is charged
+
+    time = N_true · C_true(env) · spill(env) · noise
+
+where ``N_true`` reuses the cost model's resource accounting with true
+cardinalities, ``C_true`` are the environment's millisecond
+coefficients, ``spill`` penalises sorts/hashes beyond ``work_mem`` and
+``noise`` is deterministic lognormal jitter keyed by (environment,
+query, node), so repeated executions are repeatable while distinct
+queries vary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..catalog.schema import Catalog
+from ..catalog.statistics import CatalogStatistics
+from ..rng import noise_factor
+from ..sql.ast import SelectQuery
+from .cardinality import CardinalityModel
+from .cost import combine, resource_counts
+from .environment import DatabaseEnvironment
+from .operators import OperatorType, PlanNode
+from .optimizer import PlanBuilder
+
+#: Default relative noise on per-operator times (lognormal sigma).
+DEFAULT_NOISE_SIGMA = 0.08
+
+#: Fixed per-query overhead: parse + plan + protocol, in ms.
+_QUERY_OVERHEAD_MS = 0.08
+_NODE_OVERHEAD_MS = 0.004
+
+
+@dataclass
+class ExecutionResult:
+    """A labelled execution: the annotated plan plus its latency."""
+
+    plan: PlanNode
+    latency_ms: float
+    env: DatabaseEnvironment
+    query: Optional[SelectQuery] = None
+
+    @property
+    def node_times(self) -> List[float]:
+        return [node.actual_ms for node in self.plan.walk()]
+
+
+class ExecutionSimulator:
+    """Executes plans under an environment, producing latency labels."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        stats: CatalogStatistics,
+        env: DatabaseEnvironment,
+        noise_sigma: float = DEFAULT_NOISE_SIGMA,
+    ):
+        self.catalog = catalog
+        self.stats = stats
+        self.env = env
+        self.noise_sigma = noise_sigma
+        self.cards = CardinalityModel(catalog, stats)
+        self.builder = PlanBuilder(catalog, stats, env)
+        self._true_coefficients = env.true_coefficients()
+
+    # ------------------------------------------------------------------
+    def run_query(self, query: SelectQuery) -> ExecutionResult:
+        """Plan and execute *query*; the common entry point."""
+        plan = self.builder.build(query)
+        return self.run_plan(plan, seed_key=query.signature(), query=query)
+
+    def run_plan(
+        self,
+        plan: PlanNode,
+        seed_key: object = "",
+        query: Optional[SelectQuery] = None,
+    ) -> ExecutionResult:
+        """Execute an already-built plan, filling actual times."""
+        self.cards.annotate_truth(plan)
+        self._charge(plan, seed_key)
+        latency = plan.actual_total_ms + _QUERY_OVERHEAD_MS * noise_factor(
+            self.noise_sigma, "overhead", self.env.name, seed_key
+        )
+        return ExecutionResult(plan=plan, latency_ms=latency, env=self.env, query=query)
+
+    # ------------------------------------------------------------------
+    def _charge(self, node: PlanNode, seed_key: object, index: int = 0) -> int:
+        """Post-order: charge children, then this node; returns the next
+        free node index (used only for noise keying)."""
+        for child in node.children:
+            index = self._charge(child, seed_key, index)
+        counts = resource_counts(
+            node, self.catalog, lambda n: n.true_rows, self.env
+        )
+        node.resource_counts = counts
+        base = combine(counts, self._true_coefficients)
+        base *= self._spill_multiplier(node)
+        noise = noise_factor(
+            self.noise_sigma, self.env.name, seed_key, node.op.value, index
+        )
+        node.actual_ms = (base + _NODE_OVERHEAD_MS) * noise
+        node.actual_total_ms = node.actual_ms + sum(
+            child.actual_total_ms for child in node.children
+        )
+        return index + 1
+
+    def _spill_multiplier(self, node: PlanNode) -> float:
+        if node.op is OperatorType.SORT:
+            width = node.children[0].est_width or 8
+            return self.env.spill_factor(node.children[0].true_rows * width)
+        if node.op is OperatorType.HASH_JOIN:
+            inner = node.children[1]
+            return self.env.spill_factor(inner.true_rows * max(inner.est_width, 8))
+        return 1.0
+
+
+@dataclass
+class LabeledPlan:
+    """A training example: plan + environment + measured latency."""
+
+    plan: PlanNode
+    latency_ms: float
+    env_name: str
+    query_sql: str = ""
+    template: str = ""
+
+    @property
+    def node_count(self) -> int:
+        return self.plan.node_count
+
+
+def execute_workload(
+    queries: List[SelectQuery],
+    simulator: ExecutionSimulator,
+    template_names: Optional[List[str]] = None,
+) -> List[LabeledPlan]:
+    """Execute every query, returning labelled plans."""
+    labeled: List[LabeledPlan] = []
+    for position, query in enumerate(queries):
+        result = simulator.run_query(query)
+        labeled.append(
+            LabeledPlan(
+                plan=result.plan,
+                latency_ms=result.latency_ms,
+                env_name=simulator.env.name,
+                query_sql=query.sql(),
+                template=template_names[position] if template_names else "",
+            )
+        )
+    return labeled

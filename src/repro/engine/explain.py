@@ -1,0 +1,50 @@
+"""EXPLAIN-style plan rendering, for examples and debugging."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .operators import PlanNode
+
+
+def explain(plan: PlanNode, analyze: bool = False) -> str:
+    """Render *plan* in the familiar indented EXPLAIN format.
+
+    With ``analyze=True`` the simulated actual rows/times are shown,
+    mirroring ``EXPLAIN ANALYZE``.
+    """
+    lines: List[str] = []
+    _render(plan, 0, analyze, lines)
+    return "\n".join(lines)
+
+
+def _render(node: PlanNode, depth: int, analyze: bool, lines: List[str]) -> None:
+    pad = "  " * depth
+    arrow = "->  " if depth else ""
+    label = node.op.value
+    if node.table:
+        label += f" on {node.table}"
+    if node.index:
+        label += f" using {node.index}"
+    detail = (
+        f"(cost={node.est_startup_cost:.2f}..{node.est_total_cost:.2f} "
+        f"rows={node.est_rows:.0f} width={node.est_width})"
+    )
+    if analyze:
+        detail += f" (actual rows={node.true_rows:.0f} time={node.actual_ms:.3f}ms)"
+    lines.append(f"{pad}{arrow}{label}  {detail}")
+    extra_pad = "  " * (depth + 1)
+    if node.predicates:
+        rendered = " AND ".join(
+            f"{p.table}.{p.column} {p.op} {p.value}" for p in node.predicates
+        )
+        lines.append(f"{extra_pad}Filter: {rendered}")
+    if node.sort_keys:
+        lines.append(f"{extra_pad}Sort Key: {', '.join(node.sort_keys)}")
+    if node.group_keys:
+        lines.append(f"{extra_pad}Group Key: {', '.join(node.group_keys)}")
+    if len(node.join_columns) == 4:
+        lt, lc, rt, rc = node.join_columns
+        lines.append(f"{extra_pad}Join Cond: {lt}.{lc} = {rt}.{rc}")
+    for child in node.children:
+        _render(child, depth + 1, analyze, lines)

@@ -1,0 +1,126 @@
+"""PostgreSQL-style knob configurations.
+
+The paper collects labelled queries under 20 *random knob
+configurations* of PostgreSQL 14.4 and shows (Figure 1) that the same
+workload's average cost varies 2-3x across environments.  This module
+defines the knob space: cost-unit knobs feed the optimizer's estimated
+cost, resource knobs (``shared_buffers``, ``work_mem``) change actual
+execution speed, and planner toggles change which plans get built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple, Union
+
+import numpy as np
+
+from ..errors import PlanError
+from ..rng import rng_for
+
+KnobValue = Union[float, int, bool]
+
+
+@dataclass(frozen=True)
+class KnobSpec:
+    """One knob: default plus sampling range/choices."""
+
+    name: str
+    default: KnobValue
+    low: float = 0.0
+    high: float = 0.0
+    log_scale: bool = False
+    flip_probability: float = 0.15  # chance a bool knob deviates from default
+
+    @property
+    def is_bool(self) -> bool:
+        return isinstance(self.default, bool)
+
+    def sample(self, rng: np.random.Generator) -> KnobValue:
+        if self.is_bool:
+            if rng.random() < self.flip_probability:
+                return not bool(self.default)
+            return bool(self.default)
+        if self.log_scale:
+            value = float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
+        else:
+            value = float(rng.uniform(self.low, self.high))
+        if isinstance(self.default, int) and not isinstance(self.default, bool):
+            return int(round(value))
+        return value
+
+
+#: The knob space (cost units mirror PostgreSQL defaults; memory knobs
+#: are in kilobytes like PostgreSQL's own units).
+KNOB_SPECS: Dict[str, KnobSpec] = {
+    spec.name: spec
+    for spec in [
+        KnobSpec("seq_page_cost", 1.0, 0.5, 2.0),
+        KnobSpec("random_page_cost", 4.0, 1.1, 8.0),
+        KnobSpec("cpu_tuple_cost", 0.01, 0.002, 0.05, log_scale=True),
+        KnobSpec("cpu_index_tuple_cost", 0.005, 0.001, 0.02, log_scale=True),
+        KnobSpec("cpu_operator_cost", 0.0025, 0.0005, 0.01, log_scale=True),
+        KnobSpec("work_mem", 4096, 1024, 262144, log_scale=True),  # KB
+        KnobSpec("shared_buffers", 131072, 16384, 4194304, log_scale=True),  # KB
+        KnobSpec("effective_cache_size", 4194304, 262144, 16777216, log_scale=True),
+        KnobSpec("enable_seqscan", True),
+        KnobSpec("enable_indexscan", True),
+        KnobSpec("enable_hashjoin", True),
+        KnobSpec("enable_mergejoin", True),
+        KnobSpec("enable_nestloop", True),
+        KnobSpec("enable_sort", True, flip_probability=0.05),
+        KnobSpec("enable_hashagg", True),
+        KnobSpec("enable_material", True),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class KnobConfiguration:
+    """An immutable assignment of every knob."""
+
+    name: str
+    values: Mapping[str, KnobValue] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.values) - set(KNOB_SPECS)
+        if unknown:
+            raise PlanError(f"unknown knobs: {sorted(unknown)}")
+
+    def __getitem__(self, knob: str) -> KnobValue:
+        if knob not in KNOB_SPECS:
+            raise PlanError(f"unknown knob {knob!r}")
+        return self.values.get(knob, KNOB_SPECS[knob].default)
+
+    def get(self, knob: str) -> KnobValue:
+        return self[knob]
+
+    def as_dict(self) -> Dict[str, KnobValue]:
+        return {name: self[name] for name in KNOB_SPECS}
+
+    def with_overrides(self, **overrides: KnobValue) -> "KnobConfiguration":
+        merged = dict(self.values)
+        merged.update(overrides)
+        return KnobConfiguration(name=f"{self.name}+", values=merged)
+
+
+def default_configuration() -> KnobConfiguration:
+    """PostgreSQL defaults."""
+    return KnobConfiguration(name="default", values={})
+
+
+def random_configuration(seed: object) -> KnobConfiguration:
+    """Sample one random configuration, deterministically from *seed*."""
+    rng = rng_for("knobs", seed)
+    values = {name: spec.sample(rng) for name, spec in KNOB_SPECS.items()}
+    # Never disable every scan or join method at once.
+    if not values["enable_seqscan"] and not values["enable_indexscan"]:
+        values["enable_seqscan"] = True
+    if not any(values[k] for k in ("enable_hashjoin", "enable_mergejoin", "enable_nestloop")):
+        values["enable_hashjoin"] = True
+    return KnobConfiguration(name=f"cfg-{seed}", values=values)
+
+
+def random_configurations(count: int, seed: object = 0) -> List[KnobConfiguration]:
+    """The paper's "20 random database configurations" generator."""
+    return [random_configuration((seed, index)) for index in range(count)]

@@ -1,0 +1,146 @@
+"""Physical plan operators.
+
+A plan is a tree of :class:`PlanNode`.  Each node carries the
+optimizer's estimates (rows, width, PG-unit costs), the true row count
+the executor derives, the resource-count vector ``N`` (sequential
+pages, random pages, tuples, index tuples, operator calls — the counts
+the paper's cost formula multiplies with the coefficient vector ``C``),
+and, after execution, the simulated actual time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..catalog.statistics import Predicate
+from ..errors import PlanError
+
+
+class OperatorType(enum.Enum):
+    """Physical operator kinds (the paper's Table I/II vocabulary)."""
+
+    SEQ_SCAN = "Seq Scan"
+    INDEX_SCAN = "Index Scan"
+    SORT = "Sort"
+    HASH_JOIN = "Hash Join"
+    MERGE_JOIN = "Merge Join"
+    NESTED_LOOP = "Nested Loop"
+    AGGREGATE = "Aggregate"
+    MATERIALIZE = "Materialize"
+    LIMIT = "Limit"
+
+
+SCAN_OPERATORS = (OperatorType.SEQ_SCAN, OperatorType.INDEX_SCAN)
+JOIN_OPERATORS = (
+    OperatorType.HASH_JOIN,
+    OperatorType.MERGE_JOIN,
+    OperatorType.NESTED_LOOP,
+)
+
+#: Operators whose logical cost is linear in input cardinality
+#: (paper Table I, rows 1-2).
+LINEAR_OPERATORS = (
+    OperatorType.SEQ_SCAN,
+    OperatorType.INDEX_SCAN,
+    OperatorType.MATERIALIZE,
+    OperatorType.AGGREGATE,
+    OperatorType.MERGE_JOIN,
+    OperatorType.HASH_JOIN,
+    OperatorType.LIMIT,
+)
+
+
+@dataclass
+class PlanNode:
+    """One node of a physical plan tree."""
+
+    op: OperatorType
+    children: List["PlanNode"] = field(default_factory=list)
+    table: Optional[str] = None
+    index: Optional[str] = None
+    predicates: List[Predicate] = field(default_factory=list)
+    sort_keys: Tuple[str, ...] = ()
+    join_columns: Tuple[str, ...] = ()
+    group_keys: Tuple[str, ...] = ()
+    limit_count: Optional[int] = None
+    # Optimizer estimates -------------------------------------------------
+    est_rows: float = 0.0
+    est_width: int = 0
+    est_startup_cost: float = 0.0
+    est_total_cost: float = 0.0
+    # Ground truth (filled by cardinality/executor) -----------------------
+    true_rows: float = 0.0
+    resource_counts: Dict[str, float] = field(default_factory=dict)
+    actual_ms: float = 0.0
+    actual_total_ms: float = 0.0  # subtree-cumulative, QPPNet's target
+
+    def __post_init__(self) -> None:
+        if self.op in SCAN_OPERATORS and self.table is None:
+            raise PlanError(f"{self.op.value} requires a table")
+        if self.op in JOIN_OPERATORS and len(self.children) != 2:
+            raise PlanError(f"{self.op.value} requires exactly two children")
+        if self.op is OperatorType.INDEX_SCAN and self.index is None:
+            raise PlanError("Index Scan requires an index")
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["PlanNode"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def leaves(self) -> List["PlanNode"]:
+        return [node for node in self.walk() if not node.children]
+
+    @property
+    def node_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    @property
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth for child in self.children)
+
+    def tables(self) -> List[str]:
+        return sorted({n.table for n in self.walk() if n.table is not None})
+
+    def total_actual_ms(self) -> float:
+        """Sum of per-node actual times over the whole subtree."""
+        return sum(node.actual_ms for node in self.walk())
+
+    def operator_counts(self) -> Dict[OperatorType, int]:
+        counts: Dict[OperatorType, int] = {}
+        for node in self.walk():
+            counts[node.op] = counts.get(node.op, 0) + 1
+        return counts
+
+    def validate(self) -> None:
+        """Raise :class:`PlanError` on structural problems."""
+        for node in self.walk():
+            if node.op in SCAN_OPERATORS and node.children:
+                raise PlanError("scan nodes must be leaves")
+            if node.op in (OperatorType.SORT, OperatorType.MATERIALIZE,
+                           OperatorType.AGGREGATE, OperatorType.LIMIT):
+                if len(node.children) != 1:
+                    raise PlanError(f"{node.op.value} must have one child")
+            if node.est_rows < 0 or node.true_rows < 0:
+                raise PlanError("negative cardinality")
+
+    def __repr__(self) -> str:
+        label = self.op.value
+        if self.table:
+            label += f" on {self.table}"
+        return f"PlanNode({label}, est_rows={self.est_rows:.0f})"
+
+
+def scan_node(
+    op: OperatorType,
+    table: str,
+    predicates: List[Predicate],
+    index: Optional[str] = None,
+) -> PlanNode:
+    """Convenience constructor for scan leaves."""
+    return PlanNode(op=op, table=table, predicates=list(predicates), index=index)

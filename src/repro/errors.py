@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table, column or index reference does not exist in the catalog."""
+
+
+class ParseError(ReproError):
+    """A SQL text or template could not be parsed."""
+
+
+class PlanError(ReproError):
+    """A physical plan could not be built or is structurally invalid."""
+
+
+class TrainingError(ReproError):
+    """A learned model could not be trained or used for inference."""
+
+
+class FeatureError(ReproError):
+    """A feature vector has the wrong shape or refers to unknown dims."""
+
+
+class SnapshotError(ReproError):
+    """A feature snapshot could not be fitted or applied."""

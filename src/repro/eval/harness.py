@@ -1,0 +1,94 @@
+"""Experiment harness: shared setup, caching and scale control.
+
+Paper-scale runs (17,600 labelled queries, 800 iterations, 20
+environments) are impractically slow on a pure-numpy stack, so every
+experiment reads its scale from environment variables with small
+defaults that preserve each result's *shape*:
+
+- ``QCFE_SCALE``   — labelled queries per experiment (default 480)
+- ``QCFE_EPOCHS``  — training epochs               (default 14)
+- ``QCFE_ENVS``    — knob configurations           (default 6)
+
+Labelled-plan collection is memoised per (benchmark, envs, total,
+seed), so the benches in one pytest session share the expensive parts.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine.environment import DatabaseEnvironment, random_environments
+from ..engine.executor import LabeledPlan
+from ..workload.collect import Benchmark, collect_labeled_plans, get_benchmark
+
+
+def env_int(name: str, default: int) -> int:
+    """Read an integer experiment knob from the environment."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def default_scale() -> int:
+    return env_int("QCFE_SCALE", 480)
+
+
+def default_epochs() -> int:
+    return env_int("QCFE_EPOCHS", 14)
+
+
+def default_env_count() -> int:
+    return env_int("QCFE_ENVS", 6)
+
+
+@dataclass
+class ExperimentContext:
+    """Caches benchmarks, environment pools and labelled collections."""
+
+    seed: int = 0
+    _benchmarks: Dict[str, Benchmark] = None  # type: ignore[assignment]
+    _labeled: Dict[Tuple, List[LabeledPlan]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self._benchmarks = {}
+        self._labeled = {}
+
+    def benchmark(self, name: str) -> Benchmark:
+        if name not in self._benchmarks:
+            self._benchmarks[name] = get_benchmark(name)
+        return self._benchmarks[name]
+
+    def environments(
+        self, count: Optional[int] = None, hardware: str = "h1_r7_7735hs"
+    ) -> List[DatabaseEnvironment]:
+        count = count or default_env_count()
+        return random_environments(count, seed=self.seed, hardware=hardware)
+
+    def labeled(
+        self,
+        benchmark_name: str,
+        total: Optional[int] = None,
+        env_count: Optional[int] = None,
+        hardware: str = "h1_r7_7735hs",
+        seed_offset: int = 0,
+    ) -> List[LabeledPlan]:
+        total = total or default_scale()
+        env_count = env_count or default_env_count()
+        key = (benchmark_name, total, env_count, hardware, seed_offset)
+        if key not in self._labeled:
+            bench = self.benchmark(benchmark_name)
+            envs = self.environments(env_count, hardware=hardware)
+            self._labeled[key] = collect_labeled_plans(
+                bench, envs, total, seed=self.seed + seed_offset
+            )
+        return self._labeled[key]
+
+
+#: Module-level context so pytest-benchmark files share caches.
+SHARED_CONTEXT = ExperimentContext()

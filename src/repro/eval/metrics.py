@@ -1,0 +1,56 @@
+"""Evaluation metrics: q-error (paper Eq. 2), Pearson (Eq. 3), summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..nn.loss import numpy_q_error
+from ..models.training import pearson_correlation
+
+__all__ = [
+    "numpy_q_error",
+    "pearson_correlation",
+    "QErrorSummary",
+    "summarize_q_errors",
+]
+
+
+@dataclass(frozen=True)
+class QErrorSummary:
+    """Distributional summary of a q-error vector."""
+
+    mean: float
+    percentiles: Dict[int, float]
+    maximum: float
+    count: int
+
+    @property
+    def median(self) -> float:
+        return self.percentiles[50]
+
+    def quantile_box(self) -> Dict[str, float]:
+        """The 25/50/75 box the paper's Figure 5 plots."""
+        return {
+            "q25": self.percentiles[25],
+            "q50": self.percentiles[50],
+            "q75": self.percentiles[75],
+        }
+
+
+def summarize_q_errors(
+    predictions: Sequence[float], actuals: Sequence[float]
+) -> QErrorSummary:
+    """Compute the q-error summary used across all experiments."""
+    q = numpy_q_error(np.asarray(predictions), np.asarray(actuals))
+    percentiles = {
+        p: float(np.percentile(q, p)) for p in (25, 50, 75, 90, 95, 99)
+    }
+    return QErrorSummary(
+        mean=float(q.mean()),
+        percentiles=percentiles,
+        maximum=float(q.max()),
+        count=int(q.size),
+    )

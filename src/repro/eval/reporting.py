@@ -1,0 +1,154 @@
+"""ASCII rendering of experiment results in the paper's table shapes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .experiments import (
+    ModelRow,
+    ReductionCounts,
+    ReferenceCountRow,
+    TemplateScaleRow,
+    TransferRow,
+)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a padded ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_figure1(result: Dict[str, Dict[str, float]]) -> str:
+    rows = []
+    for benchmark, per_env in result.items():
+        values = list(per_env.values())
+        spread = max(values) / max(min(values), 1e-9)
+        for env_name, mean_ms in per_env.items():
+            rows.append((benchmark, env_name, f"{mean_ms:.2f}", f"{spread:.2f}x"))
+    return format_table(["benchmark", "environment", "avg cost (ms)", "spread"], rows)
+
+
+def render_table4(rows: List[ModelRow]) -> str:
+    data = [
+        (
+            row.benchmark,
+            row.model,
+            row.scale,
+            f"{row.pearson:.3f}",
+            f"{row.mean_q_error:.3f}",
+            f"{row.train_seconds:.2f}",
+        )
+        for row in rows
+    ]
+    return format_table(
+        ["dataset", "model", "scale", "pearson", "mean q-error", "time (s)"], data
+    )
+
+
+def render_figure5(boxes: Dict[Tuple[str, str, int], Dict[str, float]]) -> str:
+    data = [
+        (
+            benchmark,
+            model,
+            scale,
+            f"{box['q25']:.3f}",
+            f"{box['q50']:.3f}",
+            f"{box['q75']:.3f}",
+        )
+        for (benchmark, model, scale), box in sorted(boxes.items())
+    ]
+    return format_table(["dataset", "model", "scale", "q25", "q50", "q75"], data)
+
+
+def render_figure6(results) -> str:
+    data = [
+        (benchmark, variant, f"{summary.mean:.3f}", f"{summary.median:.3f}",
+         f"{summary.percentiles[90]:.3f}")
+        for (benchmark, variant), summary in sorted(results.items())
+    ]
+    return format_table(
+        ["dataset", "variant", "mean q-error", "median", "q90"], data
+    )
+
+
+def render_figure7(counts: List[ReductionCounts]) -> str:
+    rows = []
+    for entry in counts:
+        for op, kept in sorted(entry.kept.items()):
+            rows.append(
+                (
+                    entry.method,
+                    op,
+                    entry.total_features,
+                    kept,
+                    entry.total_features - kept,
+                )
+            )
+        rows.append(
+            (entry.method, "TOTAL", entry.total_features, "",
+             f"{entry.reduction_ratio:.1%}")
+        )
+    return format_table(
+        ["method", "operator", "features", "kept", "reduced"], rows
+    )
+
+
+def render_table5(rows: List[TemplateScaleRow]) -> str:
+    data = [
+        (
+            row.benchmark,
+            row.label,
+            f"{row.mean_q_error:.3f}",
+            f"{row.collection_ms / 1000.0:.1f}s",
+        )
+        for row in rows
+    ]
+    return format_table(
+        ["dataset", "snapshot", "mean q-error", "collection (simulated)"], data
+    )
+
+
+def render_table6(rows: List[ReferenceCountRow]) -> str:
+    data = [
+        (
+            row.n_references,
+            f"{row.mean_q_error:.3f}",
+            f"{row.q95:.3f}",
+            f"{row.q90:.3f}",
+            f"{row.fr_runtime_seconds:.2f}",
+            f"{row.reduction_ratio:.1%}",
+        )
+        for row in rows
+    ]
+    return format_table(
+        ["references", "mean", "q95", "q90", "FR runtime (s)", "reduction"], data
+    )
+
+
+def render_table7(rows: List[TransferRow]) -> str:
+    data = [
+        (
+            row.benchmark,
+            row.model,
+            f"{row.pearson:.3f}",
+            f"{row.mean_q_error:.3f}",
+            f"{row.train_seconds:.2f}",
+        )
+        for row in rows
+    ]
+    return format_table(["dataset", "model", "pearson", "mean", "time (s)"], data)
+
+
+def render_figure8(curves: Dict[str, List[Tuple[int, float]]]) -> str:
+    rows = []
+    for variant, points in curves.items():
+        for epoch, q_error in points:
+            rows.append((variant, epoch, f"{q_error:.3f}"))
+    return format_table(["variant", "epochs", "mean q-error"], rows)

@@ -1,0 +1,12 @@
+"""Featurization: operator-level and MSCN set-based encodings."""
+
+from .encoding import SNAPSHOT_SLOTS, OperatorEncoder, apply_mask
+from .mscn_features import MSCNEncoder, MSCNSample
+
+__all__ = [
+    "OperatorEncoder",
+    "apply_mask",
+    "SNAPSHOT_SLOTS",
+    "MSCNEncoder",
+    "MSCNSample",
+]

@@ -1,0 +1,171 @@
+"""QPPNet-style per-operator feature encoding.
+
+Following the encoding survey in the paper's Table III, every plan node
+is encoded as one-hot blocks (operator type, table, referenced columns,
+index) plus numerical values (cardinalities, widths, optimizer costs,
+clause counts), and — when QCFE is enabled — the feature-snapshot
+coefficient slots for the node's operator type.
+
+The layout is deliberately *unified* across operator types: one fixed
+vector with named dimensions.  Many dimensions are ineffective for any
+given benchmark (columns never filtered, operators never produced,
+index slots for workloads that plan no index scans) — precisely the
+dead weight the paper's feature reduction prunes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..catalog.schema import Catalog
+from ..engine.operators import OperatorType, PlanNode
+from ..errors import FeatureError
+
+#: Width of the snapshot block: the widest logical formula (Nested
+#: Loop, Table I) has four coefficients.
+SNAPSHOT_SLOTS = 4
+
+_NUMERIC_NAMES = (
+    "log_est_rows",
+    "log_est_width",
+    "log_est_total_cost",
+    "log_est_startup_cost",
+    "n_predicates",
+    "n_sort_keys",
+    "n_group_keys",
+    "n_children",
+    "est_selectivity",
+    "log_limit",
+)
+
+
+class OperatorEncoder:
+    """Encodes plan nodes into fixed-width named feature vectors."""
+
+    def __init__(self, catalog: Catalog, snapshot_slots: int = SNAPSHOT_SLOTS):
+        self.catalog = catalog
+        self.snapshot_slots = snapshot_slots
+        self.operators: List[OperatorType] = list(OperatorType)
+        self.tables: List[str] = catalog.table_names
+        self.columns: List[Tuple[str, str]] = catalog.all_columns()
+        self.indexes: List[str] = [ix.name for ix in catalog.all_indexes()]
+        self._op_pos = {op: i for i, op in enumerate(self.operators)}
+        self._table_pos = {t: i for i, t in enumerate(self.tables)}
+        self._col_pos = {tc: i for i, tc in enumerate(self.columns)}
+        self._index_pos = {name: i for i, name in enumerate(self.indexes)}
+        self._offsets = self._build_offsets()
+        self.feature_names: List[str] = self._build_names()
+
+    # ------------------------------------------------------------------
+    def _build_offsets(self) -> Dict[str, int]:
+        offsets = {"op": 0}
+        offsets["table"] = offsets["op"] + len(self.operators)
+        offsets["column"] = offsets["table"] + len(self.tables)
+        offsets["index"] = offsets["column"] + len(self.columns)
+        offsets["numeric"] = offsets["index"] + len(self.indexes)
+        offsets["snapshot"] = offsets["numeric"] + len(_NUMERIC_NAMES)
+        offsets["end"] = offsets["snapshot"] + self.snapshot_slots
+        return offsets
+
+    def _build_names(self) -> List[str]:
+        names = [f"op:{op.value}" for op in self.operators]
+        names += [f"table:{t}" for t in self.tables]
+        names += [f"column:{t}.{c}" for t, c in self.columns]
+        names += [f"index:{name}" for name in self.indexes]
+        names += [f"num:{n}" for n in _NUMERIC_NAMES]
+        names += [f"snapshot:c{i}" for i in range(self.snapshot_slots)]
+        return names
+
+    @property
+    def dim(self) -> int:
+        return self._offsets["end"]
+
+    def block_slice(self, block: str) -> slice:
+        """The dimension range of a named block (op/table/column/...)."""
+        order = ["op", "table", "column", "index", "numeric", "snapshot", "end"]
+        if block not in order[:-1]:
+            raise FeatureError(f"unknown feature block {block!r}")
+        start = self._offsets[block]
+        stop = self._offsets[order[order.index(block) + 1]]
+        return slice(start, stop)
+
+    # ------------------------------------------------------------------
+    def encode_node(
+        self,
+        node: PlanNode,
+        snapshot: Optional[Mapping[OperatorType, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Encode one node; *snapshot* maps operator type -> coefficients."""
+        vec = np.zeros(self.dim, dtype=np.float64)
+        vec[self._op_pos[node.op]] = 1.0
+        if node.table is not None:
+            vec[self._offsets["table"] + self._table_pos[node.table]] = 1.0
+        for table, column in self._referenced_columns(node):
+            pos = self._col_pos.get((table, column))
+            if pos is not None:
+                vec[self._offsets["column"] + pos] = 1.0
+        if node.index is not None and node.index in self._index_pos:
+            vec[self._offsets["index"] + self._index_pos[node.index]] = 1.0
+        vec[self._offsets["numeric"]:self._offsets["snapshot"]] = self._numerics(node)
+        if snapshot is not None and node.op in snapshot:
+            coeffs = np.asarray(snapshot[node.op], dtype=np.float64)
+            width = min(len(coeffs), self.snapshot_slots)
+            base = self._offsets["snapshot"]
+            vec[base:base + width] = coeffs[:width]
+        return vec
+
+    def encode_plan(
+        self,
+        plan: PlanNode,
+        snapshot: Optional[Mapping[OperatorType, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Encode every node (pre-order) into an (n_nodes, dim) matrix."""
+        return np.stack([self.encode_node(n, snapshot) for n in plan.walk()])
+
+    # ------------------------------------------------------------------
+    def _numerics(self, node: PlanNode) -> np.ndarray:
+        child_rows = 1.0
+        for child in node.children:
+            child_rows *= max(child.est_rows, 1.0)
+        if node.table is not None:
+            child_rows = float(self.catalog.table(node.table).row_count)
+        selectivity = min(node.est_rows / max(child_rows, 1.0), 1.0)
+        return np.array(
+            [
+                np.log1p(max(node.est_rows, 0.0)),
+                np.log1p(max(node.est_width, 0)),
+                np.log1p(max(node.est_total_cost, 0.0)),
+                np.log1p(max(node.est_startup_cost, 0.0)),
+                float(len(node.predicates)),
+                float(len(node.sort_keys)),
+                float(len(node.group_keys)),
+                float(len(node.children)),
+                selectivity,
+                np.log1p(float(node.limit_count or 0)),
+            ],
+            dtype=np.float64,
+        )
+
+    @staticmethod
+    def _referenced_columns(node: PlanNode) -> List[Tuple[str, str]]:
+        refs: List[Tuple[str, str]] = [(p.table, p.column) for p in node.predicates]
+        for key in (*node.sort_keys, *node.group_keys):
+            if "." in key:
+                table, column = key.split(".", 1)
+                refs.append((table, column))
+        if len(node.join_columns) == 4:
+            lt, lc, rt, rc = node.join_columns
+            refs.extend([(lt, lc), (rt, rc)])
+        return refs
+
+
+def apply_mask(features: np.ndarray, keep: Optional[np.ndarray]) -> np.ndarray:
+    """Project feature vectors/matrices onto the kept dimensions."""
+    if keep is None:
+        return features
+    keep = np.asarray(keep)
+    if keep.dtype == bool:
+        return features[..., keep]
+    return features[..., keep.astype(int)]

@@ -1,0 +1,125 @@
+"""MSCN set-based query featurization, extended for cost estimation.
+
+MSCN (Kipf et al.) encodes a query as three sets — tables, joins,
+predicates — pooled by per-set MLPs.  Section V of the paper extends it
+to cost estimation by (i) switching the output from cardinality to
+cost and (ii) adding "the fine-grained features (containing the
+cardinality) same with QPPNet": here a global vector that averages the
+per-operator encodings of the query's plan, which is also where the
+feature-snapshot slots enter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..catalog.schema import Catalog
+from ..engine.operators import OperatorType, PlanNode
+from .encoding import OperatorEncoder
+
+_PREDICATE_OPS = ("=", "<>", "<", "<=", ">", ">=", "between", "in", "like")
+
+
+@dataclass
+class MSCNSample:
+    """One featurized query: three sets plus the global plan vector."""
+
+    tables: np.ndarray  # (n_tables, table_dim)
+    joins: np.ndarray  # (n_joins, join_dim), may be empty
+    predicates: np.ndarray  # (n_preds, pred_dim), may be empty
+    plan_global: np.ndarray  # (op_dim,)
+
+
+class MSCNEncoder:
+    """Builds :class:`MSCNSample` feature sets from plans."""
+
+    def __init__(self, catalog: Catalog, operator_encoder: Optional[OperatorEncoder] = None):
+        self.catalog = catalog
+        self.op_encoder = operator_encoder or OperatorEncoder(catalog)
+        self.tables: List[str] = catalog.table_names
+        self.columns: List[Tuple[str, str]] = catalog.all_columns()
+        self._table_pos = {t: i for i, t in enumerate(self.tables)}
+        self._col_pos = {tc: i for i, tc in enumerate(self.columns)}
+        self._op_pos = {op: i for i, op in enumerate(_PREDICATE_OPS)}
+
+    # -- dimensions ------------------------------------------------------
+    @property
+    def table_dim(self) -> int:
+        return len(self.tables)
+
+    @property
+    def join_dim(self) -> int:
+        return 2 * len(self.columns)
+
+    @property
+    def predicate_dim(self) -> int:
+        return len(self.columns) + len(_PREDICATE_OPS) + 1
+
+    @property
+    def global_dim(self) -> int:
+        return self.op_encoder.dim
+
+    # -- encoding --------------------------------------------------------
+    def encode(
+        self,
+        plan: PlanNode,
+        snapshot: Optional[Mapping[OperatorType, np.ndarray]] = None,
+    ) -> MSCNSample:
+        tables = sorted(plan.tables())
+        table_rows = np.zeros((max(len(tables), 1), self.table_dim))
+        for i, t in enumerate(tables):
+            table_rows[i, self._table_pos[t]] = 1.0
+
+        join_rows: List[np.ndarray] = []
+        pred_rows: List[np.ndarray] = []
+        for node in plan.walk():
+            if len(node.join_columns) == 4:
+                lt, lc, rt, rc = node.join_columns
+                row = np.zeros(self.join_dim)
+                left = self._col_pos.get((lt, lc))
+                right = self._col_pos.get((rt, rc))
+                if left is not None:
+                    row[left] = 1.0
+                if right is not None:
+                    row[len(self.columns) + right] = 1.0
+                join_rows.append(row)
+            for pred in node.predicates:
+                row = np.zeros(self.predicate_dim)
+                pos = self._col_pos.get((pred.table, pred.column))
+                if pos is not None:
+                    row[pos] = 1.0
+                row[len(self.columns) + self._op_pos[pred.op]] = 1.0
+                row[-1] = self._normalized_value(pred)
+                pred_rows.append(row)
+
+        joins = np.stack(join_rows) if join_rows else np.zeros((0, self.join_dim))
+        preds = (
+            np.stack(pred_rows) if pred_rows else np.zeros((0, self.predicate_dim))
+        )
+        plan_matrix = self.op_encoder.encode_plan(plan, snapshot)
+        return MSCNSample(
+            tables=table_rows,
+            joins=joins,
+            predicates=preds,
+            plan_global=plan_matrix.mean(axis=0),
+        )
+
+    def _normalized_value(self, pred) -> float:
+        col = self.catalog.column(pred.table, pred.column)
+        span = max(col.max_value - col.min_value, 1e-9)
+
+        def norm(value: object) -> float:
+            try:
+                return float(np.clip((float(value) - col.min_value) / span, 0.0, 1.0))  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                return 0.5
+
+        if pred.op == "between":
+            low, high = pred.value  # type: ignore[misc]
+            return norm(high) - norm(low)
+        if pred.op == "in":
+            return len(tuple(pred.value)) / max(col.ndv, 1)  # type: ignore[arg-type]
+        return norm(pred.value)

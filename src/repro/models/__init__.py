@@ -1,0 +1,25 @@
+"""Learned cost estimators and the PostgreSQL baseline."""
+
+from .base import CostEstimator, TrainStats, snapshot_mapping_for
+from .mscn import MSCN
+from .postgres import PostgresCostEstimator
+from .qppnet import QPPNet
+from .training import (
+    EvaluationReport,
+    evaluate_estimator,
+    pearson_correlation,
+    train_test_split,
+)
+
+__all__ = [
+    "CostEstimator",
+    "TrainStats",
+    "snapshot_mapping_for",
+    "QPPNet",
+    "MSCN",
+    "PostgresCostEstimator",
+    "train_test_split",
+    "evaluate_estimator",
+    "pearson_correlation",
+    "EvaluationReport",
+]

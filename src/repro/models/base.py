@@ -1,0 +1,65 @@
+"""Common interface for learned (and baseline) cost estimators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..engine.executor import LabeledPlan
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.snapshot import SnapshotSet
+
+
+@dataclass
+class TrainStats:
+    """What :meth:`CostEstimator.fit` reports (paper's "time" column)."""
+
+    epochs: int = 0
+    final_loss: float = float("nan")
+    train_seconds: float = 0.0
+    n_parameters: int = 0
+    loss_history: List[float] = field(default_factory=list)
+
+
+class CostEstimator:
+    """Interface: fit on labelled plans, predict latencies in ms.
+
+    ``snapshot_set`` is the QCFE hook: when provided, implementations
+    append the per-environment feature-snapshot coefficients to their
+    operator encodings (QCFE(qpp), QCFE(mscn)); when None they reduce
+    to the base estimators the paper compares against.
+    """
+
+    name: str = "estimator"
+
+    def fit(
+        self,
+        train: Sequence[LabeledPlan],
+        snapshot_set: Optional["SnapshotSet"] = None,
+    ) -> TrainStats:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict_many(
+        self,
+        labeled: Sequence[LabeledPlan],
+        snapshot_set: Optional["SnapshotSet"] = None,
+    ) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict(
+        self, record: LabeledPlan, snapshot_set: Optional["SnapshotSet"] = None
+    ) -> float:
+        return float(self.predict_many([record], snapshot_set=snapshot_set)[0])
+
+
+def snapshot_mapping_for(
+    record: LabeledPlan, snapshot_set: Optional["SnapshotSet"]
+) -> Optional[Dict]:
+    """The encoder snapshot mapping for a record's environment."""
+    if snapshot_set is None:
+        return None
+    return snapshot_set.normalized(record.env_name)

@@ -1,0 +1,357 @@
+"""QPPNet: plan-structured neural network (Marcus & Papaemmanouil).
+
+One small MLP ("neural unit") per physical operator type.  A unit
+reads the operator's feature vector concatenated with the *data
+vectors* produced by its children's units, and outputs its subtree's
+predicted (log) latency plus a data vector passed to the parent.  The
+per-plan computation graph therefore mirrors the plan tree — the reason
+the nn substrate is a dynamic-graph autodiff.
+
+Supervision follows QPPNet: every node's latency output is trained
+against the measured cumulative subtree time (EXPLAIN ANALYZE-style
+per-operator actuals, which our executor records).
+
+QCFE integration: ``snapshot_set`` adds the per-environment snapshot
+block to node features; per-operator ``feature masks`` (from feature
+reduction) shrink each unit's input, which is where the training-time
+savings in Table IV come from.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.executor import LabeledPlan
+from ..engine.operators import OperatorType, PlanNode
+from ..errors import TrainingError
+from ..featurization.encoding import OperatorEncoder, apply_mask
+from ..nn import Adam, Tensor, clip_grad_norm, concat, mlp, stack
+from ..nn.layers import Sequential
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.snapshot import SnapshotSet
+from ..rng import rng_for
+from .base import CostEstimator, TrainStats, snapshot_mapping_for
+
+_MAX_CHILDREN = 2
+
+#: Latency floor: targets are natural logs of ms clamped here, so
+#: sub-millisecond queries (Sysbench point selects) stay resolvable.
+LATENCY_FLOOR_MS = 1e-4
+
+
+def to_log(ms: float) -> float:
+    return float(np.log(max(ms, LATENCY_FLOOR_MS)))
+
+
+def from_log(value: np.ndarray) -> np.ndarray:
+    return np.maximum(np.exp(np.clip(value, -60.0, 60.0)), LATENCY_FLOOR_MS)
+
+
+class QPPNet(CostEstimator):
+    """Plan-structured cost model with per-operator neural units."""
+
+    name = "qppnet"
+
+    def __init__(
+        self,
+        encoder: OperatorEncoder,
+        data_size: int = 8,
+        hidden: Tuple[int, ...] = (64, 64),
+        lr: float = 1e-3,
+        epochs: int = 25,
+        batch_size: int = 32,
+        seed: int = 0,
+        masks: Optional[Mapping[OperatorType, np.ndarray]] = None,
+    ):
+        self.encoder = encoder
+        self.data_size = data_size
+        self.hidden = tuple(hidden)
+        self.lr = lr
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.masks: Dict[OperatorType, np.ndarray] = dict(masks or {})
+        #: Soft mask used by the greedy reducer: dims where it is False
+        #: are zeroed at encode time (no rebuild/retrain required).
+        self.zero_mask: Optional[np.ndarray] = None
+        self.units: Dict[OperatorType, Sequential] = {}
+        self._build_units()
+
+    # ------------------------------------------------------------------
+    def _feature_dim(self, op: OperatorType) -> int:
+        mask = self.masks.get(op)
+        return int(mask.sum()) if mask is not None else self.encoder.dim
+
+    def _build_units(self) -> None:
+        self.units = {}
+        for op in OperatorType:
+            in_dim = self._feature_dim(op) + _MAX_CHILDREN * self.data_size
+            self.units[op] = mlp(
+                in_dim,
+                self.hidden,
+                1 + self.data_size,
+                seed_key=("qppnet", self.seed, op.value),
+            )
+
+    def set_masks(
+        self,
+        masks: Mapping[OperatorType, np.ndarray],
+        fold_means: Optional[Mapping[OperatorType, np.ndarray]] = None,
+    ) -> None:
+        """Install feature-reduction masks and rebuild the units.
+
+        With ``fold_means`` (per-operator mean unit-input vectors over
+        the training operator sets), the new units are *warm-started*
+        from the trained ones: kept input rows are copied and each
+        dropped dimension's contribution — constant over the data, or
+        it would not have been dropped — is folded into the first
+        layer's bias, so the reduced model starts at the base model's
+        function and retraining only refines it.
+        """
+        old_units = self.units if fold_means is not None else {}
+        old_masks = dict(self.masks)
+        self.masks = dict(masks)
+        self._build_units()
+        for op, unit in self.units.items():
+            if op not in old_units or fold_means is None or op not in fold_means:
+                continue
+            self._warm_start_unit(
+                op, old_units[op], unit, fold_means[op], old_masks.get(op)
+            )
+
+    def _full_keep(self, mask: Optional[np.ndarray]) -> np.ndarray:
+        """Unit-input keep vector (encoder dims + child-data dims)."""
+        encoder_keep = (
+            mask.astype(bool)
+            if mask is not None
+            else np.ones(self.encoder.dim, dtype=bool)
+        )
+        child_keep = np.ones(_MAX_CHILDREN * self.data_size, dtype=bool)
+        return np.concatenate([encoder_keep, child_keep])
+
+    def _warm_start_unit(
+        self,
+        op: OperatorType,
+        old: Sequential,
+        new: Sequential,
+        mean_input: np.ndarray,
+        old_mask: Optional[np.ndarray],
+    ) -> None:
+        """Copy/fold first-layer rows so the new unit starts at the old
+        unit's function.  Handles re-masking an already-masked unit:
+        kept-in-both rows are copied, dropped rows fold into the bias
+        (sound when constant), and newly added rows start at zero
+        (also function-preserving)."""
+        old_rows = np.nonzero(self._full_keep(old_mask))[0]
+        new_rows = np.nonzero(self._full_keep(self.masks.get(op)))[0]
+        old_pos = {int(d): i for i, d in enumerate(old_rows)}
+        old_first = old.modules[0]
+        new_first = new.modules[0]
+        weight = np.zeros((len(new_rows), old_first.weight.data.shape[1]))
+        new_set = set(int(d) for d in new_rows)
+        for row, dim in enumerate(new_rows):
+            source = old_pos.get(int(dim))
+            if source is not None:
+                weight[row] = old_first.weight.data[source]
+        bias = old_first.bias.data.copy()
+        for dim, source in old_pos.items():
+            if dim not in new_set:
+                bias = bias + mean_input[dim] * old_first.weight.data[source]
+        new_first.weight.data = weight
+        new_first.bias.data = bias
+        for old_layer, new_layer in zip(old.modules[1:], new.modules[1:]):
+            new_layer.load_state_dict(old_layer.state_dict())
+
+    def parameters(self):
+        params = []
+        for unit in self.units.values():
+            params.extend(unit.parameters())
+        return params
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------
+    # featurization
+    # ------------------------------------------------------------------
+    def _encode_record(
+        self, record: LabeledPlan, snapshot_set: Optional["SnapshotSet"]
+    ) -> Dict[int, np.ndarray]:
+        mapping = snapshot_mapping_for(record, snapshot_set)
+        features: Dict[int, np.ndarray] = {}
+        for node in record.plan.walk():
+            vec = self.encoder.encode_node(node, mapping)
+            if self.zero_mask is not None:
+                vec = vec * self.zero_mask
+            features[id(node)] = apply_mask(vec, self.masks.get(node.op))
+        return features
+
+    # ------------------------------------------------------------------
+    # batched forward over plan trees
+    # ------------------------------------------------------------------
+    def _forward_batch(
+        self,
+        records: Sequence[LabeledPlan],
+        feature_maps: Sequence[Dict[int, np.ndarray]],
+    ) -> Tuple[Tensor, np.ndarray, List[int]]:
+        """Forward all plans, batching nodes by (height, operator).
+
+        Returns (predictions for every node as a 1-D tensor, matching
+        log-target array, indices of each plan's root in that order).
+        """
+        # Assign heights so children are always computed before parents.
+        node_info: List[Tuple[PlanNode, int, int]] = []  # node, plan idx, height
+        heights: Dict[int, int] = {}
+
+        def height_of(node: PlanNode) -> int:
+            h = 1 + max((height_of(c) for c in node.children), default=-1)
+            heights[id(node)] = h
+            return h
+
+        for plan_index, record in enumerate(records):
+            height_of(record.plan)
+            for node in record.plan.walk():
+                node_info.append((node, plan_index, heights[id(node)]))
+
+        outputs: Dict[int, Tuple[Tensor, int]] = {}  # node id -> (group tensor, row)
+        predictions: List[Tensor] = []
+        targets: List[float] = []
+        prediction_row: Dict[int, int] = {}
+        max_height = max(h for _, _, h in node_info)
+        for level in range(max_height + 1):
+            groups: Dict[OperatorType, List[Tuple[PlanNode, int]]] = {}
+            for node, plan_index, h in node_info:
+                if h == level:
+                    groups.setdefault(node.op, []).append((node, plan_index))
+            for op, members in groups.items():
+                rows = np.stack(
+                    [feature_maps[pi][id(node)] for node, pi in members]
+                )
+                feats = Tensor(rows)
+                child_blocks: List[Tensor] = []
+                for node, _ in members:
+                    parts: List[Tensor] = []
+                    for slot in range(_MAX_CHILDREN):
+                        if slot < len(node.children):
+                            group_tensor, row = outputs[id(node.children[slot])]
+                            parts.append(group_tensor[row, 1:])
+                        else:
+                            parts.append(Tensor(np.zeros(self.data_size)))
+                    child_blocks.append(concat(parts, axis=0))
+                children = stack(child_blocks, axis=0)
+                unit_out = self.units[op](concat([feats, children], axis=1))
+                for row, (node, plan_index) in enumerate(members):
+                    outputs[id(node)] = (unit_out, row)
+                    prediction_row[id(node)] = len(predictions)
+                    predictions.append(unit_out[row, 0:1])
+                    if node is records[plan_index].plan:
+                        # Root: supervise with the full query latency
+                        # (includes parse/plan overhead, as EXPLAIN
+                        # ANALYZE total runtime would).
+                        targets.append(to_log(records[plan_index].latency_ms))
+                    else:
+                        targets.append(to_log(node.actual_total_ms))
+        root_rows = [prediction_row[id(r.plan)] for r in records]
+        return concat(predictions, axis=0), np.array(targets), root_rows
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train: Sequence[LabeledPlan],
+        snapshot_set: Optional["SnapshotSet"] = None,
+    ) -> TrainStats:
+        if not train:
+            raise TrainingError("empty training set")
+        start = time.perf_counter()
+        feature_maps = [self._encode_record(r, snapshot_set) for r in train]
+        optimizer = Adam(self.parameters(), lr=self.lr)
+        rng = rng_for("qppnet-fit", self.seed)
+        history: List[float] = []
+        indices = np.arange(len(train))
+        for _ in range(self.epochs):
+            rng.shuffle(indices)
+            epoch_loss = 0.0
+            batches = 0
+            for lo in range(0, len(indices), self.batch_size):
+                batch = indices[lo:lo + self.batch_size]
+                records = [train[i] for i in batch]
+                feats = [feature_maps[i] for i in batch]
+                preds, targets, _ = self._forward_batch(records, feats)
+                diff = preds - Tensor(targets)
+                loss = (diff * diff).mean()
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.parameters(), 5.0)
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            history.append(epoch_loss / max(batches, 1))
+        return TrainStats(
+            epochs=self.epochs,
+            final_loss=history[-1] if history else float("nan"),
+            train_seconds=time.perf_counter() - start,
+            n_parameters=self.num_parameters(),
+            loss_history=history,
+        )
+
+    def predict_many(
+        self,
+        labeled: Sequence[LabeledPlan],
+        snapshot_set: Optional["SnapshotSet"] = None,
+    ) -> np.ndarray:
+        if not labeled:
+            return np.zeros(0)
+        feature_maps = [self._encode_record(r, snapshot_set) for r in labeled]
+        out = np.zeros(len(labeled))
+        step = 256
+        for lo in range(0, len(labeled), step):
+            chunk = list(range(lo, min(lo + step, len(labeled))))
+            preds, _, roots = self._forward_batch(
+                [labeled[i] for i in chunk], [feature_maps[i] for i in chunk]
+            )
+            values = preds.numpy()
+            for local, i in enumerate(chunk):
+                out[i] = float(from_log(values[roots[local]]))
+        return out
+
+    # ------------------------------------------------------------------
+    # feature-reduction support
+    # ------------------------------------------------------------------
+    def operator_dataset(
+        self,
+        labeled: Sequence[LabeledPlan],
+        snapshot_set: Optional["SnapshotSet"] = None,
+    ) -> Dict[OperatorType, np.ndarray]:
+        """Per-operator matrices of *unit inputs* (features + child data)
+        as seen by the trained units — the labelled operator sets D that
+        feature reduction runs on."""
+        feature_maps = [self._encode_record(r, snapshot_set) for r in labeled]
+        collected: Dict[OperatorType, List[np.ndarray]] = {}
+        for record, feats in zip(labeled, feature_maps):
+            self._collect_unit_inputs(record.plan, feats, collected)
+        return {
+            op: np.stack(rows) for op, rows in collected.items() if len(rows) >= 2
+        }
+
+    def _collect_unit_inputs(
+        self,
+        node: PlanNode,
+        feats: Dict[int, np.ndarray],
+        out: Dict[OperatorType, List[np.ndarray]],
+    ) -> np.ndarray:
+        child_vectors = []
+        for slot in range(_MAX_CHILDREN):
+            if slot < len(node.children):
+                child_out = self._collect_unit_inputs(node.children[slot], feats, out)
+                child_vectors.append(child_out)
+            else:
+                child_vectors.append(np.zeros(self.data_size))
+        unit_input = np.concatenate([feats[id(node)], *child_vectors])
+        out.setdefault(node.op, []).append(unit_input)
+        result = self.units[node.op](Tensor(unit_input.reshape(1, -1))).numpy()
+        return result[0, 1:]

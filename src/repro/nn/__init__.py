@@ -1,0 +1,33 @@
+"""Minimal numpy neural-network substrate (autodiff, layers, optim).
+
+Replaces the paper's PyTorch dependency; see DESIGN.md for why a
+dynamic-graph autodiff is required by QPPNet's per-plan structure.
+"""
+
+from .tensor import Tensor, as_tensor, concat, stack
+from .layers import Linear, Module, ReLU, Sequential, Sigmoid, Tanh, mlp
+from .loss import log_mse, mae, mse, numpy_q_error, q_error_loss
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concat",
+    "stack",
+    "Linear",
+    "Module",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "mlp",
+    "mse",
+    "mae",
+    "log_mse",
+    "q_error_loss",
+    "numpy_q_error",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "clip_grad_norm",
+]

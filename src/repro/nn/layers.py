@@ -1,0 +1,162 @@
+"""Neural-network layers built on the autodiff Tensor.
+
+The layer set intentionally mirrors what QPPNet and MSCN need: dense
+layers, ReLU/Sigmoid activations and sequential composition.  Layers
+expose ``parameters()`` for the optimizers and a functional
+``__call__``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from . import init as _init
+from .tensor import Tensor
+
+
+class Module:
+    """Base class: anything with parameters and a forward pass."""
+
+    def parameters(self) -> List[Tensor]:
+        """Return all trainable tensors (default: none)."""
+        return []
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))
+
+    def state_dict(self) -> List[np.ndarray]:
+        """Copy of every parameter array, for checkpoint/restore."""
+        return [p.data.copy() for p in self.parameters()]
+
+    def load_state_dict(self, state: Sequence[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} arrays, model has {len(params)} parameters"
+            )
+        for p, array in zip(params, state):
+            if p.data.shape != array.shape:
+                raise ValueError(f"shape mismatch: {p.data.shape} vs {array.shape}")
+            p.data = array.copy()
+
+
+class Linear(Module):
+    """Dense layer ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, seed_key: object = 0):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            _init.kaiming_uniform(in_features, out_features, seed_key), requires_grad=True
+        )
+        self.bias = Tensor(
+            _init.bias_uniform(in_features, out_features, seed_key), requires_grad=True
+        )
+
+    def parameters(self) -> List[Tensor]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features} -> {self.out_features})"
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Sigmoid(Module):
+    """Logistic activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Sequential(Module):
+    """Compose modules in order; also the hook point for difference
+    propagation, which walks ``.modules`` layer by layer."""
+
+    def __init__(self, *modules: Module):
+        self.modules: List[Module] = list(modules)
+
+    def parameters(self) -> List[Tensor]:
+        params: List[Tensor] = []
+        for module in self.modules:
+            params.extend(module.parameters())
+        return params
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(m) for m in self.modules)
+        return f"Sequential({inner})"
+
+
+def mlp(
+    in_features: int,
+    hidden: Iterable[int],
+    out_features: int,
+    seed_key: object = 0,
+    activation: str = "relu",
+) -> Sequential:
+    """Build a standard MLP: Linear/act pairs ending in a bare Linear.
+
+    ``activation`` may be ``"relu"``, ``"sigmoid"`` or ``"tanh"``; the
+    paper's example models use ReLU (which is what makes plain gradient
+    importance fail, Section IV-B).
+    """
+    acts = {"relu": ReLU, "sigmoid": Sigmoid, "tanh": Tanh}
+    if activation not in acts:
+        raise ValueError(f"unknown activation {activation!r}")
+    layers: List[Module] = []
+    last = in_features
+    for index, width in enumerate(hidden):
+        layers.append(Linear(last, width, seed_key=(seed_key, index)))
+        layers.append(acts[activation]())
+        last = width
+    layers.append(Linear(last, out_features, seed_key=(seed_key, "out")))
+    return Sequential(*layers)

@@ -1,0 +1,59 @@
+"""Loss functions for cost-model training.
+
+Learned cost estimators are conventionally trained on log-transformed
+latencies with a squared error (QPPNet, MSCN and the end-to-end
+estimator all do this); we also provide the mean-q-error surrogate used
+by several follow-up works.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+_EPS = 1e-9
+
+
+def mse(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = pred - as_tensor(target)
+    return (diff * diff).mean()
+
+
+def mae(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error."""
+    return (pred - as_tensor(target)).abs().mean()
+
+
+def log_mse(pred: Tensor, target: Tensor) -> Tensor:
+    """MSE between ``log(pred)`` and ``log(target)``.
+
+    Both operands are clamped to a small positive floor first, so the
+    loss is defined even when the model briefly predicts a negative
+    cost early in training.
+    """
+    p = pred.clip_min(_EPS).log()
+    t = as_tensor(target).clip_min(_EPS).log()
+    diff = p - t
+    return (diff * diff).mean()
+
+
+def q_error_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Smooth surrogate of the mean q-error.
+
+    ``max(p/t, t/p)`` is non-differentiable at p == t; the standard
+    smooth surrogate ``p/t + t/p`` (minimised at the same point) is used
+    instead, with clamping for stability.
+    """
+    p = pred.clip_min(_EPS)
+    t = as_tensor(target).clip_min(_EPS)
+    ratio = p / t + t / p
+    return ratio.mean()
+
+
+def numpy_q_error(pred: np.ndarray, actual: np.ndarray, eps: float = _EPS) -> np.ndarray:
+    """Vector of q-errors ``max(actual/pred, pred/actual)`` (paper Eq. 2)."""
+    p = np.maximum(np.asarray(pred, dtype=np.float64), eps)
+    a = np.maximum(np.asarray(actual, dtype=np.float64), eps)
+    return np.maximum(a / p, p / a)

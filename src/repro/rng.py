@@ -1,0 +1,45 @@
+"""Deterministic random-number helpers.
+
+The simulator must be reproducible: the "true" latency of a query in a
+given environment has to be identical every time it is executed, and
+experiments must be repeatable run-to-run.  Python's built-in ``hash``
+is salted per process, so we derive seeds from a stable BLAKE2 digest
+instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+
+def stable_seed(*parts: Any) -> int:
+    """Derive a 63-bit seed from arbitrary (stringified) parts.
+
+    The same parts always produce the same seed, across processes and
+    Python versions.
+    """
+    digest = hashlib.blake2b(
+        "\x1f".join(str(p) for p in parts).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") & 0x7FFFFFFFFFFFFFFF
+
+
+def rng_for(*parts: Any) -> np.random.Generator:
+    """Return a numpy Generator seeded deterministically from *parts*."""
+    return np.random.default_rng(stable_seed(*parts))
+
+
+def noise_factor(sigma: float, *parts: Any) -> float:
+    """Deterministic multiplicative lognormal noise keyed by *parts*.
+
+    Returns ``exp(sigma * z)`` where ``z`` is a standard normal draw
+    fixed by the key, so repeated "executions" of the same query in the
+    same environment observe the same noise.
+    """
+    if sigma <= 0.0:
+        return 1.0
+    z = rng_for("noise", *parts).standard_normal()
+    return float(np.exp(sigma * z))

@@ -1,0 +1,19 @@
+"""SQL substrate: AST, parser and parameterised templates."""
+
+from .ast import ColumnRef, JoinCondition, OrderByItem, SelectQuery, predicate_sql
+from .parser import SqlParser, parse_sql, tokenize
+from .templates import QueryTemplate, TemplateParam, instantiate_all
+
+__all__ = [
+    "ColumnRef",
+    "JoinCondition",
+    "OrderByItem",
+    "SelectQuery",
+    "predicate_sql",
+    "SqlParser",
+    "parse_sql",
+    "tokenize",
+    "QueryTemplate",
+    "TemplateParam",
+    "instantiate_all",
+]

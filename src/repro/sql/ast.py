@@ -1,0 +1,156 @@
+"""Query AST for the SQL subset the benchmarks use.
+
+The workloads (TPC-H templates, job-light, Sysbench OLTP) only need
+conjunctive select-project-join queries with optional GROUP BY,
+ORDER BY and LIMIT, which is exactly what this AST models.  Queries
+render back to SQL text via :meth:`SelectQuery.sql`, and the parser in
+:mod:`repro.sql.parser` round-trips them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..catalog.statistics import Predicate
+from ..errors import ParseError
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A ``table.column`` reference."""
+
+    table: str
+    column: str
+
+    def sql(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equi-join ``left = right`` between two column refs."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def sql(self) -> str:
+        return f"{self.left.sql()} = {self.right.sql()}"
+
+    def tables(self) -> Tuple[str, str]:
+        return (self.left.table, self.right.table)
+
+
+@dataclass(frozen=True)
+class OrderByItem:
+    """One ORDER BY key."""
+
+    column: ColumnRef
+    descending: bool = False
+
+    def sql(self) -> str:
+        return f"{self.column.sql()} DESC" if self.descending else self.column.sql()
+
+
+def _literal_sql(value: object) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, (tuple, list)):
+        return "(" + ", ".join(_literal_sql(v) for v in value) + ")"
+    return str(value)
+
+
+def predicate_sql(pred: Predicate) -> str:
+    """Render a catalog predicate as SQL text."""
+    ref = f"{pred.table}.{pred.column}"
+    if pred.op == "between":
+        low, high = pred.value  # type: ignore[misc]
+        return f"{ref} BETWEEN {_literal_sql(low)} AND {_literal_sql(high)}"
+    if pred.op == "in":
+        return f"{ref} IN {_literal_sql(tuple(pred.value))}"  # type: ignore[arg-type]
+    op = "LIKE" if pred.op == "like" else pred.op
+    return f"{ref} {op} {_literal_sql(pred.value)}"
+
+
+@dataclass
+class SelectQuery:
+    """A conjunctive SPJ query with optional grouping/ordering/limit."""
+
+    tables: List[str]
+    predicates: List[Predicate] = field(default_factory=list)
+    joins: List[JoinCondition] = field(default_factory=list)
+    group_by: List[ColumnRef] = field(default_factory=list)
+    order_by: List[OrderByItem] = field(default_factory=list)
+    projections: List[str] = field(default_factory=lambda: ["*"])
+    aggregate: Optional[str] = None  # e.g. "count", "sum(l_extendedprice)"
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ParseError("a query needs at least one table")
+        seen = set()
+        for t in self.tables:
+            if t in seen:
+                raise ParseError(f"duplicate table {t!r} (self-joins unsupported)")
+            seen.add(t)
+        for join in self.joins:
+            for t in join.tables():
+                if t not in seen:
+                    raise ParseError(f"join references unknown table {t!r}")
+        for pred in self.predicates:
+            if pred.table not in seen:
+                raise ParseError(f"predicate references unknown table {pred.table!r}")
+
+    # ------------------------------------------------------------------
+    def predicates_on(self, table: str) -> List[Predicate]:
+        return [p for p in self.predicates if p.table == table]
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.aggregate is not None or bool(self.group_by)
+
+    def select_list_sql(self) -> str:
+        if self.aggregate and self.group_by:
+            keys = ", ".join(c.sql() for c in self.group_by)
+            return f"{keys}, {self.aggregate.upper()}(*)" if self.aggregate == "count" else (
+                f"{keys}, {self.aggregate}"
+            )
+        if self.aggregate:
+            return "COUNT(*)" if self.aggregate == "count" else self.aggregate
+        return ", ".join(self.projections)
+
+    def sql(self) -> str:
+        """Render the query as SQL text (JOIN ... ON syntax)."""
+        parts = [f"SELECT {self.select_list_sql()}"]
+        base, *rest = self.tables
+        from_clause = base
+        remaining = list(self.joins)
+        joined = {base}
+        for table in rest:
+            cond = next(
+                (j for j in remaining if table in j.tables() and (
+                    j.left.table in joined or j.right.table in joined)),
+                None,
+            )
+            if cond is not None:
+                remaining.remove(cond)
+                from_clause += f" JOIN {table} ON {cond.sql()}"
+            else:
+                from_clause += f" CROSS JOIN {table}"
+            joined.add(table)
+        parts.append(f"FROM {from_clause}")
+        where_terms = [j.sql() for j in remaining] + [predicate_sql(p) for p in self.predicates]
+        if where_terms:
+            parts.append("WHERE " + " AND ".join(where_terms))
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(c.sql() for c in self.group_by))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+    def signature(self) -> str:
+        """A stable identity string used for deterministic noise keys."""
+        return self.sql()

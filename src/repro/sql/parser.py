@@ -1,0 +1,304 @@
+"""A lightweight SQL parser for the benchmark query subset.
+
+Supports::
+
+    SELECT <*|COUNT(*)|col list> FROM t1 [JOIN t2 ON a.x = b.y]* [, tN]*
+    [WHERE conj] [GROUP BY cols] [ORDER BY cols [DESC]] [LIMIT n]
+
+where the WHERE clause is a conjunction of simple predicates
+(``col op literal``, ``BETWEEN``, ``IN``, ``LIKE``) and equi-join terms
+(``t1.a = t2.b``).  Bare column names are resolved against the catalog.
+This is sufficient for every query the three workloads produce, and for
+Algorithm 1's template parsing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from ..catalog.schema import Catalog
+from ..catalog.statistics import Predicate
+from ..errors import ParseError
+from .ast import ColumnRef, JoinCondition, OrderByItem, SelectQuery
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<op><=|>=|<>|!=|=|<|>)
+      | (?P<punct>[(),;*])
+      | (?P<word>[A-Za-z_][A-Za-z_0-9.]*)
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "join", "on", "group", "order", "by",
+    "limit", "between", "in", "like", "desc", "asc", "count", "sum", "avg",
+    "min", "max", "distinct", "cross",
+}
+
+
+def tokenize(text: str) -> List[str]:
+    """Split SQL text into tokens, preserving string literals."""
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise ParseError(f"cannot tokenize SQL at: {text[pos:pos + 24]!r}")
+        pos = match.end()
+        token = match.group(0).strip()
+        if token:
+            tokens.append(token)
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: Sequence[str]):
+        self._tokens = list(tokens)
+        self._pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def peek_lower(self) -> Optional[str]:
+        tok = self.peek()
+        return tok.lower() if tok is not None else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of SQL")
+        self._pos += 1
+        return tok
+
+    def expect(self, expected: str) -> str:
+        tok = self.next()
+        if tok.lower() != expected.lower():
+            raise ParseError(f"expected {expected!r}, found {tok!r}")
+        return tok
+
+    def accept(self, candidate: str) -> bool:
+        if self.peek_lower() == candidate.lower():
+            self._pos += 1
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._tokens) or self.peek() == ";"
+
+
+def _parse_literal(tok: str) -> object:
+    if tok.startswith("'"):
+        return tok[1:-1].replace("''", "'")
+    try:
+        return int(tok)
+    except ValueError:
+        try:
+            return float(tok)
+        except ValueError:
+            raise ParseError(f"expected a literal, found {tok!r}") from None
+
+
+class SqlParser:
+    """Parse SQL text into :class:`SelectQuery` against a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    def parse(self, text: str) -> SelectQuery:
+        stream = _TokenStream(tokenize(text))
+        stream.expect("select")
+        projections, aggregate = self._parse_select_list(stream)
+        stream.expect("from")
+        tables, joins = self._parse_from(stream)
+        predicates: List[Predicate] = []
+        if stream.accept("where"):
+            more_joins = self._parse_where(stream, tables, predicates)
+            joins.extend(more_joins)
+        group_by: List[ColumnRef] = []
+        order_by: List[OrderByItem] = []
+        limit: Optional[int] = None
+        while not stream.exhausted:
+            word = stream.peek_lower()
+            if word == "group":
+                stream.next()
+                stream.expect("by")
+                group_by = self._parse_column_list(stream, tables)
+            elif word == "order":
+                stream.next()
+                stream.expect("by")
+                order_by = self._parse_order_list(stream, tables)
+            elif word == "limit":
+                stream.next()
+                limit = int(stream.next())
+            else:
+                raise ParseError(f"unexpected token {stream.peek()!r}")
+        return SelectQuery(
+            tables=tables,
+            predicates=predicates,
+            joins=joins,
+            group_by=group_by,
+            order_by=order_by,
+            projections=projections,
+            aggregate=aggregate,
+            limit=limit,
+        )
+
+    # ------------------------------------------------------------------
+    def _parse_select_list(self, stream: _TokenStream) -> Tuple[List[str], Optional[str]]:
+        projections: List[str] = []
+        aggregate: Optional[str] = None
+        while True:
+            tok = stream.next()
+            low = tok.lower()
+            if low in ("count", "sum", "avg", "min", "max"):
+                stream.expect("(")
+                inner = stream.next()
+                if inner == "*":
+                    aggregate = "count"
+                else:
+                    aggregate = f"{low}({inner})"
+                stream.expect(")")
+            elif tok == "*":
+                projections.append("*")
+            else:
+                projections.append(tok)
+            if not stream.accept(","):
+                break
+        if not projections:
+            projections = ["*"]
+        return projections, aggregate
+
+    def _parse_from(self, stream: _TokenStream) -> Tuple[List[str], List[JoinCondition]]:
+        tables = [self._table_name(stream.next())]
+        joins: List[JoinCondition] = []
+        while True:
+            if stream.accept(","):
+                tables.append(self._table_name(stream.next()))
+            elif stream.peek_lower() == "cross":
+                stream.next()
+                stream.expect("join")
+                tables.append(self._table_name(stream.next()))
+            elif stream.peek_lower() == "join":
+                stream.next()
+                tables.append(self._table_name(stream.next()))
+                stream.expect("on")
+                left = self._column_ref(stream.next(), tables)
+                stream.expect("=")
+                right = self._column_ref(stream.next(), tables)
+                joins.append(JoinCondition(left, right))
+            else:
+                break
+        return tables, joins
+
+    def _parse_where(
+        self,
+        stream: _TokenStream,
+        tables: List[str],
+        predicates: List[Predicate],
+    ) -> List[JoinCondition]:
+        joins: List[JoinCondition] = []
+        while True:
+            lhs = stream.next()
+            op = stream.next().lower()
+            if op == "not":  # NOT LIKE etc. — not in our subset
+                raise ParseError("NOT is not supported")
+            if op == "between":
+                low = _parse_literal(stream.next())
+                stream.expect("and")
+                high = _parse_literal(stream.next())
+                ref = self._column_ref(lhs, tables)
+                predicates.append(Predicate(ref.table, ref.column, "between", (low, high)))
+            elif op == "in":
+                stream.expect("(")
+                values: List[object] = [_parse_literal(stream.next())]
+                while stream.accept(","):
+                    values.append(_parse_literal(stream.next()))
+                stream.expect(")")
+                ref = self._column_ref(lhs, tables)
+                predicates.append(Predicate(ref.table, ref.column, "in", tuple(values)))
+            elif op == "like":
+                value = _parse_literal(stream.next())
+                ref = self._column_ref(lhs, tables)
+                predicates.append(Predicate(ref.table, ref.column, "like", value))
+            elif op in ("=", "<>", "!=", "<", "<=", ">", ">="):
+                op = "<>" if op == "!=" else op
+                rhs = stream.next()
+                ref = self._column_ref(lhs, tables)
+                if self._looks_like_column(rhs, tables) and op == "=":
+                    joins.append(JoinCondition(ref, self._column_ref(rhs, tables)))
+                else:
+                    predicates.append(
+                        Predicate(ref.table, ref.column, op, _parse_literal(rhs))
+                    )
+            else:
+                raise ParseError(f"unsupported operator {op!r}")
+            if not stream.accept("and"):
+                break
+        return joins
+
+    def _parse_column_list(self, stream: _TokenStream, tables: List[str]) -> List[ColumnRef]:
+        cols = [self._column_ref(stream.next(), tables)]
+        while stream.accept(","):
+            cols.append(self._column_ref(stream.next(), tables))
+        return cols
+
+    def _parse_order_list(self, stream: _TokenStream, tables: List[str]) -> List[OrderByItem]:
+        items: List[OrderByItem] = []
+        while True:
+            col = self._column_ref(stream.next(), tables)
+            descending = False
+            if stream.peek_lower() == "desc":
+                stream.next()
+                descending = True
+            elif stream.peek_lower() == "asc":
+                stream.next()
+            items.append(OrderByItem(col, descending))
+            if not stream.accept(","):
+                break
+        return items
+
+    # ------------------------------------------------------------------
+    def _table_name(self, token: str) -> str:
+        name = token.lower()
+        if not self.catalog.has_table(name):
+            raise ParseError(f"unknown table {token!r}")
+        return name
+
+    def _looks_like_column(self, token: str, tables: Sequence[str]) -> bool:
+        if token.startswith("'") or token[0].isdigit() or token[0] == "-":
+            return False
+        try:
+            self._column_ref(token, list(tables))
+            return True
+        except ParseError:
+            return False
+
+    def _column_ref(self, token: str, tables: List[str]) -> ColumnRef:
+        token = token.lower()
+        if "." in token:
+            table, column = token.split(".", 1)
+            if not self.catalog.has_table(table):
+                raise ParseError(f"unknown table in reference {token!r}")
+            if not self.catalog.table(table).has_column(column):
+                raise ParseError(f"unknown column in reference {token!r}")
+            return ColumnRef(table, column)
+        owners = [t for t in tables if self.catalog.table(t).has_column(token)]
+        if not owners:
+            raise ParseError(f"column {token!r} not found in {tables}")
+        if len(owners) > 1:
+            raise ParseError(f"column {token!r} is ambiguous across {owners}")
+        return ColumnRef(owners[0], token)
+
+
+def parse_sql(text: str, catalog: Catalog) -> SelectQuery:
+    """Convenience wrapper: parse *text* against *catalog*."""
+    return SqlParser(catalog).parse(text)

@@ -1,0 +1,108 @@
+"""Parameterised query templates.
+
+A :class:`QueryTemplate` is SQL text with ``:name`` placeholders plus a
+parameter spec binding each placeholder to a (table, column) whose
+domain supplies values.  Workload generators instantiate templates with
+a :class:`~repro.catalog.statistics.DataAbstract`; Algorithm 1 parses
+them to discover the operator-table-column sets.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..catalog.schema import Catalog
+from ..catalog.statistics import DataAbstract
+from ..errors import ParseError
+from .ast import SelectQuery
+from .parser import SqlParser
+
+_PLACEHOLDER_RE = re.compile(r":([A-Za-z_][A-Za-z_0-9]*)")
+
+
+@dataclass(frozen=True)
+class TemplateParam:
+    """Binds placeholder *name* to the domain of ``table.column``."""
+
+    name: str
+    table: str
+    column: str
+
+
+@dataclass
+class QueryTemplate:
+    """SQL text with named placeholders and their column bindings."""
+
+    name: str
+    text: str
+    params: Sequence[TemplateParam] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        declared = {p.name for p in self.params}
+        used = set(_PLACEHOLDER_RE.findall(self.text))
+        if declared != used:
+            raise ParseError(
+                f"template {self.name}: placeholders {sorted(used)} do not match "
+                f"declared params {sorted(declared)}"
+            )
+
+    def bind(self, values: Dict[str, object]) -> str:
+        """Substitute literal *values* for the placeholders."""
+
+        def replace(match: "re.Match[str]") -> str:
+            key = match.group(1)
+            if key not in values:
+                raise ParseError(f"template {self.name}: missing value for :{key}")
+            value = values[key]
+            if isinstance(value, str):
+                return "'" + value.replace("'", "''") + "'"
+            return str(value)
+
+        return _PLACEHOLDER_RE.sub(replace, self.text)
+
+    def instantiate(
+        self,
+        catalog: Catalog,
+        abstract: DataAbstract,
+        rng: np.random.Generator,
+    ) -> SelectQuery:
+        """Fill placeholders from the data abstract and parse the result."""
+        values: Dict[str, object] = {}
+        for param in self.params:
+            values[param.name] = abstract.sample(param.table, param.column, rng)
+        # Range templates of the form :lo/:hi must satisfy lo <= hi.
+        self._order_range_pairs(values)
+        return SqlParser(catalog).parse(self.bind(values))
+
+    @staticmethod
+    def _order_range_pairs(values: Dict[str, object]) -> None:
+        for name in list(values):
+            if not name.endswith("_lo"):
+                continue
+            partner = name[:-3] + "_hi"
+            if partner in values:
+                lo, hi = values[name], values[partner]
+                if isinstance(lo, (int, float)) and isinstance(hi, (int, float)) and lo > hi:
+                    values[name], values[partner] = hi, lo
+
+
+def instantiate_all(
+    templates: Sequence[QueryTemplate],
+    catalog: Catalog,
+    abstract: DataAbstract,
+    count_per_template: int,
+    seed: int = 0,
+) -> List[SelectQuery]:
+    """Generate ``count_per_template`` instances of every template."""
+    from ..rng import rng_for
+
+    queries: List[SelectQuery] = []
+    for template in templates:
+        rng = rng_for("instantiate", seed, template.name)
+        for _ in range(count_per_template):
+            queries.append(template.instantiate(catalog, abstract, rng))
+    return queries

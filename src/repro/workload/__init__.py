@@ -1,0 +1,28 @@
+"""Workload substrate: TPC-H, job-light and Sysbench query generators."""
+
+from .collect import (
+    BENCHMARK_NAMES,
+    PAPER_ITERATIONS,
+    Benchmark,
+    collect_labeled_plans,
+    get_benchmark,
+    standard_environments,
+)
+from .joblight import JOBLIGHT_QUERY_COUNT, joblight_queries, joblight_templates
+from .sysbench_oltp import sysbench_queries, sysbench_template_texts
+from .tpch_queries import tpch_templates
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "PAPER_ITERATIONS",
+    "Benchmark",
+    "collect_labeled_plans",
+    "get_benchmark",
+    "standard_environments",
+    "tpch_templates",
+    "joblight_queries",
+    "joblight_templates",
+    "JOBLIGHT_QUERY_COUNT",
+    "sysbench_queries",
+    "sysbench_template_texts",
+]

@@ -1,0 +1,163 @@
+"""Benchmark bundles and labelled-query collection.
+
+A :class:`Benchmark` packages everything one evaluation target needs:
+catalog, statistics, data abstract, the original query templates and a
+query generator.  :func:`collect_labeled_plans` reproduces the paper's
+workload configuration: execute generated queries under each of the
+random knob environments and keep (plan, environment, latency) labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..catalog.imdb import imdb_catalog
+from ..catalog.schema import Catalog
+from ..catalog.statistics import CatalogStatistics, DataAbstract
+from ..catalog.sysbench import sysbench_catalog
+from ..catalog.tpch import tpch_catalog
+from ..engine.environment import DatabaseEnvironment, random_environments
+from ..engine.executor import ExecutionSimulator, LabeledPlan
+from ..errors import ReproError
+from ..rng import rng_for
+from ..sql.ast import SelectQuery
+from ..sql.templates import QueryTemplate
+from .joblight import joblight_queries, joblight_templates
+from .sysbench_oltp import sysbench_queries, sysbench_template_texts
+from .tpch_queries import tpch_templates
+
+BENCHMARK_NAMES = ("tpch", "joblight", "sysbench")
+
+#: Training iterations per benchmark from Section V-B.
+PAPER_ITERATIONS = {"tpch": 400, "joblight": 800, "sysbench": 100}
+
+
+@dataclass
+class Benchmark:
+    """One evaluation target: catalog + statistics + workload."""
+
+    name: str
+    catalog: Catalog
+    stats: CatalogStatistics
+    abstract: DataAbstract
+    template_texts: List[Tuple[str, str]]
+    _generator: Callable[[int, int], List[Tuple[str, SelectQuery]]]
+
+    def generate_queries(self, count: int, seed: int = 0) -> List[Tuple[str, SelectQuery]]:
+        """Generate *count* (template-name, query) pairs."""
+        return self._generator(count, seed)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Factory for the paper's three benchmarks."""
+    if name == "tpch":
+        catalog = tpch_catalog()
+        stats = CatalogStatistics(catalog, seed_key="tpch")
+        abstract = DataAbstract(catalog)
+        templates = tpch_templates()
+
+        def generate(count: int, seed: int) -> List[Tuple[str, SelectQuery]]:
+            rng = rng_for("tpch-workload", seed)
+            out: List[Tuple[str, SelectQuery]] = []
+            for index in range(count):
+                template = templates[index % len(templates)]
+                out.append(
+                    (template.name, template.instantiate(catalog, abstract, rng))
+                )
+            return out
+
+        return Benchmark(
+            name="tpch",
+            catalog=catalog,
+            stats=stats,
+            abstract=abstract,
+            template_texts=[(t.name, t.text) for t in templates],
+            _generator=generate,
+        )
+    if name == "joblight":
+        catalog = imdb_catalog()
+        stats = CatalogStatistics(catalog, seed_key="imdb")
+        abstract = DataAbstract(catalog)
+        templates = joblight_templates(catalog)
+
+        def generate(count: int, seed: int) -> List[Tuple[str, SelectQuery]]:
+            rng = rng_for("joblight-workload", seed)
+            out: List[Tuple[str, SelectQuery]] = []
+            for index in range(count):
+                template = templates[index % len(templates)]
+                out.append(
+                    (template.name, template.instantiate(catalog, abstract, rng))
+                )
+            return out
+
+        return Benchmark(
+            name="joblight",
+            catalog=catalog,
+            stats=stats,
+            abstract=abstract,
+            template_texts=[(t.name, t.text) for t in templates],
+            _generator=generate,
+        )
+    if name == "sysbench":
+        catalog = sysbench_catalog()
+        stats = CatalogStatistics(catalog, seed_key="sysbench")
+        abstract = DataAbstract(catalog)
+
+        def generate(count: int, seed: int) -> List[Tuple[str, SelectQuery]]:
+            return sysbench_queries(catalog, count, seed=seed)
+
+        return Benchmark(
+            name="sysbench",
+            catalog=catalog,
+            stats=stats,
+            abstract=abstract,
+            template_texts=sysbench_template_texts(),
+            _generator=generate,
+        )
+    raise ReproError(f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}")
+
+
+def collect_labeled_plans(
+    benchmark: Benchmark,
+    environments: Sequence[DatabaseEnvironment],
+    total: int,
+    seed: int = 0,
+    noise_sigma: Optional[float] = None,
+) -> List[LabeledPlan]:
+    """Collect *total* labelled plans spread evenly across environments.
+
+    Mirrors the paper's collection protocol: the same workload
+    generator is run under every knob configuration and the labels are
+    pooled; each record remembers its environment name so the feature
+    snapshot can be looked up per environment.
+    """
+    if not environments:
+        raise ReproError("need at least one environment")
+    per_env = max(1, total // len(environments))
+    labeled: List[LabeledPlan] = []
+    for env_index, env in enumerate(environments):
+        kwargs = {} if noise_sigma is None else {"noise_sigma": noise_sigma}
+        simulator = ExecutionSimulator(
+            benchmark.catalog, benchmark.stats, env, **kwargs
+        )
+        queries = benchmark.generate_queries(per_env, seed=seed + env_index)
+        for template_name, query in queries:
+            result = simulator.run_query(query)
+            labeled.append(
+                LabeledPlan(
+                    plan=result.plan,
+                    latency_ms=result.latency_ms,
+                    env_name=env.name,
+                    query_sql=query.sql(),
+                    template=template_name,
+                )
+            )
+        if len(labeled) >= total:
+            break
+    return labeled[:total]
+
+
+def standard_environments(count: int = 20, seed: int = 0) -> List[DatabaseEnvironment]:
+    """The paper's pool of 20 random knob configurations."""
+    return random_environments(count, seed=seed)

@@ -1,0 +1,93 @@
+"""The job-light workload: 70 star-join queries over IMDB.
+
+job-light (Kipf et al.) joins ``title`` with one to four fact tables on
+``movie_id = title.id`` and filters on a small set of categorical /
+year columns, always computing ``COUNT(*)``.  The original 70 queries
+are tied to the real IMDB snapshot, so we regenerate a fixed set of 70
+with the same structural distribution (join-count histogram, predicate
+columns and operators), deterministically seeded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..catalog.imdb import IMDB_FACT_TABLES, IMDB_PREDICATE_COLUMNS
+from ..catalog.schema import Catalog
+from ..catalog.statistics import Predicate
+from ..rng import rng_for
+from ..sql.ast import ColumnRef, JoinCondition, SelectQuery
+from ..sql.templates import QueryTemplate, TemplateParam
+
+#: Distribution of the number of joined fact tables in job-light
+#: (queries have 1-4 joins; most have 1-2).
+_JOIN_COUNT_WEIGHTS = {1: 0.30, 2: 0.34, 3: 0.24, 4: 0.12}
+
+JOBLIGHT_QUERY_COUNT = 70
+
+
+def _sample_predicate(
+    catalog: Catalog, table: str, rng: np.random.Generator
+) -> Predicate:
+    column = str(rng.choice(IMDB_PREDICATE_COLUMNS[table]))
+    col = catalog.column(table, column)
+    op = str(rng.choice(["=", "<", ">"], p=[0.6, 0.2, 0.2]))
+    lo, hi = int(col.min_value), int(col.max_value)
+    value = int(rng.integers(lo, max(hi, lo + 1)))
+    return Predicate(table, column, op, value)
+
+
+def joblight_queries(
+    catalog: Catalog, count: int = JOBLIGHT_QUERY_COUNT, seed: int = 42
+) -> List[Tuple[str, SelectQuery]]:
+    """Generate the fixed job-light query set: (name, query) pairs."""
+    rng = rng_for("joblight", seed)
+    join_counts = list(_JOIN_COUNT_WEIGHTS)
+    weights = np.array([_JOIN_COUNT_WEIGHTS[k] for k in join_counts])
+    weights = weights / weights.sum()
+    queries: List[Tuple[str, SelectQuery]] = []
+    for index in range(count):
+        n_joins = int(rng.choice(join_counts, p=weights))
+        facts = list(rng.choice(IMDB_FACT_TABLES, size=n_joins, replace=False))
+        tables = ["title"] + [str(f) for f in facts]
+        joins = [
+            JoinCondition(ColumnRef(str(fact), "movie_id"), ColumnRef("title", "id"))
+            for fact in facts
+        ]
+        predicates: List[Predicate] = []
+        # title predicates: 1-2, like the original workload.
+        for _ in range(int(rng.integers(1, 3))):
+            predicates.append(_sample_predicate(catalog, "title", rng))
+        # each fact table gets a predicate with probability 0.5.
+        for fact in facts:
+            if rng.random() < 0.5:
+                predicates.append(_sample_predicate(catalog, str(fact), rng))
+        query = SelectQuery(
+            tables=tables, predicates=predicates, joins=joins, aggregate="count"
+        )
+        queries.append((f"jl{index + 1}", query))
+    return queries
+
+
+def joblight_templates(catalog: Catalog, seed: int = 42) -> List[QueryTemplate]:
+    """Template (text) forms of the job-light queries, for Algorithm 1.
+
+    Each generated query is lifted back into a template by replacing
+    its literals with placeholders bound to the filtered columns.
+    """
+    templates: List[QueryTemplate] = []
+    for name, query in joblight_queries(catalog, seed=seed):
+        params: List[TemplateParam] = []
+        text = query.sql()
+        for position, pred in enumerate(query.predicates):
+            placeholder = f"v{position}"
+            literal = str(pred.value)
+            # Replace the first occurrence of this predicate's literal.
+            needle = f"{pred.table}.{pred.column} {pred.op} {literal}"
+            replacement = f"{pred.table}.{pred.column} {pred.op} :{placeholder}"
+            text = text.replace(needle, replacement, 1)
+            params.append(TemplateParam(placeholder, pred.table, pred.column))
+        templates.append(QueryTemplate(name=name, text=text, params=tuple(params)))
+    return templates

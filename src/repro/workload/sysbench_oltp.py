@@ -1,0 +1,103 @@
+"""The Sysbench ``oltp_read_only`` workload.
+
+Reproduces the five read query shapes of ``oltp_read_only.lua``: point
+selects, 100-row range selects, and range sum / order / "distinct"
+variants (DISTINCT is expressed as GROUP BY, which plans identically).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..catalog.schema import Catalog
+from ..catalog.statistics import Predicate
+from ..rng import rng_for
+from ..sql.ast import ColumnRef, OrderByItem, SelectQuery
+
+_RANGE_SIZE = 100  # sysbench's default --range-size
+
+#: Relative frequency of each query shape in one oltp_read_only
+#: transaction: 10 point selects + 1 of each range variant.
+_SHAPE_WEIGHTS = {
+    "point_select": 10,
+    "simple_range": 1,
+    "sum_range": 1,
+    "order_range": 1,
+    "distinct_range": 1,
+}
+
+
+def _make_query(shape: str, table: str, id_lo: int) -> SelectQuery:
+    id_hi = id_lo + _RANGE_SIZE - 1
+    between = Predicate(table, "id", "between", (id_lo, id_hi))
+    if shape == "point_select":
+        return SelectQuery(
+            tables=[table],
+            predicates=[Predicate(table, "id", "=", id_lo)],
+            projections=["c"],
+        )
+    if shape == "simple_range":
+        return SelectQuery(tables=[table], predicates=[between], projections=["c"])
+    if shape == "sum_range":
+        return SelectQuery(tables=[table], predicates=[between], aggregate="sum(k)")
+    if shape == "order_range":
+        return SelectQuery(
+            tables=[table],
+            predicates=[between],
+            projections=["c"],
+            order_by=[OrderByItem(ColumnRef(table, "c"))],
+        )
+    if shape == "distinct_range":
+        return SelectQuery(
+            tables=[table],
+            predicates=[between],
+            group_by=[ColumnRef(table, "c")],
+            aggregate="count",
+            order_by=[OrderByItem(ColumnRef(table, "c"))],
+        )
+    raise ValueError(f"unknown sysbench shape {shape!r}")
+
+
+def sysbench_queries(
+    catalog: Catalog, count: int, seed: int = 7
+) -> List[Tuple[str, SelectQuery]]:
+    """Generate *count* queries with sysbench's transaction mix."""
+    table = catalog.table_names[0]
+    max_id = int(catalog.table(table).column("id").max_value)
+    rng = rng_for("sysbench", seed)
+    shapes = list(_SHAPE_WEIGHTS)
+    weights = np.array([_SHAPE_WEIGHTS[s] for s in shapes], dtype=float)
+    weights = weights / weights.sum()
+    queries: List[Tuple[str, SelectQuery]] = []
+    for _ in range(count):
+        shape = str(rng.choice(shapes, p=weights))
+        id_lo = int(rng.integers(1, max(max_id - _RANGE_SIZE, 2)))
+        queries.append((shape, _make_query(shape, table, id_lo)))
+    return queries
+
+
+def sysbench_template_texts(table: str = "sbtest1") -> List[Tuple[str, str]]:
+    """Raw template texts for Algorithm 1's keyword parsing."""
+    return [
+        ("point_select", f"SELECT c FROM {table} WHERE {table}.id = :id"),
+        (
+            "simple_range",
+            f"SELECT c FROM {table} WHERE {table}.id BETWEEN :id_lo AND :id_hi",
+        ),
+        (
+            "sum_range",
+            f"SELECT SUM(k) FROM {table} WHERE {table}.id BETWEEN :id_lo AND :id_hi",
+        ),
+        (
+            "order_range",
+            f"SELECT c FROM {table} WHERE {table}.id BETWEEN :id_lo AND :id_hi "
+            f"ORDER BY {table}.c",
+        ),
+        (
+            "distinct_range",
+            f"SELECT COUNT(*) FROM {table} WHERE {table}.id BETWEEN :id_lo AND "
+            f":id_hi GROUP BY {table}.c ORDER BY {table}.c",
+        ),
+    ]

@@ -1,0 +1,255 @@
+"""The 22 TPC-H query templates, restated in the engine's SQL subset.
+
+The engine supports conjunctive SPJ queries with GROUP BY / ORDER BY /
+LIMIT, so each template keeps the original's *plan shape* — the tables
+it touches, its join graph, predicates, grouping and ordering — while
+dropping subqueries and arithmetic select lists that do not affect
+operator structure.  Placeholders (``:name``) bind to column domains
+via the data abstract, exactly like qgen's substitution parameters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sql.templates import QueryTemplate, TemplateParam
+
+
+def _t(name: str, text: str, *params: TemplateParam) -> QueryTemplate:
+    return QueryTemplate(name=name, text=text, params=tuple(params))
+
+
+def tpch_templates() -> List[QueryTemplate]:
+    """Build the 22 parameterised templates (q1..q22)."""
+    p = TemplateParam
+    return [
+        _t(
+            "q1",
+            "SELECT lineitem.l_returnflag, COUNT(*) FROM lineitem "
+            "WHERE lineitem.l_shipdate <= :d1 "
+            "GROUP BY lineitem.l_returnflag, lineitem.l_linestatus "
+            "ORDER BY lineitem.l_returnflag",
+            p("d1", "lineitem", "l_shipdate"),
+        ),
+        _t(
+            "q2",
+            "SELECT supplier.s_acctbal, supplier.s_name FROM part "
+            "JOIN partsupp ON partsupp.ps_partkey = part.p_partkey "
+            "JOIN supplier ON supplier.s_suppkey = partsupp.ps_suppkey "
+            "JOIN nation ON nation.n_nationkey = supplier.s_nationkey "
+            "JOIN region ON region.r_regionkey = nation.n_regionkey "
+            "WHERE part.p_size = :size AND region.r_name = :rname "
+            "ORDER BY supplier.s_acctbal DESC LIMIT 100",
+            p("size", "part", "p_size"),
+            p("rname", "region", "r_name"),
+        ),
+        _t(
+            "q3",
+            "SELECT lineitem.l_orderkey, COUNT(*) FROM customer "
+            "JOIN orders ON orders.o_custkey = customer.c_custkey "
+            "JOIN lineitem ON lineitem.l_orderkey = orders.o_orderkey "
+            "WHERE customer.c_mktsegment = :seg AND orders.o_orderdate < :d1 "
+            "AND lineitem.l_shipdate > :d2 "
+            "GROUP BY lineitem.l_orderkey, orders.o_orderdate "
+            "ORDER BY orders.o_orderdate LIMIT 10",
+            p("seg", "customer", "c_mktsegment"),
+            p("d1", "orders", "o_orderdate"),
+            p("d2", "lineitem", "l_shipdate"),
+        ),
+        _t(
+            "q4",
+            "SELECT orders.o_orderpriority, COUNT(*) FROM orders "
+            "JOIN lineitem ON lineitem.l_orderkey = orders.o_orderkey "
+            "WHERE orders.o_orderdate >= :d1 AND lineitem.l_commitdate < :d2 "
+            "GROUP BY orders.o_orderpriority ORDER BY orders.o_orderpriority",
+            p("d1", "orders", "o_orderdate"),
+            p("d2", "lineitem", "l_commitdate"),
+        ),
+        _t(
+            "q5",
+            "SELECT nation.n_name, COUNT(*) FROM customer "
+            "JOIN orders ON orders.o_custkey = customer.c_custkey "
+            "JOIN lineitem ON lineitem.l_orderkey = orders.o_orderkey "
+            "JOIN supplier ON supplier.s_suppkey = lineitem.l_suppkey "
+            "JOIN nation ON nation.n_nationkey = supplier.s_nationkey "
+            "JOIN region ON region.r_regionkey = nation.n_regionkey "
+            "WHERE region.r_name = :rname AND orders.o_orderdate >= :d1 "
+            "GROUP BY nation.n_name ORDER BY nation.n_name",
+            p("rname", "region", "r_name"),
+            p("d1", "orders", "o_orderdate"),
+        ),
+        _t(
+            "q6",
+            "SELECT SUM(l_extendedprice) FROM lineitem "
+            "WHERE lineitem.l_shipdate BETWEEN :d_lo AND :d_hi "
+            "AND lineitem.l_discount BETWEEN :disc_lo AND :disc_hi "
+            "AND lineitem.l_quantity < :qty",
+            p("d_lo", "lineitem", "l_shipdate"),
+            p("d_hi", "lineitem", "l_shipdate"),
+            p("disc_lo", "lineitem", "l_discount"),
+            p("disc_hi", "lineitem", "l_discount"),
+            p("qty", "lineitem", "l_quantity"),
+        ),
+        _t(
+            "q7",
+            "SELECT nation.n_name, COUNT(*) FROM supplier "
+            "JOIN lineitem ON lineitem.l_suppkey = supplier.s_suppkey "
+            "JOIN orders ON orders.o_orderkey = lineitem.l_orderkey "
+            "JOIN nation ON nation.n_nationkey = supplier.s_nationkey "
+            "WHERE lineitem.l_shipdate BETWEEN :d_lo AND :d_hi "
+            "GROUP BY nation.n_name ORDER BY nation.n_name",
+            p("d_lo", "lineitem", "l_shipdate"),
+            p("d_hi", "lineitem", "l_shipdate"),
+        ),
+        _t(
+            "q8",
+            "SELECT orders.o_orderdate, COUNT(*) FROM part "
+            "JOIN lineitem ON lineitem.l_partkey = part.p_partkey "
+            "JOIN orders ON orders.o_orderkey = lineitem.l_orderkey "
+            "JOIN customer ON customer.c_custkey = orders.o_custkey "
+            "JOIN nation ON nation.n_nationkey = customer.c_nationkey "
+            "WHERE part.p_type = :ptype AND orders.o_orderdate >= :d1 "
+            "GROUP BY orders.o_orderdate ORDER BY orders.o_orderdate",
+            p("ptype", "part", "p_type"),
+            p("d1", "orders", "o_orderdate"),
+        ),
+        _t(
+            "q9",
+            "SELECT nation.n_name, COUNT(*) FROM part "
+            "JOIN partsupp ON partsupp.ps_partkey = part.p_partkey "
+            "JOIN supplier ON supplier.s_suppkey = partsupp.ps_suppkey "
+            "JOIN lineitem ON lineitem.l_partkey = part.p_partkey "
+            "JOIN nation ON nation.n_nationkey = supplier.s_nationkey "
+            "WHERE part.p_name LIKE :pname "
+            "GROUP BY nation.n_name ORDER BY nation.n_name DESC",
+            p("pname", "part", "p_name"),
+        ),
+        _t(
+            "q10",
+            "SELECT customer.c_custkey, COUNT(*) FROM customer "
+            "JOIN orders ON orders.o_custkey = customer.c_custkey "
+            "JOIN lineitem ON lineitem.l_orderkey = orders.o_orderkey "
+            "JOIN nation ON nation.n_nationkey = customer.c_nationkey "
+            "WHERE orders.o_orderdate >= :d1 AND lineitem.l_returnflag = :flag "
+            "GROUP BY customer.c_custkey ORDER BY customer.c_custkey LIMIT 20",
+            p("d1", "orders", "o_orderdate"),
+            p("flag", "lineitem", "l_returnflag"),
+        ),
+        _t(
+            "q11",
+            "SELECT partsupp.ps_partkey, COUNT(*) FROM partsupp "
+            "JOIN supplier ON supplier.s_suppkey = partsupp.ps_suppkey "
+            "JOIN nation ON nation.n_nationkey = supplier.s_nationkey "
+            "WHERE nation.n_name = :nname "
+            "GROUP BY partsupp.ps_partkey ORDER BY partsupp.ps_partkey LIMIT 50",
+            p("nname", "nation", "n_name"),
+        ),
+        _t(
+            "q12",
+            "SELECT lineitem.l_shipmode, COUNT(*) FROM orders "
+            "JOIN lineitem ON lineitem.l_orderkey = orders.o_orderkey "
+            "WHERE lineitem.l_shipmode IN (:m1, :m2) "
+            "AND lineitem.l_receiptdate >= :d1 "
+            "GROUP BY lineitem.l_shipmode ORDER BY lineitem.l_shipmode",
+            p("m1", "lineitem", "l_shipmode"),
+            p("m2", "lineitem", "l_shipmode"),
+            p("d1", "lineitem", "l_receiptdate"),
+        ),
+        _t(
+            "q13",
+            "SELECT customer.c_custkey, COUNT(*) FROM customer "
+            "JOIN orders ON orders.o_custkey = customer.c_custkey "
+            "WHERE orders.o_totalprice > :price "
+            "GROUP BY customer.c_custkey ORDER BY customer.c_custkey LIMIT 100",
+            p("price", "orders", "o_totalprice"),
+        ),
+        _t(
+            "q14",
+            "SELECT COUNT(*) FROM lineitem "
+            "JOIN part ON part.p_partkey = lineitem.l_partkey "
+            "WHERE lineitem.l_shipdate BETWEEN :d_lo AND :d_hi",
+            p("d_lo", "lineitem", "l_shipdate"),
+            p("d_hi", "lineitem", "l_shipdate"),
+        ),
+        _t(
+            "q15",
+            "SELECT supplier.s_suppkey, COUNT(*) FROM supplier "
+            "JOIN lineitem ON lineitem.l_suppkey = supplier.s_suppkey "
+            "WHERE lineitem.l_shipdate >= :d1 "
+            "GROUP BY supplier.s_suppkey ORDER BY supplier.s_suppkey DESC LIMIT 1",
+            p("d1", "lineitem", "l_shipdate"),
+        ),
+        _t(
+            "q16",
+            "SELECT part.p_brand, COUNT(*) FROM partsupp "
+            "JOIN part ON part.p_partkey = partsupp.ps_partkey "
+            "WHERE part.p_brand <> :brand AND part.p_size IN (:s1, :s2, :s3) "
+            "GROUP BY part.p_brand, part.p_type, part.p_size "
+            "ORDER BY part.p_brand",
+            p("brand", "part", "p_brand"),
+            p("s1", "part", "p_size"),
+            p("s2", "part", "p_size"),
+            p("s3", "part", "p_size"),
+        ),
+        _t(
+            "q17",
+            "SELECT AVG(l_quantity) FROM lineitem "
+            "JOIN part ON part.p_partkey = lineitem.l_partkey "
+            "WHERE part.p_brand = :brand AND part.p_container = :container",
+            p("brand", "part", "p_brand"),
+            p("container", "part", "p_container"),
+        ),
+        _t(
+            "q18",
+            "SELECT orders.o_orderkey, COUNT(*) FROM customer "
+            "JOIN orders ON orders.o_custkey = customer.c_custkey "
+            "JOIN lineitem ON lineitem.l_orderkey = orders.o_orderkey "
+            "WHERE orders.o_totalprice > :price "
+            "GROUP BY orders.o_orderkey, orders.o_totalprice "
+            "ORDER BY orders.o_totalprice DESC LIMIT 100",
+            p("price", "orders", "o_totalprice"),
+        ),
+        _t(
+            "q19",
+            "SELECT SUM(l_extendedprice) FROM lineitem "
+            "JOIN part ON part.p_partkey = lineitem.l_partkey "
+            "WHERE part.p_brand = :brand "
+            "AND lineitem.l_quantity BETWEEN :q_lo AND :q_hi "
+            "AND part.p_size BETWEEN :s_lo AND :s_hi",
+            p("brand", "part", "p_brand"),
+            p("q_lo", "lineitem", "l_quantity"),
+            p("q_hi", "lineitem", "l_quantity"),
+            p("s_lo", "part", "p_size"),
+            p("s_hi", "part", "p_size"),
+        ),
+        _t(
+            "q20",
+            "SELECT supplier.s_name FROM supplier "
+            "JOIN nation ON nation.n_nationkey = supplier.s_nationkey "
+            "JOIN partsupp ON partsupp.ps_suppkey = supplier.s_suppkey "
+            "JOIN part ON part.p_partkey = partsupp.ps_partkey "
+            "WHERE part.p_name LIKE :pname AND nation.n_name = :nname "
+            "ORDER BY supplier.s_name",
+            p("pname", "part", "p_name"),
+            p("nname", "nation", "n_name"),
+        ),
+        _t(
+            "q21",
+            "SELECT supplier.s_name, COUNT(*) FROM supplier "
+            "JOIN lineitem ON lineitem.l_suppkey = supplier.s_suppkey "
+            "JOIN orders ON orders.o_orderkey = lineitem.l_orderkey "
+            "JOIN nation ON nation.n_nationkey = supplier.s_nationkey "
+            "WHERE orders.o_orderstatus = :status AND nation.n_name = :nname "
+            "GROUP BY supplier.s_name ORDER BY supplier.s_name LIMIT 100",
+            p("status", "orders", "o_orderstatus"),
+            p("nname", "nation", "n_name"),
+        ),
+        _t(
+            "q22",
+            "SELECT customer.c_nationkey, COUNT(*) FROM customer "
+            "JOIN orders ON orders.o_custkey = customer.c_custkey "
+            "WHERE customer.c_acctbal > :bal "
+            "GROUP BY customer.c_nationkey ORDER BY customer.c_nationkey",
+            p("bal", "customer", "c_acctbal"),
+        ),
+    ]

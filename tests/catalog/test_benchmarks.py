@@ -1,0 +1,94 @@
+"""The three benchmark catalogs have the documented structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.imdb import (
+    IMDB_FACT_TABLES,
+    IMDB_JOIN_EDGES,
+    IMDB_PREDICATE_COLUMNS,
+    imdb_catalog,
+)
+from repro.catalog.sysbench import SYSBENCH_TABLE_SIZE, sysbench_catalog
+from repro.catalog.tpch import TPCH_JOIN_EDGES, tpch_catalog
+
+
+class TestTPCH:
+    def test_eight_tables(self):
+        catalog = tpch_catalog()
+        assert len(catalog.table_names) == 8
+        assert catalog.table("lineitem").row_count == 6_001_215
+
+    def test_spec_row_counts(self):
+        catalog = tpch_catalog()
+        assert catalog.table("region").row_count == 5
+        assert catalog.table("nation").row_count == 25
+        assert catalog.table("orders").row_count == 1_500_000
+
+    def test_scale_factor_scales_fact_tables(self):
+        sf2 = tpch_catalog(scale_factor=2)
+        assert sf2.table("lineitem").row_count == 2 * 6_001_215
+        assert sf2.table("nation").row_count == 25  # fixed-size table
+
+    def test_join_edges_reference_real_columns(self):
+        catalog = tpch_catalog()
+        for (lt, lc), (rt, rc) in TPCH_JOIN_EDGES:
+            assert catalog.table(lt).has_column(lc)
+            assert catalog.table(rt).has_column(rc)
+
+    def test_primary_keys_indexed(self):
+        catalog = tpch_catalog()
+        assert catalog.table("orders").has_index_on("o_orderkey")
+        assert catalog.table("lineitem").has_index_on("l_orderkey")
+
+
+class TestIMDB:
+    def test_joblight_tables(self):
+        catalog = imdb_catalog()
+        assert set(catalog.table_names) == {"title", *IMDB_FACT_TABLES}
+
+    def test_fact_tables_are_skewed(self):
+        catalog = imdb_catalog()
+        for name in IMDB_FACT_TABLES:
+            assert catalog.table(name).column("movie_id").skew > 0
+
+    def test_join_edges_star_shape(self):
+        for (fact, fc), (dim, dc) in IMDB_JOIN_EDGES:
+            assert dim == "title"
+            assert fc == "movie_id"
+            assert dc == "id"
+
+    def test_predicate_columns_exist(self):
+        catalog = imdb_catalog()
+        for table, columns in IMDB_PREDICATE_COLUMNS.items():
+            for column in columns:
+                assert catalog.table(table).has_column(column)
+
+    def test_title_is_largest_dimension(self):
+        catalog = imdb_catalog()
+        assert catalog.table("cast_info").row_count > catalog.table("title").row_count
+
+
+class TestSysbench:
+    def test_single_table(self):
+        catalog = sysbench_catalog()
+        assert catalog.table_names == ["sbtest1"]
+        assert catalog.table("sbtest1").row_count == SYSBENCH_TABLE_SIZE
+
+    def test_paper_table_size(self):
+        assert SYSBENCH_TABLE_SIZE == 5_000_000
+
+    def test_indexes(self):
+        table = sysbench_catalog().table("sbtest1")
+        assert table.has_index_on("id")
+        assert table.has_index_on("k")
+        assert not table.has_index_on("c")
+
+    def test_custom_size(self):
+        assert sysbench_catalog(1000).table("sbtest1").row_count == 1000
+
+    def test_schema_matches_sysbench(self):
+        table = sysbench_catalog().table("sbtest1")
+        assert table.column_names == ["id", "k", "c", "pad"]
+        assert table.column("c").byte_width == 120

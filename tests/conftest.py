@@ -1,0 +1,62 @@
+"""Shared fixtures: benchmarks, environments and labelled plans.
+
+Expensive objects are session-scoped so the whole suite shares them.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+
+from repro.engine.environment import default_environment, random_environments
+from repro.engine.executor import ExecutionSimulator
+from repro.models.training import train_test_split
+from repro.workload.collect import collect_labeled_plans, get_benchmark
+
+settings.register_profile("repro", max_examples=25, deadline=None)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def tpch():
+    return get_benchmark("tpch")
+
+
+@pytest.fixture(scope="session")
+def joblight():
+    return get_benchmark("joblight")
+
+
+@pytest.fixture(scope="session")
+def sysbench():
+    return get_benchmark("sysbench")
+
+
+@pytest.fixture(scope="session")
+def environments():
+    return random_environments(4, seed=3)
+
+
+@pytest.fixture(scope="session")
+def default_env():
+    return default_environment()
+
+
+@pytest.fixture(scope="session")
+def tpch_simulator(tpch, default_env):
+    return ExecutionSimulator(tpch.catalog, tpch.stats, default_env)
+
+
+@pytest.fixture(scope="session")
+def tpch_labeled(tpch, environments):
+    return collect_labeled_plans(tpch, environments, 120, seed=1)
+
+
+@pytest.fixture(scope="session")
+def sysbench_labeled(sysbench, environments):
+    return collect_labeled_plans(sysbench, environments, 120, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tpch_split(tpch_labeled):
+    return train_test_split(tpch_labeled, seed=0)

@@ -1,0 +1,94 @@
+"""Logical cost formulas (paper Table I)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.formulas import FORMULAS, LINEAR, NESTED_LOOP, NLOGN, operator_inputs
+from repro.engine.operators import OperatorType, PlanNode, scan_node
+from repro.errors import SnapshotError
+
+
+class TestDesignRows:
+    def test_linear(self):
+        np.testing.assert_array_equal(LINEAR.design_row((10.0,)), [10.0, 1.0])
+
+    def test_nlogn(self):
+        row = NLOGN.design_row((8.0,))
+        assert row[0] == pytest.approx(8.0 * 3.0)
+        assert row[1] == 1.0
+
+    def test_nlogn_guards_small_n(self):
+        assert NLOGN.design_row((1.0,))[0] == pytest.approx(np.log2(2.0))
+
+    def test_nested_loop(self):
+        np.testing.assert_array_equal(
+            NESTED_LOOP.design_row((3.0, 4.0)), [12.0, 3.0, 4.0, 1.0]
+        )
+
+    def test_design_matrix_stacks(self):
+        matrix = LINEAR.design_matrix([(1.0,), (2.0,)])
+        assert matrix.shape == (2, 2)
+
+    def test_predict_folds_coefficients(self):
+        coeffs = np.array([2.0, 5.0])
+        assert LINEAR.predict(coeffs, (10.0,)) == pytest.approx(25.0)
+
+
+class TestFormulaAssignment:
+    def test_every_operator_has_a_formula(self):
+        for op in OperatorType:
+            assert op in FORMULAS
+
+    def test_paper_table1_rows(self):
+        assert FORMULAS[OperatorType.SEQ_SCAN] is LINEAR
+        assert FORMULAS[OperatorType.MATERIALIZE] is LINEAR
+        assert FORMULAS[OperatorType.AGGREGATE] is LINEAR
+        assert FORMULAS[OperatorType.INDEX_SCAN] is LINEAR
+        assert FORMULAS[OperatorType.MERGE_JOIN] is LINEAR
+        assert FORMULAS[OperatorType.HASH_JOIN] is LINEAR
+        assert FORMULAS[OperatorType.SORT] is NLOGN
+        assert FORMULAS[OperatorType.NESTED_LOOP] is NESTED_LOOP
+
+
+class TestOperatorInputs:
+    def test_seq_scan_uses_table_rows(self, tpch):
+        node = scan_node(OperatorType.SEQ_SCAN, "nation", [])
+        node.true_rows = 5.0
+        assert operator_inputs(node, tpch.catalog) == (25.0,)
+
+    def test_seq_scan_without_catalog_uses_output(self):
+        node = scan_node(OperatorType.SEQ_SCAN, "t", [])
+        node.true_rows = 7.0
+        assert operator_inputs(node) == (7.0,)
+
+    def test_index_scan_uses_matched_rows(self):
+        node = scan_node(OperatorType.INDEX_SCAN, "t", [], index="i")
+        node.true_rows = 3.0
+        assert operator_inputs(node) == (3.0,)
+
+    def test_join_sums_children(self):
+        left = scan_node(OperatorType.SEQ_SCAN, "a", [])
+        right = scan_node(OperatorType.SEQ_SCAN, "b", [])
+        left.true_rows, right.true_rows = 10.0, 20.0
+        join = PlanNode(op=OperatorType.HASH_JOIN, children=[left, right])
+        assert operator_inputs(join) == (30.0,)
+
+    def test_nested_loop_keeps_both(self):
+        left = scan_node(OperatorType.SEQ_SCAN, "a", [])
+        right = scan_node(OperatorType.SEQ_SCAN, "b", [])
+        left.true_rows, right.true_rows = 10.0, 20.0
+        join = PlanNode(op=OperatorType.NESTED_LOOP, children=[left, right])
+        assert operator_inputs(join) == (10.0, 20.0)
+
+    def test_sort_uses_input_rows(self):
+        child = scan_node(OperatorType.SEQ_SCAN, "a", [])
+        child.true_rows = 42.0
+        sort = PlanNode(op=OperatorType.SORT, children=[child])
+        assert operator_inputs(sort) == (42.0,)
+
+    def test_inputs_floored_at_one(self):
+        node = scan_node(OperatorType.INDEX_SCAN, "t", [], index="i")
+        node.true_rows = 0.0
+        assert operator_inputs(node) == (1.0,)

@@ -1,0 +1,117 @@
+"""QCFE pipeline integration at tiny scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import QCFE, QCFEConfig
+from repro.errors import TrainingError
+from repro.models.mscn import MSCN
+from repro.models.qppnet import QPPNet
+
+
+def make_pipeline(tpch, environments, **overrides):
+    defaults = dict(model="qppnet", snapshot_source="template", reduction=None,
+                    epochs=3, template_scale=2)
+    defaults.update(overrides)
+    return QCFE(tpch, environments, QCFEConfig(**defaults))
+
+
+class TestConstruction:
+    def test_model_selection(self, tpch, environments):
+        assert isinstance(make_pipeline(tpch, environments).estimator, QPPNet)
+        assert isinstance(
+            make_pipeline(tpch, environments, model="mscn").estimator, MSCN
+        )
+
+    def test_unknown_model_rejected(self, tpch, environments):
+        with pytest.raises(TrainingError):
+            make_pipeline(tpch, environments, model="transformer")
+
+
+class TestSnapshotFitting:
+    def test_template_source(self, tpch, environments):
+        pipeline = make_pipeline(tpch, environments)
+        snapshot_set, seconds = pipeline.fit_snapshot()
+        assert snapshot_set is not None
+        assert set(snapshot_set.env_names) == {e.name for e in environments}
+        assert seconds > 0
+
+    def test_original_source(self, tpch, environments):
+        pipeline = make_pipeline(
+            tpch, environments, snapshot_source="original",
+            snapshot_queries_per_env=10,
+        )
+        snapshot_set, _ = pipeline.fit_snapshot()
+        assert snapshot_set is not None
+        assert snapshot_set.total_collection_ms > 0
+
+    def test_none_source(self, tpch, environments):
+        pipeline = make_pipeline(tpch, environments, snapshot_source=None)
+        snapshot_set, seconds = pipeline.fit_snapshot()
+        assert snapshot_set is None
+        assert seconds == 0.0
+
+    def test_bad_source_rejected(self, tpch, environments):
+        pipeline = make_pipeline(tpch, environments, snapshot_source="exact")
+        with pytest.raises(TrainingError):
+            pipeline.fit_snapshot()
+
+
+class TestFitEvaluate:
+    def test_fit_without_reduction(self, tpch, environments, tpch_split):
+        train, test = tpch_split
+        pipeline = make_pipeline(tpch, environments)
+        result = pipeline.fit(train)
+        assert result.train_stats.train_seconds > 0
+        assert result.base_train_stats is None
+        report = pipeline.evaluate(test)
+        assert report.mean_q_error >= 1.0
+        assert -1.0 <= report.pearson <= 1.0
+
+    @pytest.mark.parametrize("reduction", ["diff", "gradient"])
+    def test_fit_with_reduction_qppnet(self, tpch, environments, tpch_split, reduction):
+        train, test = tpch_split
+        pipeline = make_pipeline(tpch, environments, reduction=reduction)
+        result = pipeline.fit(train)
+        assert result.masks
+        assert 0.0 < result.reduction_ratio < 1.0
+        assert result.base_train_stats is not None
+        predictions = pipeline.predict_many(test)
+        assert np.all(predictions > 0)
+
+    def test_fit_with_reduction_mscn(self, tpch, environments, tpch_split):
+        train, test = tpch_split
+        pipeline = make_pipeline(tpch, environments, model="mscn", reduction="diff")
+        result = pipeline.fit(train)
+        assert result.global_mask is not None
+        assert 0.0 <= result.reduction_ratio < 1.0
+        assert np.all(pipeline.predict_many(test) > 0)
+
+    def test_greedy_reduction_qppnet(self, tpch, environments, tpch_split):
+        train, test = tpch_split
+        pipeline = make_pipeline(
+            tpch, environments, reduction="greedy",
+            greedy_max_rounds=1, greedy_sample=24,
+        )
+        result = pipeline.fit(train)
+        assert result.reduction_ratio < 0.1  # greedy barely prunes
+        assert np.all(pipeline.predict_many(test) > 0)
+
+    def test_scoring_time_recorded(self, tpch, environments, tpch_split):
+        train, _ = tpch_split
+        pipeline = make_pipeline(tpch, environments, reduction="diff")
+        result = pipeline.fit(train)
+        assert 0 < result.scoring_seconds <= result.reduction_seconds
+
+    def test_masks_keep_snapshot_dims_somewhere(self, tpch, environments, tpch_split):
+        """The env signal must survive reduction for QCFE to work."""
+        train, _ = tpch_split
+        pipeline = make_pipeline(tpch, environments, reduction="diff", epochs=4)
+        result = pipeline.fit(train)
+        snapshot_slice = pipeline.operator_encoder.block_slice("snapshot")
+        kept_snapshot = sum(
+            int(mask[snapshot_slice].sum()) for mask in result.masks.values()
+        )
+        assert kept_snapshot > 0

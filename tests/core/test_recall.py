@@ -1,0 +1,127 @@
+"""Dynamic-workload feature recall — the Section IV extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.recall import FeatureRecall
+from repro.engine.operators import OperatorType
+from repro.errors import FeatureError
+
+NAMES = ["op:scan", "column:a", "column:b", "index:i", "num:rows"]
+
+
+def make_recall(pruned=(3,)):
+    mask = np.ones(len(NAMES), dtype=bool)
+    for dim in pruned:
+        mask[dim] = False
+    return FeatureRecall({OperatorType.SEQ_SCAN: mask}, NAMES)
+
+
+def rows_with(dim_values, n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = rng.normal(size=(n, len(NAMES)))
+    for dim, value in dim_values.items():
+        rows[:, dim] = value
+    return rows
+
+
+class TestValidation:
+    def test_mask_layout_mismatch_rejected(self):
+        with pytest.raises(FeatureError):
+            FeatureRecall({OperatorType.SEQ_SCAN: np.ones(3, dtype=bool)}, NAMES)
+
+    def test_row_width_mismatch_rejected(self):
+        recall = make_recall()
+        with pytest.raises(FeatureError):
+            recall.observe(OperatorType.SEQ_SCAN, np.ones((4, 2)))
+
+
+class TestRecallBehaviour:
+    def test_constant_pruned_dim_stays_pruned(self):
+        """Write-only workload: the pruned index dim never varies."""
+        recall = make_recall(pruned=(3,))
+        flagged = recall.observe(
+            OperatorType.SEQ_SCAN, rows_with({3: 0.0}, n=50)
+        )
+        assert flagged == []
+        assert recall.total_flagged == 0
+
+    def test_varying_pruned_dim_is_recalled(self):
+        """Workload shifts to 50% reads: index one-hot starts varying."""
+        recall = make_recall(pruned=(3,))
+        rng = np.random.default_rng(1)
+        rows = rows_with({}, n=50, seed=2)
+        rows[:, 3] = rng.integers(0, 2, size=50)  # index dim now active
+        flagged = recall.observe(OperatorType.SEQ_SCAN, rows)
+        assert flagged == ["index:i"]
+        assert recall.flagged_dimensions(OperatorType.SEQ_SCAN) == [3]
+
+    def test_flagging_happens_once(self):
+        recall = make_recall(pruned=(3,))
+        rows = rows_with({}, n=30, seed=3)
+        first = recall.observe(OperatorType.SEQ_SCAN, rows)
+        second = recall.observe(OperatorType.SEQ_SCAN, rows)
+        assert first == ["index:i"]
+        assert second == []
+
+    def test_recall_masks_reinclude_flagged(self):
+        recall = make_recall(pruned=(3,))
+        recall.observe(OperatorType.SEQ_SCAN, rows_with({}, n=30, seed=4))
+        updated = recall.recall_masks()
+        assert updated[OperatorType.SEQ_SCAN][3]
+        # original mask object is untouched
+        assert not recall.masks[OperatorType.SEQ_SCAN][3]
+
+    def test_streaming_updates_accumulate(self):
+        recall = make_recall(pruned=(3,))
+        # first batch constant, second batch varies: recalled on batch 2
+        assert recall.observe(OperatorType.SEQ_SCAN, rows_with({3: 0.0}, n=20)) == []
+        rows = rows_with({}, n=20, seed=5)
+        assert recall.observe(OperatorType.SEQ_SCAN, rows) == ["index:i"]
+
+    def test_unknown_operator_tracked_without_mask(self):
+        recall = make_recall()
+        flagged = recall.observe(OperatorType.SORT, rows_with({}, n=10, seed=6))
+        assert flagged == []
+
+
+class TestBaselineShift:
+    def test_mean_shift_recalled_with_baseline(self):
+        """A pruned dim constant at a NEW value (no variance!) is
+        recalled when a reduction-time baseline is provided."""
+        mask = np.ones(len(NAMES), dtype=bool)
+        mask[3] = False
+        baseline = np.zeros(len(NAMES))  # dim 3 was constant 0.0
+        recall = FeatureRecall(
+            {OperatorType.SEQ_SCAN: mask}, NAMES,
+            baselines={OperatorType.SEQ_SCAN: baseline},
+        )
+        flagged = recall.observe(
+            OperatorType.SEQ_SCAN, rows_with({3: 5.0}, n=30, seed=7)
+        )
+        assert flagged == ["index:i"]
+
+    def test_no_shift_no_recall(self):
+        mask = np.ones(len(NAMES), dtype=bool)
+        mask[3] = False
+        baseline = np.zeros(len(NAMES))
+        recall = FeatureRecall(
+            {OperatorType.SEQ_SCAN: mask}, NAMES,
+            baselines={OperatorType.SEQ_SCAN: baseline},
+        )
+        flagged = recall.observe(
+            OperatorType.SEQ_SCAN, rows_with({3: 0.0}, n=30, seed=8)
+        )
+        assert flagged == []
+
+    def test_baseline_layout_validated(self):
+        from repro.errors import FeatureError
+
+        mask = np.ones(len(NAMES), dtype=bool)
+        with pytest.raises(FeatureError):
+            FeatureRecall(
+                {OperatorType.SEQ_SCAN: mask}, NAMES,
+                baselines={OperatorType.SEQ_SCAN: np.zeros(2)},
+            )

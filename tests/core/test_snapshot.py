@@ -1,0 +1,193 @@
+"""Feature snapshot: least-squares fitting and normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.snapshot import (
+    MIN_SAMPLES,
+    FeatureSnapshot,
+    SnapshotSet,
+    collect_operator_samples,
+    fit_snapshot,
+    fit_snapshot_from_queries,
+)
+from repro.core.templates import generate_simplified_queries
+from repro.engine.environment import random_environments
+from repro.engine.executor import ExecutionSimulator
+from repro.engine.operators import OperatorType
+from repro.errors import SnapshotError
+from repro.featurization.encoding import SNAPSHOT_SLOTS
+
+
+class TestFitSnapshot:
+    @given(
+        st.floats(1e-5, 1e-2),
+        st.floats(0.0, 5.0),
+    )
+    def test_recovers_linear_coefficients(self, slope, intercept):
+        """lstsq on noiseless linear data recovers (c0, c1) exactly."""
+        inputs = [(float(n),) for n in (10, 100, 1000, 5000, 20000)]
+        samples = {
+            OperatorType.SEQ_SCAN: [
+                (x, slope * x[0] + intercept) for x in inputs
+            ]
+        }
+        snapshot = fit_snapshot(samples, "env")
+        c0, c1 = snapshot.coefficients[OperatorType.SEQ_SCAN]
+        assert c0 == pytest.approx(slope, rel=1e-6, abs=1e-12)
+        assert c1 == pytest.approx(intercept, rel=1e-6, abs=1e-6)
+
+    def test_recovers_nlogn_coefficients(self):
+        c_true = 2e-4
+        inputs = [(float(n),) for n in (16, 64, 256, 1024, 4096)]
+        samples = {
+            OperatorType.SORT: [
+                (x, c_true * x[0] * np.log2(x[0]) + 0.5) for x in inputs
+            ]
+        }
+        snapshot = fit_snapshot(samples, "env")
+        c0, c1 = snapshot.coefficients[OperatorType.SORT]
+        assert c0 == pytest.approx(c_true, rel=1e-6)
+
+    def test_recovers_nested_loop_coefficients(self):
+        coeffs = np.array([1e-6, 2e-4, 3e-4, 0.1])
+        inputs = [(float(a), float(b)) for a in (10, 100, 1000) for b in (5, 50, 500)]
+        samples = {
+            OperatorType.NESTED_LOOP: [
+                (x, coeffs @ np.array([x[0] * x[1], x[0], x[1], 1.0])) for x in inputs
+            ]
+        }
+        snapshot = fit_snapshot(samples, "env")
+        np.testing.assert_allclose(
+            snapshot.coefficients[OperatorType.NESTED_LOOP], coeffs, rtol=1e-6
+        )
+
+    def test_skips_underpopulated_operators(self):
+        samples = {
+            OperatorType.SEQ_SCAN: [((10.0,), 1.0)] * MIN_SAMPLES,
+            OperatorType.SORT: [((10.0,), 1.0)],  # too few
+        }
+        snapshot = fit_snapshot(samples, "env")
+        assert OperatorType.SEQ_SCAN in snapshot.coefficients
+        assert OperatorType.SORT not in snapshot.coefficients
+
+    def test_all_empty_raises(self):
+        with pytest.raises(SnapshotError):
+            fit_snapshot({OperatorType.SORT: [((1.0,), 1.0)]}, "env")
+
+    def test_residuals_recorded(self):
+        samples = {
+            OperatorType.SEQ_SCAN: [((float(n),), 1e-4 * n) for n in (1, 10, 100, 1000)]
+        }
+        snapshot = fit_snapshot(samples, "env")
+        assert snapshot.residuals[OperatorType.SEQ_SCAN] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestPaddingAndPrediction:
+    def test_padded_width(self):
+        snapshot = FeatureSnapshot("env", {OperatorType.SEQ_SCAN: np.array([1.0, 2.0])})
+        padded = snapshot.padded(OperatorType.SEQ_SCAN)
+        assert padded.shape == (SNAPSHOT_SLOTS,)
+        np.testing.assert_array_equal(padded[:2], [1.0, 2.0])
+
+    def test_padded_missing_operator_zero(self):
+        snapshot = FeatureSnapshot("env", {})
+        np.testing.assert_array_equal(snapshot.padded(OperatorType.SORT), 0.0)
+
+    def test_predict_node_ms(self, tpch):
+        snapshot = FeatureSnapshot(
+            "env", {OperatorType.SEQ_SCAN: np.array([1e-4, 2.0])}
+        )
+        from repro.engine.operators import scan_node
+
+        node = scan_node(OperatorType.SEQ_SCAN, "nation", [])
+        node.true_rows = 25.0
+        assert snapshot.predict_node_ms(node, tpch.catalog) == pytest.approx(
+            1e-4 * 25 + 2.0
+        )
+
+    def test_predict_unknown_operator_raises(self):
+        snapshot = FeatureSnapshot("env", {})
+        from repro.engine.operators import scan_node
+
+        node = scan_node(OperatorType.SEQ_SCAN, "t", [])
+        with pytest.raises(SnapshotError):
+            snapshot.predict_node_ms(node)
+
+
+class TestSnapshotSet:
+    def _set(self):
+        snaps = [
+            FeatureSnapshot(f"e{i}", {OperatorType.SEQ_SCAN: np.array([float(i), 1.0])})
+            for i in range(4)
+        ]
+        return SnapshotSet(snaps)
+
+    def test_requires_snapshots(self):
+        with pytest.raises(SnapshotError):
+            SnapshotSet([])
+
+    def test_raw_lookup(self):
+        snapshot_set = self._set()
+        assert snapshot_set.raw("e2").env_name == "e2"
+        with pytest.raises(SnapshotError):
+            snapshot_set.raw("nope")
+
+    def test_normalized_zero_mean_unit_std(self):
+        snapshot_set = self._set()
+        values = np.array(
+            [snapshot_set.normalized(f"e{i}")[OperatorType.SEQ_SCAN][0] for i in range(4)]
+        )
+        assert values.mean() == pytest.approx(0.0, abs=1e-12)
+        assert values.std() == pytest.approx(1.0, rel=1e-9)
+
+    def test_constant_slots_normalise_to_zero(self):
+        snapshot_set = self._set()
+        seconds = [
+            snapshot_set.normalized(f"e{i}")[OperatorType.SEQ_SCAN][1] for i in range(4)
+        ]
+        np.testing.assert_allclose(seconds, 0.0)
+
+    def test_normalized_unknown_env_raises(self):
+        with pytest.raises(SnapshotError):
+            self._set().normalized("nope")
+
+
+class TestEndToEndFitting:
+    def test_snapshot_tracks_environment_speed(self, tpch):
+        """Environments with more cache fit smaller seq-scan slopes."""
+        envs = random_environments(6, seed=5)
+        slopes = {}
+        for env in envs:
+            simulator = ExecutionSimulator(tpch.catalog, tpch.stats, env)
+            queries = generate_simplified_queries(
+                tpch.template_texts, tpch.catalog, tpch.abstract, scale=3, seed=1
+            )
+            snapshot = fit_snapshot_from_queries(queries, simulator)
+            if OperatorType.SEQ_SCAN in snapshot.coefficients:
+                slopes[env.name] = (
+                    env.cache_hit_ratio,
+                    snapshot.coefficients[OperatorType.SEQ_SCAN][0],
+                )
+        hits = np.array([h for h, _ in slopes.values()])
+        cs = np.array([c for _, c in slopes.values()])
+        correlation = np.corrcoef(hits, cs)[0, 1]
+        assert correlation < -0.5  # more cache -> cheaper scans
+
+    def test_collection_cost_recorded(self, tpch, default_env):
+        simulator = ExecutionSimulator(tpch.catalog, tpch.stats, default_env)
+        queries = generate_simplified_queries(
+            tpch.template_texts, tpch.catalog, tpch.abstract, scale=1, seed=0
+        )
+        snapshot = fit_snapshot_from_queries(queries, simulator)
+        assert snapshot.collection_ms > 0
+
+    def test_collect_operator_samples_covers_plans(self, tpch_labeled, tpch):
+        samples = collect_operator_samples(tpch_labeled[:30], tpch.catalog)
+        total = sum(len(v) for v in samples.values())
+        expected = sum(r.plan.node_count for r in tpch_labeled[:30])
+        assert total == expected

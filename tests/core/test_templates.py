@@ -1,0 +1,190 @@
+"""Algorithm 1: simplified template generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.templates import (
+    SimplifiedTemplate,
+    generate_simplified_queries,
+    generate_simplified_templates,
+    instantiate_simplified,
+    parse_template_info,
+)
+from repro.engine.executor import ExecutionSimulator
+from repro.engine.operators import OperatorType
+
+
+class TestPhase1Parsing:
+    def test_tpch_info_covers_all_operator_kinds(self, tpch):
+        info = parse_template_info(tpch.template_texts, tpch.catalog)
+        assert info.scans
+        assert info.sorts
+        assert info.aggregates
+        assert info.joins
+
+    def test_keyword_to_operator_mapping(self, tpch):
+        texts = [
+            (
+                "t",
+                "SELECT * FROM orders WHERE orders.o_totalprice > :p "
+                "GROUP BY orders.o_orderpriority ORDER BY orders.o_orderdate",
+            )
+        ]
+        info = parse_template_info(texts, tpch.catalog)
+        assert ("orders", "o_totalprice") in info.scans
+        assert ("orders", "o_orderdate") in info.sorts
+        assert ("orders", "o_orderpriority") in info.aggregates
+
+    def test_join_condition_detected(self, tpch):
+        texts = [
+            (
+                "t",
+                "SELECT * FROM lineitem JOIN orders ON "
+                "lineitem.l_orderkey = orders.o_orderkey",
+            )
+        ]
+        info = parse_template_info(texts, tpch.catalog)
+        assert ("lineitem", "l_orderkey", "orders", "o_orderkey") in info.joins
+        # join columns must not be misread as scan predicates
+        assert ("lineitem", "l_orderkey") not in info.scans
+
+    def test_unknown_references_ignored(self, tpch):
+        texts = [("t", "SELECT * FROM ghost WHERE ghost.col > :x")]
+        info = parse_template_info(texts, tpch.catalog)
+        assert info.total_entries() == 0
+
+    def test_sysbench_info(self, sysbench):
+        info = parse_template_info(sysbench.template_texts, sysbench.catalog)
+        assert ("sbtest1", "id") in info.scans
+        assert ("sbtest1", "c") in info.sorts
+        assert ("sbtest1", "c") in info.aggregates
+        assert not info.joins
+
+
+class TestPhase2Templates:
+    def test_one_template_per_scan_entry(self, tpch):
+        info = parse_template_info(tpch.template_texts, tpch.catalog)
+        templates = generate_simplified_templates(info)
+        scans = [t for t in templates if t.kind == "scan"]
+        assert len(scans) == len(info.scans)
+
+    def test_joins_get_two_parent_templates(self, tpch):
+        info = parse_template_info(tpch.template_texts, tpch.catalog)
+        templates = generate_simplified_templates(info)
+        joins = [t for t in templates if t.kind == "join"]
+        join_sorts = [t for t in templates if t.kind == "join_sort"]
+        assert len(joins) == len(info.joins)
+        assert len(join_sorts) == len(info.joins)
+
+    def test_describe(self):
+        template = SimplifiedTemplate("scan", "t", "c")
+        assert template.describe() == "scan:t.c"
+
+
+class TestPhase3Fill:
+    def test_scan_instantiation(self, tpch):
+        rng = np.random.default_rng(0)
+        template = SimplifiedTemplate("scan", "orders", "o_totalprice")
+        query = instantiate_simplified(template, tpch.catalog, tpch.abstract, rng)
+        assert query.tables == ["orders"]
+        assert query.predicates[0].column == "o_totalprice"
+        assert not query.order_by and not query.group_by
+
+    def test_sort_instantiation(self, tpch):
+        rng = np.random.default_rng(0)
+        template = SimplifiedTemplate("sort", "orders", "o_orderdate")
+        query = instantiate_simplified(template, tpch.catalog, tpch.abstract, rng)
+        assert query.order_by[0].column.column == "o_orderdate"
+
+    def test_aggregate_instantiation(self, tpch):
+        rng = np.random.default_rng(0)
+        template = SimplifiedTemplate("aggregate", "orders", "o_orderpriority")
+        query = instantiate_simplified(template, tpch.catalog, tpch.abstract, rng)
+        assert query.aggregate == "count"
+        assert query.group_by
+
+    def test_join_instantiation(self, tpch):
+        rng = np.random.default_rng(0)
+        template = SimplifiedTemplate(
+            "join", "lineitem", "l_orderkey",
+            join=("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        )
+        query = instantiate_simplified(template, tpch.catalog, tpch.abstract, rng)
+        assert sorted(query.tables) == ["lineitem", "orders"]
+        assert len(query.joins) == 1
+
+    def test_fill_index_cycles_operators(self, tpch):
+        template = SimplifiedTemplate("scan", "orders", "o_orderkey")
+        ops = []
+        for index in range(3):
+            rng = np.random.default_rng(index)
+            query = instantiate_simplified(
+                template, tpch.catalog, tpch.abstract, rng, fill_index=index
+            )
+            ops.append(query.predicates[0].op)
+        assert set(ops) == {"<", ">", "="}
+
+    def test_unknown_kind_rejected(self, tpch):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            instantiate_simplified(
+                SimplifiedTemplate("bogus", "orders", "o_orderkey"),
+                tpch.catalog, tpch.abstract, rng,
+            )
+
+
+class TestEndToEnd:
+    def test_scale_controls_count(self, tpch):
+        one = generate_simplified_queries(
+            tpch.template_texts, tpch.catalog, tpch.abstract, scale=1
+        )
+        three = generate_simplified_queries(
+            tpch.template_texts, tpch.catalog, tpch.abstract, scale=3
+        )
+        assert len(three) == 3 * len(one)
+
+    def test_queries_execute_and_cover_operators(self, tpch, default_env):
+        simulator = ExecutionSimulator(tpch.catalog, tpch.stats, default_env)
+        queries = generate_simplified_queries(
+            tpch.template_texts, tpch.catalog, tpch.abstract, scale=3, seed=1
+        )
+        seen = set()
+        for query in queries:
+            result = simulator.run_query(query)
+            seen.update(node.op for node in result.plan.walk())
+        # Every operator kind the workload exercises appears.
+        assert OperatorType.SEQ_SCAN in seen
+        assert OperatorType.SORT in seen
+        assert OperatorType.AGGREGATE in seen
+        assert seen & {OperatorType.HASH_JOIN, OperatorType.MERGE_JOIN,
+                       OperatorType.NESTED_LOOP}
+        assert OperatorType.INDEX_SCAN in seen  # '=' fills on indexed cols
+
+    def test_simplified_collection_cheaper_than_original_workload(
+        self, tpch, default_env
+    ):
+        """The point of Algorithm 1 (paper Table V): labelling with the
+        simplified templates costs a fraction of labelling with the
+        original workload's full parameter sweep (10 instances per
+        original template vs one round of simplified templates)."""
+        simulator = ExecutionSimulator(tpch.catalog, tpch.stats, default_env)
+        simplified = generate_simplified_queries(
+            tpch.template_texts, tpch.catalog, tpch.abstract, scale=1, seed=2
+        )
+        original = [
+            q for _, q in tpch.generate_queries(10 * len(tpch.template_texts), seed=2)
+        ]
+        cost_simplified = sum(simulator.run_query(q).latency_ms for q in simplified)
+        cost_original = sum(simulator.run_query(q).latency_ms for q in original)
+        assert cost_simplified < cost_original
+
+    def test_deterministic_by_seed(self, tpch):
+        a = generate_simplified_queries(
+            tpch.template_texts, tpch.catalog, tpch.abstract, scale=1, seed=5
+        )
+        b = generate_simplified_queries(
+            tpch.template_texts, tpch.catalog, tpch.abstract, scale=1, seed=5
+        )
+        assert [q.sql() for q in a] == [q.sql() for q in b]

@@ -1,0 +1,197 @@
+"""Cardinality derivation and the PG-style cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.statistics import Predicate
+from repro.engine.cardinality import CardinalityModel, estimated_distinct
+from repro.engine.cost import CostModel, combine, resource_counts
+from repro.engine.environment import default_environment
+from repro.engine.operators import OperatorType, PlanNode, scan_node
+from repro.sql.parser import parse_sql
+
+
+@pytest.fixture()
+def cards(tpch):
+    return CardinalityModel(tpch.catalog, tpch.stats)
+
+
+def seq_scan(table, preds=()):
+    return scan_node(OperatorType.SEQ_SCAN, table, list(preds))
+
+
+class TestScanCardinality:
+    def test_unfiltered_scan_returns_all_rows(self, tpch, cards):
+        node = seq_scan("nation")
+        cards.annotate_estimates(node)
+        assert node.est_rows == pytest.approx(25)
+
+    def test_filter_reduces_estimate(self, tpch, cards):
+        node = seq_scan("orders", [Predicate("orders", "o_totalprice", "<", 5000)])
+        cards.annotate_estimates(node)
+        assert 0 < node.est_rows < tpch.catalog.table("orders").row_count
+
+    def test_truth_differs_from_estimate_on_skew(self, joblight):
+        cards = CardinalityModel(joblight.catalog, joblight.stats)
+        node = seq_scan("cast_info", [Predicate("cast_info", "role_id", "=", 3)])
+        cards.annotate_estimates(node)
+        cards.annotate_truth(node)
+        assert node.true_rows > 0
+        assert node.true_rows != pytest.approx(node.est_rows, rel=0.01)
+
+    def test_width_from_table(self, tpch, cards):
+        node = seq_scan("lineitem")
+        cards.annotate_estimates(node)
+        assert node.est_width == tpch.catalog.table("lineitem").tuple_width
+
+
+class TestJoinCardinality:
+    def test_fk_join_estimate(self, tpch, cards):
+        left = seq_scan("lineitem")
+        right = seq_scan("orders")
+        join = PlanNode(
+            op=OperatorType.HASH_JOIN,
+            children=[left, right],
+            join_columns=("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        )
+        cards.annotate_estimates(join)
+        # FK join of lineitem with orders keeps roughly lineitem's size.
+        assert join.est_rows == pytest.approx(6_001_215, rel=0.35)
+
+    def test_cross_join_product(self, tpch, cards):
+        join = PlanNode(
+            op=OperatorType.NESTED_LOOP,
+            children=[seq_scan("nation"), seq_scan("region")],
+        )
+        cards.annotate_estimates(join)
+        assert join.est_rows == pytest.approx(125)
+
+
+class TestOtherOperators:
+    def test_aggregate_without_groups_returns_one(self, cards):
+        agg = PlanNode(op=OperatorType.AGGREGATE, children=[seq_scan("orders")])
+        cards.annotate_estimates(agg)
+        assert agg.est_rows == 1.0
+
+    def test_aggregate_groups_capped_by_input(self, cards):
+        agg = PlanNode(
+            op=OperatorType.AGGREGATE,
+            children=[seq_scan("nation")],
+            group_keys=("nation.n_nationkey",),
+        )
+        cards.annotate_estimates(agg)
+        assert agg.est_rows <= 25
+
+    def test_limit_caps_rows(self, cards):
+        limit = PlanNode(
+            op=OperatorType.LIMIT, children=[seq_scan("orders")], limit_count=10
+        )
+        cards.annotate_estimates(limit)
+        assert limit.est_rows == 10
+
+    def test_sort_preserves_rows(self, cards):
+        sort = PlanNode(
+            op=OperatorType.SORT, children=[seq_scan("nation")], sort_keys=("nation.n_name",)
+        )
+        cards.annotate_estimates(sort)
+        assert sort.est_rows == pytest.approx(25)
+
+
+class TestEstimatedDistinct:
+    def test_full_table_gives_ndv(self, tpch):
+        value = estimated_distinct(tpch.catalog, "orders", "o_custkey", 1_500_000)
+        assert value == pytest.approx(
+            tpch.catalog.column("orders", "o_custkey").ndv
+        )
+
+    def test_small_sample_gives_fewer(self, tpch):
+        small = estimated_distinct(tpch.catalog, "orders", "o_custkey", 100)
+        assert small < 200
+
+
+class TestResourceCounts:
+    def test_seq_scan_counts(self, tpch):
+        env = default_environment()
+        node = seq_scan("orders", [Predicate("orders", "o_totalprice", "<", 5000)])
+        CardinalityModel(tpch.catalog, tpch.stats).annotate_estimates(node)
+        counts = resource_counts(node, tpch.catalog, lambda n: n.est_rows, env)
+        assert counts["ns"] == tpch.catalog.table("orders").pages
+        assert counts["nt"] == tpch.catalog.table("orders").row_count
+        assert counts["no"] == tpch.catalog.table("orders").row_count  # one pred
+        assert counts["nr"] == 0
+
+    def test_index_scan_random_io(self, tpch):
+        env = default_environment()
+        node = scan_node(
+            OperatorType.INDEX_SCAN,
+            "orders",
+            [Predicate("orders", "o_orderkey", "=", 5)],
+            index="orders_pkey",
+        )
+        CardinalityModel(tpch.catalog, tpch.stats).annotate_estimates(node)
+        counts = resource_counts(node, tpch.catalog, lambda n: n.est_rows, env)
+        assert counts["nr"] > 0
+        assert counts["ns"] == 0
+        assert counts["ni"] >= 1
+
+    def test_sort_nlogn(self, tpch):
+        env = default_environment()
+        child = seq_scan("orders")
+        CardinalityModel(tpch.catalog, tpch.stats).annotate_estimates(child)
+        sort = PlanNode(op=OperatorType.SORT, children=[child], sort_keys=("orders.o_totalprice",))
+        sort.est_rows = child.est_rows
+        counts = resource_counts(sort, tpch.catalog, lambda n: n.est_rows, env)
+        n = child.est_rows
+        assert counts["no"] == pytest.approx(n * np.log2(n))
+
+    def test_sort_spills_beyond_work_mem(self, tpch):
+        env = default_environment()
+        child = seq_scan("lineitem")
+        CardinalityModel(tpch.catalog, tpch.stats).annotate_estimates(child)
+        sort = PlanNode(op=OperatorType.SORT, children=[child])
+        sort.est_rows = child.est_rows
+        counts = resource_counts(sort, tpch.catalog, lambda n: n.est_rows, env)
+        assert counts["ns"] > 0  # 6M wide rows cannot fit 4MB work_mem
+
+    def test_nested_loop_quadratic(self, tpch):
+        env = default_environment()
+        left, right = seq_scan("nation"), seq_scan("region")
+        model = CardinalityModel(tpch.catalog, tpch.stats)
+        for node in (left, right):
+            model.annotate_estimates(node)
+        join = PlanNode(op=OperatorType.NESTED_LOOP, children=[left, right])
+        join.est_rows = 125
+        counts = resource_counts(join, tpch.catalog, lambda n: n.est_rows, env)
+        assert counts["no"] == pytest.approx(25 * 5)
+
+    def test_combine_is_dot_product(self):
+        counts = {"ns": 1.0, "nr": 2.0, "nt": 3.0, "ni": 4.0, "no": 5.0}
+        coeffs = {"cs": 1.0, "cr": 10.0, "ct": 100.0, "ci": 1000.0, "co": 10000.0}
+        assert combine(counts, coeffs) == pytest.approx(1 + 20 + 300 + 4000 + 50000)
+
+
+class TestCostModel:
+    def test_total_cost_accumulates_children(self, tpch):
+        env = default_environment()
+        query = parse_sql(
+            "SELECT * FROM lineitem JOIN orders ON lineitem.l_orderkey = orders.o_orderkey",
+            tpch.catalog,
+        )
+        from repro.engine.optimizer import PlanBuilder
+
+        plan = PlanBuilder(tpch.catalog, tpch.stats, env).build(query)
+        for node in plan.walk():
+            child_total = sum(c.est_total_cost for c in node.children)
+            assert node.est_total_cost >= child_total
+
+    def test_sort_startup_is_blocking(self, tpch):
+        env = default_environment()
+        child = seq_scan("orders")
+        model = CardinalityModel(tpch.catalog, tpch.stats)
+        model.annotate_estimates(child)
+        sort = PlanNode(op=OperatorType.SORT, children=[child])
+        model.annotate_estimates(sort)
+        CostModel(tpch.catalog, env).annotate(sort)
+        assert sort.est_startup_cost > 0.5 * sort.est_total_cost

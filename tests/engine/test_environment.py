@@ -1,0 +1,99 @@
+"""Environment: coefficient views, cache behaviour, spill model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.environment import (
+    DatabaseEnvironment,
+    default_environment,
+    random_environments,
+)
+from repro.engine.hardware import PROFILES, get_profile
+from repro.engine.knobs import default_configuration
+
+
+class TestOptimizerCoefficients:
+    def test_mirrors_knobs(self):
+        env = default_environment()
+        coeffs = env.optimizer_coefficients()
+        assert coeffs["cs"] == 1.0
+        assert coeffs["cr"] == 4.0
+        assert coeffs["ct"] == 0.01
+
+    def test_changes_with_knobs(self):
+        cfg = default_configuration().with_overrides(random_page_cost=2.0)
+        env = DatabaseEnvironment(cfg, get_profile("h1_r7_7735hs"))
+        assert env.optimizer_coefficients()["cr"] == 2.0
+
+
+class TestCacheHitRatio:
+    def test_monotone_in_shared_buffers(self):
+        profile = get_profile("h1_r7_7735hs")
+        small = DatabaseEnvironment(
+            default_configuration().with_overrides(shared_buffers=16384), profile
+        )
+        large = DatabaseEnvironment(
+            default_configuration().with_overrides(shared_buffers=4194304), profile
+        )
+        assert large.cache_hit_ratio > small.cache_hit_ratio
+
+    def test_bounded(self):
+        for env in random_environments(50, seed=1):
+            assert 0.05 <= env.cache_hit_ratio <= 0.97
+
+
+class TestTrueCoefficients:
+    def test_more_cache_means_cheaper_io(self):
+        profile = get_profile("h1_r7_7735hs")
+        small = DatabaseEnvironment(
+            default_configuration().with_overrides(shared_buffers=16384), profile
+        )
+        large = DatabaseEnvironment(
+            default_configuration().with_overrides(shared_buffers=4194304), profile
+        )
+        assert large.true_coefficients()["cs"] < small.true_coefficients()["cs"]
+        assert large.true_coefficients()["cr"] < small.true_coefficients()["cr"]
+
+    def test_random_io_slower_than_sequential(self):
+        coeffs = default_environment().true_coefficients()
+        assert coeffs["cr"] > coeffs["cs"]
+
+    def test_hardware_scales_cpu(self):
+        cfg = default_configuration()
+        h1 = DatabaseEnvironment(cfg, get_profile("h1_r7_7735hs"))
+        h2 = DatabaseEnvironment(cfg, get_profile("h2_i7_12700h"))
+        assert h2.true_coefficients()["ct"] < h1.true_coefficients()["ct"]
+
+    def test_all_positive(self):
+        for env in random_environments(20, seed=2):
+            assert all(v > 0 for v in env.true_coefficients().values())
+
+
+class TestSpillFactor:
+    def test_no_spill_within_budget(self):
+        env = default_environment()
+        assert env.spill_factor(1024.0) == 1.0
+
+    def test_spill_grows_with_overflow(self):
+        env = default_environment()
+        budget = env.work_mem_kb * 1024.0
+        assert env.spill_factor(budget * 4) > env.spill_factor(budget * 2) > 1.0
+
+
+class TestEnvironmentPool:
+    def test_names_unique(self):
+        envs = random_environments(10, seed=0)
+        assert len({env.name for env in envs}) == 10
+
+    def test_hardware_selectable(self):
+        envs = random_environments(3, seed=0, hardware="h2_i7_12700h")
+        assert all(env.hardware.name == "h2_i7_12700h" for env in envs)
+
+    def test_unknown_hardware_rejected(self):
+        with pytest.raises(KeyError):
+            random_environments(2, seed=0, hardware="nonexistent")
+
+    def test_profiles_include_paper_machines(self):
+        assert "h1_r7_7735hs" in PROFILES
+        assert "h2_i7_12700h" in PROFILES

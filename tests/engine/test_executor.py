@@ -1,0 +1,139 @@
+"""Execution simulation: determinism, environment sensitivity, labels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.environment import DatabaseEnvironment, default_environment
+from repro.engine.executor import ExecutionSimulator, execute_workload
+from repro.engine.explain import explain
+from repro.engine.hardware import get_profile
+from repro.engine.knobs import default_configuration
+from repro.sql.parser import parse_sql
+
+
+@pytest.fixture()
+def simulator(tpch, default_env):
+    return ExecutionSimulator(tpch.catalog, tpch.stats, default_env)
+
+
+def q(tpch, sql):
+    return parse_sql(sql, tpch.catalog)
+
+
+class TestDeterminism:
+    def test_same_query_same_latency(self, tpch, simulator):
+        query = q(tpch, "SELECT * FROM orders WHERE orders.o_totalprice < 5000")
+        assert simulator.run_query(query).latency_ms == simulator.run_query(query).latency_ms
+
+    def test_different_literals_different_latency(self, tpch, simulator):
+        a = simulator.run_query(q(tpch, "SELECT * FROM orders WHERE orders.o_totalprice < 5000"))
+        b = simulator.run_query(q(tpch, "SELECT * FROM orders WHERE orders.o_totalprice < 9000"))
+        assert a.latency_ms != b.latency_ms
+
+
+class TestPhysicalPlausibility:
+    def test_latency_positive_and_finite(self, tpch, simulator):
+        for _, query in tpch.generate_queries(22, seed=0):
+            latency = simulator.run_query(query).latency_ms
+            assert np.isfinite(latency) and latency > 0
+
+    def test_node_times_fill_whole_tree(self, tpch, simulator):
+        result = simulator.run_query(
+            q(tpch, "SELECT * FROM lineitem JOIN orders ON "
+                    "lineitem.l_orderkey = orders.o_orderkey ORDER BY lineitem.l_shipdate")
+        )
+        for node in result.plan.walk():
+            assert node.actual_ms > 0
+            assert node.actual_total_ms >= node.actual_ms
+
+    def test_cumulative_time_is_subtree_sum(self, tpch, simulator):
+        result = simulator.run_query(
+            q(tpch, "SELECT COUNT(*) FROM lineitem WHERE lineitem.l_quantity < 10")
+        )
+        root = result.plan
+        assert root.actual_total_ms == pytest.approx(root.total_actual_ms())
+
+    def test_latency_includes_overhead(self, tpch, simulator):
+        result = simulator.run_query(q(tpch, "SELECT * FROM region"))
+        assert result.latency_ms > result.plan.actual_total_ms
+
+    def test_bigger_scan_takes_longer(self, tpch, simulator):
+        small = simulator.run_query(q(tpch, "SELECT * FROM nation")).latency_ms
+        large = simulator.run_query(q(tpch, "SELECT * FROM lineitem")).latency_ms
+        assert large > small * 10
+
+
+class TestEnvironmentSensitivity:
+    def test_more_cache_is_faster(self, tpch):
+        profile = get_profile("h1_r7_7735hs")
+        cold = DatabaseEnvironment(
+            default_configuration().with_overrides(shared_buffers=16384), profile
+        )
+        warm = DatabaseEnvironment(
+            default_configuration().with_overrides(shared_buffers=4194304), profile
+        )
+        query = q(tpch, "SELECT * FROM lineitem")
+        slow = ExecutionSimulator(tpch.catalog, tpch.stats, cold).run_query(query)
+        fast = ExecutionSimulator(tpch.catalog, tpch.stats, warm).run_query(query)
+        assert fast.latency_ms < slow.latency_ms
+
+    def test_faster_hardware_is_faster(self, tpch):
+        cfg = default_configuration()
+        h1 = DatabaseEnvironment(cfg, get_profile("h1_r7_7735hs"))
+        hdd = DatabaseEnvironment(cfg, get_profile("hdd_server"))
+        query = q(tpch, "SELECT * FROM lineitem WHERE lineitem.l_orderkey = 42")
+        nvme_ms = ExecutionSimulator(tpch.catalog, tpch.stats, h1).run_query(query).latency_ms
+        hdd_ms = ExecutionSimulator(tpch.catalog, tpch.stats, hdd).run_query(query).latency_ms
+        assert hdd_ms > nvme_ms
+
+    def test_work_mem_reduces_sort_spill(self, tpch):
+        profile = get_profile("h1_r7_7735hs")
+        tight = DatabaseEnvironment(
+            default_configuration().with_overrides(work_mem=1024), profile
+        )
+        roomy = DatabaseEnvironment(
+            default_configuration().with_overrides(work_mem=262144), profile
+        )
+        query = q(tpch, "SELECT * FROM orders ORDER BY orders.o_totalprice")
+        slow = ExecutionSimulator(tpch.catalog, tpch.stats, tight).run_query(query)
+        fast = ExecutionSimulator(tpch.catalog, tpch.stats, roomy).run_query(query)
+        assert fast.latency_ms < slow.latency_ms
+
+
+class TestWorkloadExecution:
+    def test_execute_workload_labels_everything(self, tpch, simulator):
+        queries = [query for _, query in tpch.generate_queries(10, seed=2)]
+        labeled = execute_workload(queries, simulator)
+        assert len(labeled) == 10
+        for record in labeled:
+            assert record.latency_ms > 0
+            assert record.env_name == simulator.env.name
+            assert record.query_sql
+
+    def test_template_names_recorded(self, tpch, simulator):
+        names_queries = tpch.generate_queries(5, seed=2)
+        labeled = execute_workload(
+            [query for _, query in names_queries],
+            simulator,
+            template_names=[name for name, _ in names_queries],
+        )
+        assert [r.template for r in labeled] == [n for n, _ in names_queries]
+
+
+class TestExplain:
+    def test_explain_renders_tree(self, tpch, simulator):
+        result = simulator.run_query(
+            q(tpch, "SELECT * FROM lineitem JOIN orders ON "
+                    "lineitem.l_orderkey = orders.o_orderkey LIMIT 5")
+        )
+        text = explain(result.plan, analyze=True)
+        assert "Limit" in text
+        assert "cost=" in text
+        assert "actual rows=" in text
+        assert "Join Cond" in text
+
+    def test_explain_without_analyze(self, tpch, simulator):
+        result = simulator.run_query(q(tpch, "SELECT * FROM region"))
+        assert "actual" not in explain(result.plan, analyze=False)

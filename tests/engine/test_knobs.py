@@ -1,0 +1,87 @@
+"""Knob configuration sampling and access."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.knobs import (
+    KNOB_SPECS,
+    KnobConfiguration,
+    default_configuration,
+    random_configuration,
+    random_configurations,
+)
+from repro.errors import PlanError
+
+
+class TestSpecs:
+    def test_postgres_defaults(self):
+        cfg = default_configuration()
+        assert cfg["seq_page_cost"] == 1.0
+        assert cfg["random_page_cost"] == 4.0
+        assert cfg["cpu_tuple_cost"] == 0.01
+        assert cfg["enable_seqscan"] is True
+
+    def test_bool_specs_detected(self):
+        assert KNOB_SPECS["enable_indexscan"].is_bool
+        assert not KNOB_SPECS["work_mem"].is_bool
+
+    def test_sampling_respects_ranges(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            for name, spec in KNOB_SPECS.items():
+                value = spec.sample(rng)
+                if spec.is_bool:
+                    assert isinstance(value, bool)
+                else:
+                    assert spec.low <= value <= spec.high
+
+    def test_int_knobs_stay_int(self):
+        rng = np.random.default_rng(1)
+        assert isinstance(KNOB_SPECS["work_mem"].sample(rng), int)
+
+
+class TestConfiguration:
+    def test_unknown_knob_rejected_on_build(self):
+        with pytest.raises(PlanError):
+            KnobConfiguration("x", values={"nosuch": 1})
+
+    def test_unknown_knob_rejected_on_read(self):
+        with pytest.raises(PlanError):
+            default_configuration()["nosuch"]
+
+    def test_as_dict_covers_all(self):
+        assert set(default_configuration().as_dict()) == set(KNOB_SPECS)
+
+    def test_with_overrides(self):
+        cfg = default_configuration().with_overrides(work_mem=999)
+        assert cfg["work_mem"] == 999
+        assert cfg["seq_page_cost"] == 1.0
+
+
+class TestRandomConfigurations:
+    def test_deterministic_by_seed(self):
+        a = random_configuration("s1").as_dict()
+        b = random_configuration("s1").as_dict()
+        c = random_configuration("s2").as_dict()
+        assert a == b
+        assert a != c
+
+    def test_scan_methods_never_both_disabled(self):
+        for index in range(200):
+            cfg = random_configuration(("guard", index))
+            assert cfg["enable_seqscan"] or cfg["enable_indexscan"]
+
+    def test_join_methods_never_all_disabled(self):
+        for index in range(200):
+            cfg = random_configuration(("guard", index))
+            assert any(
+                cfg[k] for k in ("enable_hashjoin", "enable_mergejoin", "enable_nestloop")
+            )
+
+    def test_pool_size_and_variety(self):
+        pool = random_configurations(20, seed=5)
+        assert len(pool) == 20
+        work_mems = {cfg["work_mem"] for cfg in pool}
+        assert len(work_mems) > 10  # configurations genuinely differ

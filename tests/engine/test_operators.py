@@ -1,0 +1,90 @@
+"""Plan-node structure and traversal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.statistics import Predicate
+from repro.engine.operators import OperatorType, PlanNode, scan_node
+from repro.errors import PlanError
+
+
+def scan(table="t"):
+    return scan_node(OperatorType.SEQ_SCAN, table, [Predicate(table, "a", "=", 1)])
+
+
+class TestConstruction:
+    def test_scan_requires_table(self):
+        with pytest.raises(PlanError):
+            PlanNode(op=OperatorType.SEQ_SCAN)
+
+    def test_index_scan_requires_index(self):
+        with pytest.raises(PlanError):
+            PlanNode(op=OperatorType.INDEX_SCAN, table="t")
+
+    def test_join_requires_two_children(self):
+        with pytest.raises(PlanError):
+            PlanNode(op=OperatorType.HASH_JOIN, children=[scan()])
+
+    def test_valid_join(self):
+        join = PlanNode(op=OperatorType.HASH_JOIN, children=[scan("t"), scan("u")])
+        assert join.node_count == 3
+
+
+class TestTraversal:
+    def _tree(self):
+        join = PlanNode(op=OperatorType.HASH_JOIN, children=[scan("t"), scan("u")])
+        sort = PlanNode(op=OperatorType.SORT, children=[join], sort_keys=("t.a",))
+        return sort
+
+    def test_walk_preorder(self):
+        ops = [n.op for n in self._tree().walk()]
+        assert ops == [
+            OperatorType.SORT,
+            OperatorType.HASH_JOIN,
+            OperatorType.SEQ_SCAN,
+            OperatorType.SEQ_SCAN,
+        ]
+
+    def test_leaves(self):
+        assert len(self._tree().leaves()) == 2
+
+    def test_depth(self):
+        assert self._tree().depth == 3
+
+    def test_tables_sorted_unique(self):
+        assert self._tree().tables() == ["t", "u"]
+
+    def test_operator_counts(self):
+        counts = self._tree().operator_counts()
+        assert counts[OperatorType.SEQ_SCAN] == 2
+        assert counts[OperatorType.SORT] == 1
+
+    def test_total_actual_ms_sums_subtree(self):
+        tree = self._tree()
+        for index, node in enumerate(tree.walk()):
+            node.actual_ms = float(index + 1)
+        assert tree.total_actual_ms() == pytest.approx(1 + 2 + 3 + 4)
+
+
+class TestValidate:
+    def test_scan_with_children_invalid(self):
+        node = scan()
+        node.children.append(scan("u"))
+        with pytest.raises(PlanError):
+            node.validate()
+
+    def test_sort_needs_single_child(self):
+        node = PlanNode(op=OperatorType.SORT, children=[])
+        with pytest.raises(PlanError):
+            node.validate()
+
+    def test_negative_cardinality_invalid(self):
+        node = scan()
+        node.est_rows = -1.0
+        with pytest.raises(PlanError):
+            node.validate()
+
+    def test_valid_tree_passes(self):
+        join = PlanNode(op=OperatorType.HASH_JOIN, children=[scan("t"), scan("u")])
+        PlanNode(op=OperatorType.SORT, children=[join]).validate()

@@ -1,0 +1,40 @@
+"""Evaluation metrics and summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.eval.metrics import QErrorSummary, summarize_q_errors
+
+positive = arrays(np.float64, (20,), elements=st.floats(0.01, 1e5))
+
+
+class TestSummarize:
+    @given(positive, positive)
+    def test_percentiles_monotone(self, predictions, actuals):
+        summary = summarize_q_errors(predictions, actuals)
+        p = summary.percentiles
+        assert p[25] <= p[50] <= p[75] <= p[90] <= p[95] <= p[99] <= summary.maximum
+
+    @given(positive)
+    def test_perfect_predictions(self, values):
+        summary = summarize_q_errors(values, values)
+        assert summary.mean == pytest.approx(1.0)
+        assert summary.maximum == pytest.approx(1.0)
+
+    def test_counts(self):
+        summary = summarize_q_errors([1.0, 2.0], [1.0, 1.0])
+        assert summary.count == 2
+        assert summary.mean == pytest.approx(1.5)
+
+    def test_quantile_box_keys(self):
+        summary = summarize_q_errors([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert set(summary.quantile_box()) == {"q25", "q50", "q75"}
+
+    def test_median_property(self):
+        summary = summarize_q_errors([2.0], [1.0])
+        assert summary.median == summary.percentiles[50] == pytest.approx(2.0)

@@ -1,0 +1,146 @@
+"""Operator encoding: layout, one-hot placement, snapshot block, masks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.statistics import Predicate
+from repro.engine.cardinality import CardinalityModel
+from repro.engine.operators import OperatorType, PlanNode, scan_node
+from repro.errors import FeatureError
+from repro.featurization.encoding import SNAPSHOT_SLOTS, OperatorEncoder, apply_mask
+
+
+@pytest.fixture()
+def encoder(tpch):
+    return OperatorEncoder(tpch.catalog)
+
+
+def annotated_scan(tpch, table="orders", preds=()):
+    node = scan_node(OperatorType.SEQ_SCAN, table, list(preds))
+    CardinalityModel(tpch.catalog, tpch.stats).annotate_estimates(node)
+    return node
+
+
+class TestLayout:
+    def test_dim_is_sum_of_blocks(self, encoder, tpch):
+        expected = (
+            len(OperatorType)
+            + len(tpch.catalog.table_names)
+            + len(tpch.catalog.all_columns())
+            + len(tpch.catalog.all_indexes())
+            + 10
+            + SNAPSHOT_SLOTS
+        )
+        assert encoder.dim == expected
+        assert len(encoder.feature_names) == encoder.dim
+
+    def test_block_slices_partition(self, encoder):
+        blocks = ["op", "table", "column", "index", "numeric", "snapshot"]
+        stops = [encoder.block_slice(b) for b in blocks]
+        assert stops[0].start == 0
+        for previous, current in zip(stops, stops[1:]):
+            assert previous.stop == current.start
+        assert stops[-1].stop == encoder.dim
+
+    def test_unknown_block_rejected(self, encoder):
+        with pytest.raises(FeatureError):
+            encoder.block_slice("bogus")
+
+    def test_feature_names_are_descriptive(self, encoder):
+        names = encoder.feature_names
+        assert "op:Seq Scan" in names
+        assert "table:lineitem" in names
+        assert "column:orders.o_orderkey" in names
+        assert "num:log_est_rows" in names
+        assert "snapshot:c0" in names
+
+
+class TestEncodeNode:
+    def test_operator_one_hot(self, encoder, tpch):
+        vec = encoder.encode_node(annotated_scan(tpch))
+        block = vec[encoder.block_slice("op")]
+        assert block.sum() == 1.0
+        assert block[list(OperatorType).index(OperatorType.SEQ_SCAN)] == 1.0
+
+    def test_table_one_hot(self, encoder, tpch):
+        vec = encoder.encode_node(annotated_scan(tpch, "orders"))
+        block = vec[encoder.block_slice("table")]
+        assert block.sum() == 1.0
+
+    def test_predicate_columns_multi_hot(self, encoder, tpch):
+        node = annotated_scan(
+            tpch, "orders",
+            [Predicate("orders", "o_totalprice", "<", 100),
+             Predicate("orders", "o_orderdate", ">", 5)],
+        )
+        vec = encoder.encode_node(node)
+        assert vec[encoder.block_slice("column")].sum() == 2.0
+
+    def test_index_one_hot(self, encoder, tpch):
+        node = scan_node(
+            OperatorType.INDEX_SCAN, "orders",
+            [Predicate("orders", "o_orderkey", "=", 5)], index="orders_pkey",
+        )
+        CardinalityModel(tpch.catalog, tpch.stats).annotate_estimates(node)
+        vec = encoder.encode_node(node)
+        assert vec[encoder.block_slice("index")].sum() == 1.0
+
+    def test_numerics_log_scaled(self, encoder, tpch):
+        node = annotated_scan(tpch, "lineitem")
+        vec = encoder.encode_node(node)
+        numerics = vec[encoder.block_slice("numeric")]
+        assert numerics[0] == pytest.approx(np.log1p(node.est_rows))
+
+    def test_snapshot_zero_without_mapping(self, encoder, tpch):
+        vec = encoder.encode_node(annotated_scan(tpch))
+        np.testing.assert_array_equal(vec[encoder.block_slice("snapshot")], 0.0)
+
+    def test_snapshot_filled_with_mapping(self, encoder, tpch):
+        snapshot = {OperatorType.SEQ_SCAN: np.array([1.0, 2.0])}
+        vec = encoder.encode_node(annotated_scan(tpch), snapshot)
+        block = vec[encoder.block_slice("snapshot")]
+        np.testing.assert_array_equal(block[:2], [1.0, 2.0])
+        np.testing.assert_array_equal(block[2:], 0.0)
+
+    def test_join_columns_referenced(self, encoder, tpch):
+        left = annotated_scan(tpch, "lineitem")
+        right = annotated_scan(tpch, "orders")
+        join = PlanNode(
+            op=OperatorType.HASH_JOIN,
+            children=[left, right],
+            join_columns=("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        )
+        CardinalityModel(tpch.catalog, tpch.stats).annotate_estimates(join)
+        vec = encoder.encode_node(join)
+        assert vec[encoder.block_slice("column")].sum() == 2.0
+
+
+class TestEncodePlanAndMask:
+    def test_plan_matrix_shape(self, encoder, tpch, tpch_simulator):
+        from repro.sql.parser import parse_sql
+
+        result = tpch_simulator.run_query(
+            parse_sql(
+                "SELECT * FROM lineitem JOIN orders ON "
+                "lineitem.l_orderkey = orders.o_orderkey LIMIT 3",
+                tpch.catalog,
+            )
+        )
+        matrix = encoder.encode_plan(result.plan)
+        assert matrix.shape == (result.plan.node_count, encoder.dim)
+
+    def test_apply_mask_bool(self):
+        features = np.arange(6.0)
+        keep = np.array([True, False, True, False, True, False])
+        np.testing.assert_array_equal(apply_mask(features, keep), [0, 2, 4])
+
+    def test_apply_mask_none_identity(self):
+        features = np.arange(4.0)
+        assert apply_mask(features, None) is features
+
+    def test_apply_mask_on_matrix(self):
+        matrix = np.arange(12.0).reshape(3, 4)
+        keep = np.array([True, True, False, False])
+        assert apply_mask(matrix, keep).shape == (3, 2)

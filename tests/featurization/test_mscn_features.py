@@ -1,0 +1,93 @@
+"""MSCN set featurization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.featurization.mscn_features import MSCNEncoder
+from repro.sql.parser import parse_sql
+
+
+@pytest.fixture()
+def encoder(tpch):
+    return MSCNEncoder(tpch.catalog)
+
+
+def encode(tpch, tpch_simulator, encoder, sql):
+    result = tpch_simulator.run_query(parse_sql(sql, tpch.catalog))
+    return encoder.encode(result.plan)
+
+
+class TestSetShapes:
+    def test_single_table_query(self, tpch, tpch_simulator, encoder):
+        sample = encode(
+            tpch, tpch_simulator, encoder,
+            "SELECT * FROM orders WHERE orders.o_totalprice < 1000",
+        )
+        assert sample.tables.shape == (1, encoder.table_dim)
+        assert sample.joins.shape[0] == 0
+        assert sample.predicates.shape == (1, encoder.predicate_dim)
+        assert sample.plan_global.shape == (encoder.global_dim,)
+
+    def test_join_query_has_join_rows(self, tpch, tpch_simulator, encoder):
+        sample = encode(
+            tpch, tpch_simulator, encoder,
+            "SELECT * FROM lineitem JOIN orders ON "
+            "lineitem.l_orderkey = orders.o_orderkey",
+        )
+        assert sample.tables.shape[0] == 2
+        assert sample.joins.shape == (1, encoder.join_dim)
+
+    def test_table_rows_are_one_hot(self, tpch, tpch_simulator, encoder):
+        sample = encode(tpch, tpch_simulator, encoder, "SELECT * FROM region")
+        assert sample.tables.sum() == 1.0
+
+
+class TestPredicateEncoding:
+    def test_value_normalised_to_unit(self, tpch, tpch_simulator, encoder):
+        sample = encode(
+            tpch, tpch_simulator, encoder,
+            "SELECT * FROM part WHERE part.p_size < 25",
+        )
+        value = sample.predicates[0, -1]
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx((25 - 1) / 49, abs=0.05)
+
+    def test_between_encodes_width(self, tpch, tpch_simulator, encoder):
+        sample = encode(
+            tpch, tpch_simulator, encoder,
+            "SELECT * FROM part WHERE part.p_size BETWEEN 10 AND 20",
+        )
+        assert sample.predicates[0, -1] == pytest.approx(10 / 49, abs=0.02)
+
+    def test_operator_one_hot_present(self, tpch, tpch_simulator, encoder):
+        sample = encode(
+            tpch, tpch_simulator, encoder,
+            "SELECT * FROM part WHERE part.p_size = 3",
+        )
+        op_block = sample.predicates[0, len(encoder.columns):-1]
+        assert op_block.sum() == 1.0
+
+
+class TestGlobalVector:
+    def test_mean_of_node_encodings(self, tpch, tpch_simulator, encoder):
+        from repro.sql.parser import parse_sql as parse
+
+        result = tpch_simulator.run_query(
+            parse("SELECT * FROM nation", tpch.catalog)
+        )
+        sample = encoder.encode(result.plan)
+        direct = encoder.op_encoder.encode_plan(result.plan).mean(axis=0)
+        np.testing.assert_allclose(sample.plan_global, direct)
+
+    def test_snapshot_flows_into_global(self, tpch, tpch_simulator, encoder):
+        from repro.engine.operators import OperatorType
+        from repro.sql.parser import parse_sql as parse
+
+        result = tpch_simulator.run_query(parse("SELECT * FROM nation", tpch.catalog))
+        with_snap = encoder.encode(
+            result.plan, {OperatorType.SEQ_SCAN: np.array([9.0, 9.0, 9.0, 9.0])}
+        )
+        without = encoder.encode(result.plan)
+        assert not np.allclose(with_snap.plan_global, without.plan_global)

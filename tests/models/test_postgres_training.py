@@ -1,0 +1,111 @@
+"""PostgreSQL baseline and the shared training utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.postgres import PostgresCostEstimator
+from repro.models.training import (
+    evaluate_estimator,
+    pearson_correlation,
+    train_test_split,
+)
+
+
+class TestPostgresBaseline:
+    def test_predicts_optimizer_cost(self, tpch_labeled):
+        estimator = PostgresCostEstimator()
+        estimator.fit(tpch_labeled)
+        predictions = estimator.predict_many(tpch_labeled[:5])
+        expected = [r.plan.est_total_cost for r in tpch_labeled[:5]]
+        np.testing.assert_allclose(predictions, expected)
+
+    def test_raw_costs_give_huge_q_error(self, tpch_split):
+        """The paper's Table IV PGSQL rows: units mismatch -> q >> 1."""
+        train, test = tpch_split
+        estimator = PostgresCostEstimator()
+        estimator.fit(train)
+        report = evaluate_estimator(estimator, test)
+        assert report.mean_q_error > 50
+
+    def test_but_correlation_is_positive(self, tpch_split):
+        train, test = tpch_split
+        estimator = PostgresCostEstimator()
+        estimator.fit(train)
+        assert evaluate_estimator(estimator, test).pearson > 0.2
+
+    def test_calibration_shrinks_q_error(self, tpch_split):
+        train, test = tpch_split
+        raw = PostgresCostEstimator()
+        raw.fit(train)
+        calibrated = PostgresCostEstimator(calibrated=True)
+        calibrated.fit(train)
+        raw_q = evaluate_estimator(raw, test).mean_q_error
+        cal_q = evaluate_estimator(calibrated, test).mean_q_error
+        assert cal_q < raw_q
+
+    def test_predict_single(self, tpch_labeled):
+        estimator = PostgresCostEstimator()
+        estimator.fit(tpch_labeled)
+        assert estimator.predict(tpch_labeled[0]) == pytest.approx(
+            tpch_labeled[0].plan.est_total_cost
+        )
+
+
+class TestTrainTestSplit:
+    def test_ratio(self, tpch_labeled):
+        train, test = train_test_split(tpch_labeled, test_fraction=0.2, seed=0)
+        assert len(train) + len(test) == len(tpch_labeled)
+        assert len(test) == pytest.approx(0.2 * len(tpch_labeled), abs=1)
+
+    def test_disjoint(self, tpch_labeled):
+        train, test = train_test_split(tpch_labeled, seed=0)
+        train_ids = {id(r) for r in train}
+        assert not train_ids & {id(r) for r in test}
+
+    def test_deterministic(self, tpch_labeled):
+        a = train_test_split(tpch_labeled, seed=3)[0]
+        b = train_test_split(tpch_labeled, seed=3)[0]
+        assert [id(r) for r in a] == [id(r) for r in b]
+
+    def test_seed_changes_split(self, tpch_labeled):
+        a = train_test_split(tpch_labeled, seed=1)[0]
+        b = train_test_split(tpch_labeled, seed=2)[0]
+        assert [id(r) for r in a] != [id(r) for r in b]
+
+    def test_invalid_fraction(self, tpch_labeled):
+        with pytest.raises(ValueError):
+            train_test_split(tpch_labeled, test_fraction=1.5)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 3 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_is_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=50), rng.normal(size=50)
+        assert pearson_correlation(a, b) == pytest.approx(np.corrcoef(a, b)[0, 1])
+
+
+class TestEvaluateEstimator:
+    def test_report_fields(self, tpch_split):
+        train, test = tpch_split
+        estimator = PostgresCostEstimator(calibrated=True)
+        stats = estimator.fit(train)
+        report = evaluate_estimator(estimator, test, train_seconds=stats.train_seconds)
+        assert report.n_test == len(test)
+        assert report.mean_q_error >= 1.0
+        assert set(report.q_error_percentiles) == {25, 50, 75, 90, 95, 99}
+        assert report.median_q_error == report.q_error_percentiles[50]
+        assert report.inference_seconds >= 0
+        assert report.row()["mean"] == report.mean_q_error

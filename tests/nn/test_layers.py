@@ -1,0 +1,115 @@
+"""Layer behaviour: shapes, parameters, checkpointing, composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU, Sequential, Sigmoid, Tanh, mlp
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3)
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_parameters_are_trainable(self):
+        layer = Linear(4, 2)
+        assert all(p.requires_grad for p in layer.parameters())
+        assert layer.num_parameters() == 4 * 2 + 2
+
+    def test_deterministic_init_by_seed_key(self):
+        a = Linear(6, 4, seed_key="x")
+        b = Linear(6, 4, seed_key="x")
+        c = Linear(6, 4, seed_key="y")
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+        assert not np.array_equal(a.weight.data, c.weight.data)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_gradient_flows(self):
+        layer = Linear(3, 2)
+        out = layer(Tensor(np.ones((4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, [4.0, 4.0])
+
+
+class TestActivations:
+    @pytest.mark.parametrize("cls", [ReLU, Sigmoid, Tanh])
+    def test_preserves_shape(self, cls):
+        out = cls()(Tensor(np.random.default_rng(0).normal(size=(3, 5))))
+        assert out.shape == (3, 5)
+
+    def test_relu_clamps(self):
+        out = ReLU()(Tensor(np.array([-1.0, 1.0])))
+        np.testing.assert_array_equal(out.numpy(), [0.0, 1.0])
+
+    def test_sigmoid_range(self):
+        out = Sigmoid()(Tensor(np.array([-100.0, 0.0, 100.0]))).numpy()
+        assert np.all(out >= 0) and np.all(out <= 1)
+        assert out[1] == pytest.approx(0.5)
+
+
+class TestSequential:
+    def test_composes_in_order(self):
+        model = Sequential(Linear(2, 2, seed_key=1), ReLU(), Linear(2, 1, seed_key=2))
+        out = model(Tensor(np.ones((3, 2))))
+        assert out.shape == (3, 1)
+        assert len(model) == 3
+
+    def test_parameters_concatenate(self):
+        model = Sequential(Linear(2, 4), ReLU(), Linear(4, 1))
+        assert len(model.parameters()) == 4
+
+    def test_state_dict_roundtrip(self):
+        a = mlp(4, (8,), 1, seed_key="a")
+        b = mlp(4, (8,), 1, seed_key="b")
+        x = Tensor(np.random.default_rng(3).normal(size=(5, 4)))
+        assert not np.allclose(a(x).numpy(), b(x).numpy())
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a(x).numpy(), b(x).numpy())
+
+    def test_load_state_dict_validates_shapes(self):
+        a = mlp(4, (8,), 1)
+        b = mlp(4, (6,), 1)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_load_state_dict_validates_length(self):
+        a = mlp(4, (8,), 1)
+        with pytest.raises(ValueError):
+            a.load_state_dict(a.state_dict()[:-1])
+
+    def test_zero_grad_clears_all(self):
+        model = mlp(3, (4,), 1)
+        model(Tensor(np.ones((2, 3)))).sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestMLPBuilder:
+    def test_layer_structure(self):
+        model = mlp(10, (16, 8), 2)
+        kinds = [type(m).__name__ for m in model]
+        assert kinds == ["Linear", "ReLU", "Linear", "ReLU", "Linear"]
+
+    def test_no_hidden(self):
+        model = mlp(5, (), 1)
+        assert len(model) == 1
+
+    def test_activation_choices(self):
+        model = mlp(5, (4,), 1, activation="tanh")
+        assert type(model.modules[1]).__name__ == "Tanh"
+        with pytest.raises(ValueError):
+            mlp(5, (4,), 1, activation="gelu")
+
+    def test_output_dims(self):
+        model = mlp(7, (5,), 3)
+        assert model(Tensor(np.zeros((2, 7)))).shape == (2, 3)

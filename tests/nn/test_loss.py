@@ -1,0 +1,77 @@
+"""Loss-function properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.loss import log_mse, mae, mse, numpy_q_error, q_error_loss
+from repro.nn.tensor import Tensor
+
+positive = arrays(np.float64, (6,), elements=st.floats(0.01, 1e4))
+
+
+class TestMSE:
+    def test_zero_at_match(self):
+        t = Tensor(np.ones(4))
+        assert mse(t, Tensor(np.ones(4))).item() == pytest.approx(0.0)
+
+    def test_known_value(self):
+        pred = Tensor(np.array([1.0, 3.0]))
+        target = Tensor(np.array([0.0, 0.0]))
+        assert mse(pred, target).item() == pytest.approx(5.0)
+
+    def test_gradient_direction(self):
+        pred = Tensor(np.array([2.0]), requires_grad=True)
+        mse(pred, Tensor(np.array([0.0]))).backward()
+        assert pred.grad[0] > 0  # predicting high -> decrease
+
+
+class TestMAE:
+    def test_known_value(self):
+        assert mae(Tensor(np.array([1.0, -1.0])), Tensor(np.zeros(2))).item() == 1.0
+
+
+class TestLogMSE:
+    def test_scale_invariance_of_ratio(self):
+        small = log_mse(Tensor(np.array([2.0])), Tensor(np.array([1.0]))).item()
+        large = log_mse(Tensor(np.array([2000.0])), Tensor(np.array([1000.0]))).item()
+        assert small == pytest.approx(large)
+
+    def test_survives_nonpositive_predictions(self):
+        value = log_mse(Tensor(np.array([-5.0])), Tensor(np.array([1.0]))).item()
+        assert np.isfinite(value)
+
+
+class TestQErrorLoss:
+    @given(positive)
+    def test_at_least_two(self, actual):
+        loss = q_error_loss(Tensor(actual), Tensor(actual)).item()
+        assert loss == pytest.approx(2.0)
+
+    @given(positive, positive)
+    def test_symmetric(self, a, b):
+        ab = q_error_loss(Tensor(a), Tensor(b)).item()
+        ba = q_error_loss(Tensor(b), Tensor(a)).item()
+        assert ab == pytest.approx(ba, rel=1e-9)
+
+
+class TestNumpyQError:
+    @given(positive, positive)
+    def test_always_at_least_one(self, pred, actual):
+        assert np.all(numpy_q_error(pred, actual) >= 1.0)
+
+    @given(positive)
+    def test_identity_is_one(self, values):
+        np.testing.assert_allclose(numpy_q_error(values, values), 1.0)
+
+    def test_matches_paper_definition(self):
+        q = numpy_q_error(np.array([2.0, 0.5]), np.array([1.0, 1.0]))
+        np.testing.assert_allclose(q, [2.0, 2.0])
+
+    def test_zero_actual_guarded(self):
+        q = numpy_q_error(np.array([1.0]), np.array([0.0]))
+        assert np.isfinite(q[0])

@@ -1,0 +1,101 @@
+"""Query AST construction and SQL rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.statistics import Predicate
+from repro.errors import ParseError
+from repro.sql.ast import (
+    ColumnRef,
+    JoinCondition,
+    OrderByItem,
+    SelectQuery,
+    predicate_sql,
+)
+
+
+class TestPredicateSql:
+    def test_simple_comparison(self):
+        assert predicate_sql(Predicate("t", "a", ">", 5)) == "t.a > 5"
+
+    def test_string_literal_quoted(self):
+        assert predicate_sql(Predicate("t", "a", "=", "x'y")) == "t.a = 'x''y'"
+
+    def test_between(self):
+        assert (
+            predicate_sql(Predicate("t", "a", "between", (1, 9)))
+            == "t.a BETWEEN 1 AND 9"
+        )
+
+    def test_in(self):
+        assert predicate_sql(Predicate("t", "a", "in", (1, 2))) == "t.a IN (1, 2)"
+
+    def test_like(self):
+        assert predicate_sql(Predicate("t", "a", "like", "%x%")) == "t.a LIKE '%x%'"
+
+
+class TestSelectQuery:
+    def test_minimal_sql(self):
+        q = SelectQuery(tables=["t"])
+        assert q.sql() == "SELECT * FROM t"
+
+    def test_full_rendering(self):
+        q = SelectQuery(
+            tables=["a", "b"],
+            joins=[JoinCondition(ColumnRef("a", "x"), ColumnRef("b", "y"))],
+            predicates=[Predicate("a", "z", ">", 10)],
+            group_by=[ColumnRef("a", "z")],
+            order_by=[OrderByItem(ColumnRef("a", "z"), descending=True)],
+            aggregate="count",
+            limit=5,
+        )
+        sql = q.sql()
+        assert "JOIN b ON a.x = b.y" in sql
+        assert "WHERE a.z > 10" in sql
+        assert "GROUP BY a.z" in sql
+        assert "ORDER BY a.z DESC" in sql
+        assert sql.endswith("LIMIT 5")
+        assert sql.startswith("SELECT a.z, COUNT(*)")
+
+    def test_requires_tables(self):
+        with pytest.raises(ParseError):
+            SelectQuery(tables=[])
+
+    def test_rejects_duplicate_tables(self):
+        with pytest.raises(ParseError):
+            SelectQuery(tables=["t", "t"])
+
+    def test_rejects_join_on_unknown_table(self):
+        with pytest.raises(ParseError):
+            SelectQuery(
+                tables=["a"],
+                joins=[JoinCondition(ColumnRef("a", "x"), ColumnRef("b", "y"))],
+            )
+
+    def test_rejects_predicate_on_unknown_table(self):
+        with pytest.raises(ParseError):
+            SelectQuery(tables=["a"], predicates=[Predicate("b", "x", "=", 1)])
+
+    def test_predicates_on_filters_by_table(self):
+        q = SelectQuery(
+            tables=["a", "b"],
+            predicates=[Predicate("a", "x", "=", 1), Predicate("b", "y", "=", 2)],
+        )
+        assert len(q.predicates_on("a")) == 1
+        assert q.predicates_on("a")[0].table == "a"
+
+    def test_is_aggregate(self):
+        assert SelectQuery(tables=["t"], aggregate="count").is_aggregate
+        assert SelectQuery(
+            tables=["t"], group_by=[ColumnRef("t", "a")]
+        ).is_aggregate
+        assert not SelectQuery(tables=["t"]).is_aggregate
+
+    def test_cross_join_rendering(self):
+        q = SelectQuery(tables=["a", "b"])
+        assert "CROSS JOIN b" in q.sql()
+
+    def test_signature_stable(self):
+        q = SelectQuery(tables=["t"], predicates=[Predicate("t", "a", "=", 1)])
+        assert q.signature() == q.signature()

@@ -1,0 +1,153 @@
+"""SQL parser: round-trips, resolution, and error cases."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.sql.parser import parse_sql, tokenize
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("SELECT * FROM t") == ["SELECT", "*", "FROM", "t"]
+
+    def test_string_literals_kept_whole(self):
+        tokens = tokenize("WHERE a = 'hello world'")
+        assert "'hello world'" in tokens
+
+    def test_escaped_quotes(self):
+        tokens = tokenize("x = 'it''s'")
+        assert tokens[-1] == "'it''s'"
+
+    def test_numbers_and_ops(self):
+        assert tokenize("a >= -1.5") == ["a", ">=", "-1.5"]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT ~~ FROM t")
+
+
+class TestParseBasics:
+    def test_simple_scan(self, tpch):
+        q = parse_sql("SELECT * FROM lineitem WHERE lineitem.l_quantity < 10", tpch.catalog)
+        assert q.tables == ["lineitem"]
+        assert q.predicates[0].op == "<"
+        assert q.predicates[0].value == 10
+
+    def test_unqualified_column_resolved(self, tpch):
+        q = parse_sql("SELECT * FROM orders WHERE o_totalprice > 100", tpch.catalog)
+        assert q.predicates[0].table == "orders"
+
+    def test_ambiguous_column_rejected(self, tpch):
+        # o_orderkey/l_orderkey are distinct, but pick a truly shared name.
+        with pytest.raises(ParseError):
+            parse_sql(
+                "SELECT * FROM lineitem JOIN orders ON "
+                "lineitem.l_orderkey = orders.o_orderkey WHERE nosuchcol = 1",
+                tpch.catalog,
+            )
+
+    def test_join_on_syntax(self, tpch):
+        q = parse_sql(
+            "SELECT * FROM lineitem JOIN orders ON lineitem.l_orderkey = orders.o_orderkey",
+            tpch.catalog,
+        )
+        assert len(q.joins) == 1
+        assert q.joins[0].left.table == "lineitem"
+
+    def test_implicit_join_in_where(self, tpch):
+        q = parse_sql(
+            "SELECT * FROM lineitem, orders WHERE lineitem.l_orderkey = orders.o_orderkey",
+            tpch.catalog,
+        )
+        assert len(q.joins) == 1
+        assert q.predicates == []
+
+    def test_count_star(self, tpch):
+        q = parse_sql("SELECT COUNT(*) FROM nation", tpch.catalog)
+        assert q.aggregate == "count"
+
+    def test_sum_aggregate(self, tpch):
+        q = parse_sql("SELECT SUM(l_quantity) FROM lineitem", tpch.catalog)
+        assert q.aggregate == "sum(l_quantity)"
+
+    def test_group_order_limit(self, tpch):
+        q = parse_sql(
+            "SELECT COUNT(*) FROM orders WHERE orders.o_totalprice > 5 "
+            "GROUP BY orders.o_orderpriority ORDER BY orders.o_orderpriority DESC LIMIT 7",
+            tpch.catalog,
+        )
+        assert q.group_by[0].column == "o_orderpriority"
+        assert q.order_by[0].descending
+        assert q.limit == 7
+
+    def test_between(self, tpch):
+        q = parse_sql(
+            "SELECT * FROM lineitem WHERE lineitem.l_quantity BETWEEN 5 AND 10",
+            tpch.catalog,
+        )
+        assert q.predicates[0].op == "between"
+        assert q.predicates[0].value == (5, 10)
+
+    def test_in_list(self, tpch):
+        q = parse_sql(
+            "SELECT * FROM lineitem WHERE lineitem.l_linenumber IN (1, 2, 3)",
+            tpch.catalog,
+        )
+        assert q.predicates[0].op == "in"
+        assert q.predicates[0].value == (1, 2, 3)
+
+    def test_like(self, tpch):
+        q = parse_sql(
+            "SELECT * FROM part WHERE part.p_name LIKE 'green%'", tpch.catalog
+        )
+        assert q.predicates[0].op == "like"
+
+    def test_not_equal_normalised(self, tpch):
+        q = parse_sql("SELECT * FROM part WHERE part.p_size != 3", tpch.catalog)
+        assert q.predicates[0].op == "<>"
+
+
+class TestParseErrors:
+    def test_unknown_table(self, tpch):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM nosuchtable", tpch.catalog)
+
+    def test_unknown_column(self, tpch):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM nation WHERE nation.bogus = 1", tpch.catalog)
+
+    def test_truncated_query(self, tpch):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM nation WHERE", tpch.catalog)
+
+    def test_trailing_tokens(self, tpch):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM nation EXTRA", tpch.catalog)
+
+
+class TestRoundTrip:
+    """parse(q.sql()) reproduces the structure for generated queries."""
+
+    def test_tpch_workload_roundtrip(self, tpch):
+        for name, query in tpch.generate_queries(22, seed=5):
+            parsed = parse_sql(query.sql(), tpch.catalog)
+            assert sorted(parsed.tables) == sorted(query.tables), name
+            assert len(parsed.joins) == len(query.joins), name
+            assert len(parsed.predicates) == len(query.predicates), name
+            assert parsed.limit == query.limit, name
+
+    def test_sysbench_workload_roundtrip(self, sysbench):
+        for name, query in sysbench.generate_queries(30, seed=5):
+            parsed = parse_sql(query.sql(), sysbench.catalog)
+            assert parsed.tables == query.tables, name
+            assert len(parsed.predicates) == len(query.predicates), name
+
+    def test_joblight_workload_roundtrip(self, joblight):
+        for name, query in joblight.generate_queries(20, seed=5):
+            parsed = parse_sql(query.sql(), joblight.catalog)
+            assert sorted(parsed.tables) == sorted(query.tables), name
+            assert len(parsed.joins) == len(query.joins), name

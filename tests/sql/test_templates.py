@@ -1,0 +1,85 @@
+"""Query templates: binding, validation, instantiation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.statistics import DataAbstract
+from repro.errors import ParseError
+from repro.sql.templates import QueryTemplate, TemplateParam, instantiate_all
+
+
+class TestValidation:
+    def test_placeholder_spec_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            QueryTemplate("t", "SELECT * FROM x WHERE a = :v", params=())
+
+    def test_extra_param_rejected(self):
+        with pytest.raises(ParseError):
+            QueryTemplate(
+                "t",
+                "SELECT * FROM x",
+                params=(TemplateParam("v", "x", "a"),),
+            )
+
+
+class TestBind:
+    def test_numeric_substitution(self):
+        template = QueryTemplate(
+            "t", "SELECT * FROM x WHERE a = :v", params=(TemplateParam("v", "x", "a"),)
+        )
+        assert template.bind({"v": 42}) == "SELECT * FROM x WHERE a = 42"
+
+    def test_string_substitution_quoted(self):
+        template = QueryTemplate(
+            "t", "SELECT * FROM x WHERE a = :v", params=(TemplateParam("v", "x", "a"),)
+        )
+        assert template.bind({"v": "o'brien"}) == "SELECT * FROM x WHERE a = 'o''brien'"
+
+    def test_missing_value_raises(self):
+        template = QueryTemplate(
+            "t", "SELECT * FROM x WHERE a = :v", params=(TemplateParam("v", "x", "a"),)
+        )
+        with pytest.raises(ParseError):
+            template.bind({})
+
+
+class TestInstantiate:
+    def test_instantiates_parseable_query(self, tpch):
+        template = QueryTemplate(
+            "t",
+            "SELECT * FROM lineitem WHERE lineitem.l_quantity < :q",
+            params=(TemplateParam("q", "lineitem", "l_quantity"),),
+        )
+        abstract = DataAbstract(tpch.catalog)
+        query = template.instantiate(tpch.catalog, abstract, np.random.default_rng(0))
+        assert query.tables == ["lineitem"]
+        assert query.predicates[0].column == "l_quantity"
+
+    def test_range_pairs_ordered(self, tpch):
+        template = QueryTemplate(
+            "t",
+            "SELECT * FROM lineitem WHERE lineitem.l_shipdate BETWEEN :d_lo AND :d_hi",
+            params=(
+                TemplateParam("d_lo", "lineitem", "l_shipdate"),
+                TemplateParam("d_hi", "lineitem", "l_shipdate"),
+            ),
+        )
+        abstract = DataAbstract(tpch.catalog)
+        for seed in range(10):
+            query = template.instantiate(
+                tpch.catalog, abstract, np.random.default_rng(seed)
+            )
+            low, high = query.predicates[0].value
+            assert low <= high
+
+    def test_instantiate_all_counts(self, tpch):
+        template = QueryTemplate(
+            "t",
+            "SELECT * FROM nation WHERE nation.n_regionkey = :r",
+            params=(TemplateParam("r", "nation", "n_regionkey"),),
+        )
+        abstract = DataAbstract(tpch.catalog)
+        queries = instantiate_all([template], tpch.catalog, abstract, 5)
+        assert len(queries) == 5

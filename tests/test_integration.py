@@ -1,0 +1,104 @@
+"""End-to-end integration: the full QCFE story on every benchmark.
+
+These tests tie the whole stack together — catalog, workload, engine,
+snapshot, encoders, models, reduction — and assert the paper's headline
+qualitative claims at a small scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QCFE, QCFEConfig
+from repro.models import (
+    PostgresCostEstimator,
+    evaluate_estimator,
+    train_test_split,
+)
+from repro.workload import collect_labeled_plans, get_benchmark, standard_environments
+
+
+@pytest.fixture(scope="module", params=["tpch", "sysbench", "joblight"])
+def bench_setup(request):
+    benchmark = get_benchmark(request.param)
+    environments = standard_environments(4, seed=0)
+    labeled = collect_labeled_plans(benchmark, environments, 200, seed=1)
+    train, test = train_test_split(labeled, seed=0)
+    return benchmark, environments, train, test
+
+
+class TestHeadlineClaims:
+    def test_learned_models_beat_postgres_baseline(self, bench_setup):
+        benchmark, environments, train, test = bench_setup
+        baseline = PostgresCostEstimator()
+        baseline.fit(train)
+        pg_q = evaluate_estimator(baseline, test).mean_q_error
+
+        pipeline = QCFE(
+            benchmark, environments,
+            QCFEConfig(model="qppnet", snapshot_source="template",
+                       reduction="diff", epochs=8),
+        )
+        pipeline.fit(train)
+        qcfe_q = pipeline.evaluate(test).mean_q_error
+        assert qcfe_q < pg_q / 10
+
+    def test_qcfe_models_are_accurate(self, bench_setup):
+        benchmark, environments, train, test = bench_setup
+        for model in ("qppnet", "mscn"):
+            pipeline = QCFE(
+                benchmark, environments,
+                QCFEConfig(model=model, snapshot_source="template",
+                           reduction="diff", epochs=10),
+            )
+            pipeline.fit(train)
+            report = pipeline.evaluate(test)
+            assert report.pearson > 0.5, model
+            assert report.mean_q_error < 5.0, model
+
+    def test_reduction_saves_parameters(self, bench_setup):
+        benchmark, environments, train, _ = bench_setup
+        base = QCFE(
+            benchmark, environments,
+            QCFEConfig(model="qppnet", snapshot_source="template",
+                       reduction=None, epochs=2),
+        )
+        base.fit(train)
+        reduced = QCFE(
+            benchmark, environments,
+            QCFEConfig(model="qppnet", snapshot_source="template",
+                       reduction="diff", epochs=2),
+        )
+        reduced.fit(train)
+        assert (
+            reduced.estimator.num_parameters() < base.estimator.num_parameters()
+        )
+
+
+class TestDeterminism:
+    def test_full_pipeline_deterministic(self):
+        benchmark = get_benchmark("sysbench")
+        environments = standard_environments(3, seed=5)
+        labeled = collect_labeled_plans(benchmark, environments, 90, seed=2)
+        train, test = train_test_split(labeled, seed=0)
+
+        def run():
+            pipeline = QCFE(
+                benchmark, environments,
+                QCFEConfig(model="qppnet", snapshot_source="template",
+                           reduction="diff", epochs=4, seed=7),
+            )
+            pipeline.fit(train)
+            return pipeline.predict_many(test)
+
+        np.testing.assert_allclose(run(), run())
+
+    def test_labels_identical_across_collections(self):
+        benchmark = get_benchmark("tpch")
+        environments = standard_environments(2, seed=5)
+        a = collect_labeled_plans(benchmark, environments, 30, seed=2)
+        b = collect_labeled_plans(benchmark, environments, 30, seed=2)
+        np.testing.assert_allclose(
+            [r.latency_ms for r in a], [r.latency_ms for r in b]
+        )

@@ -1,0 +1,150 @@
+"""Workload generators: structure, determinism, plannability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import ExecutionSimulator
+from repro.errors import ReproError
+from repro.workload.collect import (
+    BENCHMARK_NAMES,
+    PAPER_ITERATIONS,
+    collect_labeled_plans,
+    get_benchmark,
+)
+from repro.workload.joblight import (
+    JOBLIGHT_QUERY_COUNT,
+    joblight_queries,
+    joblight_templates,
+)
+from repro.workload.sysbench_oltp import sysbench_queries, sysbench_template_texts
+from repro.workload.tpch_queries import tpch_templates
+
+
+class TestTPCHTemplates:
+    def test_twenty_two_templates(self):
+        assert len(tpch_templates()) == 22
+        assert [t.name for t in tpch_templates()] == [f"q{i}" for i in range(1, 23)]
+
+    def test_every_template_instantiates_and_plans(self, tpch, default_env):
+        simulator = ExecutionSimulator(tpch.catalog, tpch.stats, default_env)
+        rng = np.random.default_rng(0)
+        for template in tpch_templates():
+            query = template.instantiate(tpch.catalog, tpch.abstract, rng)
+            result = simulator.run_query(query)
+            assert result.latency_ms > 0, template.name
+
+    def test_join_shapes_match_originals(self, tpch):
+        rng = np.random.default_rng(1)
+        by_name = {t.name: t for t in tpch_templates()}
+        q5 = by_name["q5"].instantiate(tpch.catalog, tpch.abstract, rng)
+        assert len(q5.tables) == 6
+        assert len(q5.joins) == 5
+        q6 = by_name["q6"].instantiate(tpch.catalog, tpch.abstract, rng)
+        assert q6.tables == ["lineitem"]
+        assert q6.aggregate is not None
+
+
+class TestJobLight:
+    def test_seventy_fixed_queries(self, joblight):
+        queries = joblight_queries(joblight.catalog)
+        assert len(queries) == JOBLIGHT_QUERY_COUNT == 70
+
+    def test_deterministic(self, joblight):
+        a = [q.sql() for _, q in joblight_queries(joblight.catalog)]
+        b = [q.sql() for _, q in joblight_queries(joblight.catalog)]
+        assert a == b
+
+    def test_star_joins_on_title(self, joblight):
+        for name, query in joblight_queries(joblight.catalog):
+            assert "title" in query.tables, name
+            assert 1 <= len(query.joins) <= 4, name
+            for join in query.joins:
+                assert join.right.table == "title"
+                assert join.right.column == "id"
+
+    def test_all_count_aggregates(self, joblight):
+        for _, query in joblight_queries(joblight.catalog):
+            assert query.aggregate == "count"
+
+    def test_join_count_distribution(self, joblight):
+        counts = [len(q.joins) for _, q in joblight_queries(joblight.catalog)]
+        assert min(counts) == 1
+        assert max(counts) == 4
+        assert sum(1 for c in counts if c <= 2) > sum(1 for c in counts if c >= 3)
+
+    def test_templates_instantiate(self, joblight):
+        rng = np.random.default_rng(0)
+        templates = joblight_templates(joblight.catalog)
+        assert len(templates) == 70
+        for template in templates[:10]:
+            query = template.instantiate(joblight.catalog, joblight.abstract, rng)
+            assert "title" in query.tables
+
+
+class TestSysbench:
+    def test_mix_is_point_select_heavy(self, sysbench):
+        queries = sysbench_queries(sysbench.catalog, 500, seed=0)
+        shapes = [name for name, _ in queries]
+        point_fraction = shapes.count("point_select") / len(shapes)
+        assert 0.6 < point_fraction < 0.8  # 10/14 in the official mix
+
+    def test_range_width_100(self, sysbench):
+        for name, query in sysbench_queries(sysbench.catalog, 200, seed=1):
+            if name == "point_select":
+                continue
+            low, high = query.predicates[0].value
+            assert high - low == 99
+
+    def test_all_five_shapes_appear(self, sysbench):
+        shapes = {name for name, _ in sysbench_queries(sysbench.catalog, 400, seed=2)}
+        assert shapes == {
+            "point_select", "simple_range", "sum_range", "order_range", "distinct_range",
+        }
+
+    def test_template_texts_cover_shapes(self):
+        names = [name for name, _ in sysbench_template_texts()]
+        assert len(names) == 5
+
+    def test_distinct_range_groups(self, sysbench):
+        queries = dict(sysbench_queries(sysbench.catalog, 400, seed=3))
+        assert queries["distinct_range"].group_by
+
+
+class TestBenchmarkFactory:
+    def test_known_names(self):
+        for name in BENCHMARK_NAMES:
+            bench = get_benchmark(name)
+            assert bench.name == name
+            assert bench.template_texts
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError):
+            get_benchmark("tpcds")
+
+    def test_paper_iterations_known(self):
+        assert PAPER_ITERATIONS["joblight"] == 800
+        assert PAPER_ITERATIONS["tpch"] == 400
+        assert PAPER_ITERATIONS["sysbench"] == 100
+
+
+class TestCollection:
+    def test_collects_requested_total(self, tpch, environments):
+        labeled = collect_labeled_plans(tpch, environments, 40, seed=0)
+        assert len(labeled) == 40
+
+    def test_spreads_across_environments(self, tpch, environments):
+        labeled = collect_labeled_plans(tpch, environments, 40, seed=0)
+        env_names = {record.env_name for record in labeled}
+        assert len(env_names) == len(environments)
+
+    def test_requires_environments(self, tpch):
+        with pytest.raises(ReproError):
+            collect_labeled_plans(tpch, [], 10)
+
+    def test_labels_have_plans_and_sql(self, tpch_labeled):
+        for record in tpch_labeled[:20]:
+            assert record.plan.node_count >= 1
+            assert record.latency_ms > 0
+            assert record.query_sql.startswith("SELECT")
