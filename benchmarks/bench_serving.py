@@ -1,0 +1,117 @@
+"""Serving throughput: micro-batching and feature-cache speedups.
+
+Not a paper figure — this measures the `repro.serving` subsystem that
+wraps the trained estimators for online use:
+
+1. **Batching**: `estimate_many` at batch sizes 1/8/64 over pre-built
+   plans (isolating the featurize+predict path the batcher fuses) must
+   show batch-64 at >= 3x the plans/sec of batch-1.
+2. **Feature cache**: on a workload of repeated plans, a warm
+   `FeatureCache` run must beat the cold run that pays featurization.
+
+Also reports end-to-end (SQL text in) throughput for context.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import QCFE, QCFEConfig
+from repro.eval.harness import default_epochs, env_int
+from repro.eval.reporting import render_serving_report
+from repro.serving import CostService, SnapshotStore
+
+
+def _throughput(run, count: int) -> float:
+    start = time.perf_counter()
+    run()
+    return count / (time.perf_counter() - start)
+
+
+def test_serving_throughput(context, save_result):
+    bench = context.benchmark("sysbench")
+    envs = context.environments(2)
+    plans = env_int("QCFE_SERVING_PLANS", 192)
+    labeled = context.labeled("sysbench", total=plans, env_count=2)
+
+    pipeline = QCFE(
+        bench,
+        envs,
+        QCFEConfig(model="qppnet", epochs=max(2, default_epochs() // 2)),
+    )
+    pipeline.fit(labeled)
+
+    service = CostService(snapshot_store=SnapshotStore())
+    service.deploy(pipeline.export_bundle())
+    env = envs[0]
+    # Pre-built plans isolate the estimation path from parse/plan time.
+    plan_inputs = [record.plan for record in labeled]
+    sql_inputs = [record.query_sql for record in labeled]
+
+    # Warm the feature cache once so the batching comparison isolates
+    # the predict path (featurization cost is the cache section below).
+    service.estimate_many(plan_inputs, env, batch_size=64)
+    throughput_rows = []
+    rates = {}
+    for batch_size in (1, 8, 64):
+        rate = _throughput(
+            lambda bs=batch_size: service.estimate_many(
+                plan_inputs, env, batch_size=bs
+            ),
+            len(plan_inputs),
+        )
+        rates[batch_size] = rate
+        throughput_rows.append(
+            (f"plans, batch {batch_size}", rate, 1000.0 / rate)
+        )
+
+    # Cache speedup: identical workload, cold cache vs fully warm cache.
+    service.cache.clear()
+    cold = _throughput(
+        lambda: service.estimate_many(plan_inputs, env, batch_size=8),
+        len(plan_inputs),
+    )
+    warm = _throughput(
+        lambda: service.estimate_many(plan_inputs, env, batch_size=8),
+        len(plan_inputs),
+    )
+    throughput_rows.append(("cold cache, batch 8", cold, 1000.0 / cold))
+    throughput_rows.append(("warm cache, batch 8", warm, 1000.0 / warm))
+
+    # End-to-end (parse -> plan -> featurize -> predict) for context.
+    service.cache.clear()
+    sql_rate = _throughput(
+        lambda: service.estimate_many(sql_inputs, env, batch_size=64),
+        len(sql_inputs),
+    )
+    throughput_rows.append(("sql end-to-end, batch 64", sql_rate, 1000.0 / sql_rate))
+
+    batch_speedup = rates[64] / rates[1]
+    cache_speedup = warm / cold
+    summary = (
+        f"batch-64 vs batch-1 speedup: {batch_speedup:.2f}x "
+        f"(batch1={rates[1]:.1f}/s, batch64={rates[64]:.1f}/s)\n"
+        f"warm vs cold feature cache: {cache_speedup:.2f}x "
+        f"(cold={cold:.1f}/s, warm={warm:.1f}/s)"
+    )
+    report = (
+        render_serving_report(
+            throughput_rows,
+            service.stats.stage_rows(),
+            [
+                (
+                    "feature-cache",
+                    service.cache.stats.hits,
+                    service.cache.stats.misses,
+                    service.cache.stats.hit_rate,
+                )
+            ],
+        )
+        + "\n\n"
+        + summary
+    )
+    save_result("serving", report)
+    service.close()
+
+    assert batch_speedup >= 3.0, summary
+    assert warm > cold, summary

@@ -1,0 +1,112 @@
+"""Serving demo: one CostService, two benchmarks, mixed traffic.
+
+Trains small QCFE(qpp) bundles for TPC-H and Sysbench, deploys both
+into one :class:`repro.serving.CostService`, then drives a mixed
+workload (analytic TPC-H queries interleaved with Sysbench OLTP point
+queries, with the repetition real traffic has) through three paths:
+
+- synchronous ``estimate()`` one query at a time,
+- batched ``estimate_many()``,
+- concurrent ``estimate_async()`` via the micro-batcher,
+
+and prints throughput, per-stage latency and cache hit rates.
+
+Run:  python examples/serving_demo.py
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core import QCFE, QCFEConfig
+from repro.engine.environment import random_environments
+from repro.serving import CostService, SnapshotStore
+from repro.workload.collect import collect_labeled_plans, get_benchmark
+
+ENVS = 2
+PLANS_PER_BENCHMARK = 80
+REPEAT = 3  # each query recurs, like production prepared statements
+
+
+def train_bundle(name: str, environments):
+    benchmark = get_benchmark(name)
+    labeled = collect_labeled_plans(
+        benchmark, environments, PLANS_PER_BENCHMARK, seed=1
+    )
+    pipeline = QCFE(
+        benchmark,
+        environments,
+        QCFEConfig(model="qppnet", epochs=6, template_scale=6),
+    )
+    pipeline.fit(labeled)
+    return pipeline.export_bundle(), [record.query_sql for record in labeled]
+
+
+def main() -> None:
+    environments = random_environments(ENVS, seed=0)
+    env = environments[0]
+
+    service = CostService(
+        snapshot_store=SnapshotStore(reuse_tolerance=0.02),
+        batch_window_s=0.005,
+    )
+    workload = []  # (bundle name, sql)
+    for name in ("tpch", "sysbench"):
+        print(f"Training {name} bundle ...")
+        bundle, queries = train_bundle(name, environments)
+        service.deploy(bundle)
+        workload.extend((bundle.name, sql) for sql in queries)
+    workload = workload * REPEAT
+    print(f"\nDeployed: {service.registry.names()}")
+    print(f"Mixed workload: {len(workload)} requests "
+          f"({REPEAT}x repetition)\n")
+
+    # --- synchronous, one at a time --------------------------------
+    start = time.perf_counter()
+    for bundle_name, sql in workload:
+        service.estimate(sql, env, bundle=bundle_name)
+    sync_rate = len(workload) / (time.perf_counter() - start)
+    print(f"sync estimate():      {sync_rate:8.1f} queries/sec")
+
+    # --- batched ----------------------------------------------------
+    start = time.perf_counter()
+    for bundle_name in service.registry.names():
+        queries = [sql for name, sql in workload if name == bundle_name]
+        service.estimate_many(queries, env, bundle=bundle_name, batch_size=64)
+    batch_rate = len(workload) / (time.perf_counter() - start)
+    print(f"batched estimate_many(): {batch_rate:5.1f} queries/sec "
+          f"({batch_rate / sync_rate:.2f}x sync)")
+
+    # --- concurrent clients through the micro-batcher ---------------
+    futures = []
+    lock = threading.Lock()
+
+    def client(shard: int) -> None:
+        for index, (bundle_name, sql) in enumerate(workload):
+            if index % 4 == shard:
+                future = service.estimate_async(sql, env, bundle=bundle_name)
+                with lock:
+                    futures.append(future)
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(s,)) for s in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for future in futures:
+        future.result(timeout=30.0)
+    async_rate = len(futures) / (time.perf_counter() - start)
+    print(f"async via micro-batcher: {async_rate:5.1f} queries/sec")
+    for name, stats in sorted(service.batcher_stats().items()):
+        print(f"  {name}: {stats.batches} batches, "
+              f"mean size {stats.mean_batch_size:.1f}, "
+              f"largest {stats.largest_batch}")
+
+    print("\n" + service.report())
+    service.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,30 @@
-"""Legacy setup shim.
+"""Packaging for the QCFE reproduction.
 
-The offline environment has no ``wheel`` package, so PEP 517 editable
-installs fail; ``pip install -e . --no-build-isolation --no-use-pep517``
-uses this file instead.  All metadata lives in pyproject.toml.
+The package lives under ``src/`` (src-layout), so ``package_dir`` /
+``find_packages("src")`` below are what make ``pip install -e .``
+expose ``repro`` (including ``repro.serving``) without PYTHONPATH
+hacks.  The offline environment has no ``wheel`` package, so PEP 517
+editable installs can fail; use::
+
+    pip install -e . --no-build-isolation --no-use-pep517
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="qcfe-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of QCFE: an efficient feature engineering for "
+        "query cost estimation (ICDE 2024), with an online serving layer"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+)

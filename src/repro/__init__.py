@@ -19,6 +19,7 @@ from .errors import (
     PlanError,
     ReproError,
     SchemaError,
+    ServingError,
     SnapshotError,
     TrainingError,
 )
@@ -33,5 +34,6 @@ __all__ = [
     "TrainingError",
     "FeatureError",
     "SnapshotError",
+    "ServingError",
     "__version__",
 ]

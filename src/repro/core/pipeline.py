@@ -353,6 +353,36 @@ class QCFE:
     def predict_many(self, labeled: Sequence[LabeledPlan]) -> np.ndarray:
         return self.estimator.predict_many(labeled, snapshot_set=self.snapshot_set)
 
+    def export_bundle(self, name: Optional[str] = None):
+        """Package the fitted pipeline as a deployable
+        :class:`repro.serving.EstimatorBundle` for the serving layer.
+
+        The bundle carries everything an online ``estimate()`` needs:
+        the (reduced, retrained) estimator, the snapshot set it was
+        trained with, the installed keep-masks and the benchmark whose
+        catalog parses/plans incoming SQL.
+        """
+        # Local import: serving sits above core in the layer stack.
+        from ..serving.registry import EstimatorBundle
+
+        result = self.result
+        cfg = self.config
+        return EstimatorBundle(
+            name=name or f"{self.benchmark.name}:{cfg.model}",
+            estimator=self.estimator,
+            benchmark=self.benchmark,
+            snapshot_set=self.snapshot_set,
+            masks=dict(result.masks) if result is not None else {},
+            global_mask=result.global_mask if result is not None else None,
+            metadata={
+                "model": cfg.model,
+                "snapshot_source": cfg.snapshot_source,
+                "reduction": cfg.reduction,
+                "reduction_ratio": result.reduction_ratio if result else 0.0,
+                "trained": result is not None,
+            },
+        )
+
     def evaluate(self, test: Sequence[LabeledPlan]) -> EvaluationReport:
         train_seconds = (
             self.result.train_stats.train_seconds if self.result is not None else 0.0

@@ -98,6 +98,22 @@ class SnapshotSet:
         except KeyError:
             raise SnapshotError(f"no snapshot for environment {env_name!r}") from None
 
+    def snapshots(self) -> List[FeatureSnapshot]:
+        """The member snapshots (serving-layer extension point)."""
+        return [self._by_env[name] for name in self.env_names]
+
+    def with_snapshot(self, snapshot: FeatureSnapshot) -> "SnapshotSet":
+        """A new set including *snapshot* (replacing any same-named one).
+
+        Normalisation statistics are recomputed over the extended pool,
+        which is why the serving layer swaps the whole set — and bumps
+        the bundle version so feature caches keyed on the old
+        normalisation expire — instead of mutating in place.
+        """
+        merged = dict(self._by_env)
+        merged[snapshot.env_name] = snapshot
+        return SnapshotSet(merged.values())
+
     def normalized(self, env_name: str) -> Dict[OperatorType, np.ndarray]:
         """Standardised coefficient mapping for *env_name*."""
         if self._normalized is None:

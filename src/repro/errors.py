@@ -35,3 +35,7 @@ class FeatureError(ReproError):
 
 class SnapshotError(ReproError):
     """A feature snapshot could not be fitted or applied."""
+
+
+class ServingError(ReproError):
+    """The online estimation service was misused or misconfigured."""

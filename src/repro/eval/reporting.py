@@ -25,6 +25,52 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
+def render_serving_report(
+    throughput: Sequence[Tuple[str, float, float]],
+    stages: Sequence[Tuple[str, int, float, float]],
+    caches: Sequence[Tuple[str, int, int, float]],
+) -> str:
+    """Serving metrics in the repo's table style.
+
+    ``throughput`` rows are (mode, plans/sec, mean ms/plan); ``stages``
+    rows are (stage, calls, total seconds, mean ms) as produced by
+    :meth:`repro.serving.ServiceStats.stage_rows`; ``caches`` rows are
+    (cache, hits, misses, hit rate).
+    """
+    sections = []
+    if throughput:
+        sections.append(
+            format_table(
+                ["mode", "plans/sec", "mean ms/plan"],
+                [
+                    (mode, f"{rate:.1f}", f"{mean_ms:.3f}")
+                    for mode, rate, mean_ms in throughput
+                ],
+            )
+        )
+    if stages:
+        sections.append(
+            format_table(
+                ["stage", "calls", "total s", "mean ms"],
+                [
+                    (stage, count, f"{total:.3f}", f"{mean_ms:.3f}")
+                    for stage, count, total, mean_ms in stages
+                ],
+            )
+        )
+    if caches:
+        sections.append(
+            format_table(
+                ["cache", "hits", "misses", "hit rate"],
+                [
+                    (name, hits, misses, f"{rate:.1%}")
+                    for name, hits, misses, rate in caches
+                ],
+            )
+        )
+    return "\n\n".join(sections)
+
+
 def render_figure1(result: Dict[str, Dict[str, float]]) -> str:
     rows = []
     for benchmark, per_env in result.items():

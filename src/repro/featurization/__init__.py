@@ -1,6 +1,7 @@
 """Featurization: operator-level and MSCN set-based encodings."""
 
 from .encoding import SNAPSHOT_SLOTS, OperatorEncoder, apply_mask
+from .fingerprint import plan_fingerprint
 from .mscn_features import MSCNEncoder, MSCNSample
 
 __all__ = [
@@ -9,4 +10,5 @@ __all__ = [
     "SNAPSHOT_SLOTS",
     "MSCNEncoder",
     "MSCNSample",
+    "plan_fingerprint",
 ]

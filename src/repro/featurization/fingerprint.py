@@ -1,0 +1,57 @@
+"""Stable plan fingerprints: the feature-cache key of the serving layer.
+
+Two plans receive the same fingerprint exactly when they encode to the
+same feature vectors: the digest covers every :class:`PlanNode` field
+the :class:`~repro.featurization.encoding.OperatorEncoder` (and the
+MSCN encoder) reads — operator, table/index, predicates, sort/join/
+group keys, limit and the optimizer estimates — walked in the same
+pre-order the encoders use.  Runtime-only fields (actual times, true
+cardinalities, resource counts) are deliberately excluded: they are
+unknown at estimation time and unused by featurization.
+
+Extra context (environment name, bundle version, mask revision) is
+mixed in via ``*context`` so one cache can serve many configurations
+without collisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..engine.operators import PlanNode
+
+_FIELD_SEP = b"\x1f"
+_NODE_SEP = b"\x1e"
+
+
+def _predicate_key(predicate) -> str:
+    return (
+        f"{predicate.table}.{predicate.column}{predicate.op}{predicate.value!r}"
+    )
+
+
+def plan_fingerprint(plan: PlanNode, *context: object) -> str:
+    """Hex digest identifying *plan*'s featurization, plus *context*."""
+    digest = hashlib.blake2b(digest_size=16)
+    for part in context:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(_FIELD_SEP)
+    for node in plan.walk():
+        fields = (
+            node.op.value,
+            node.table or "",
+            node.index or "",
+            ";".join(_predicate_key(p) for p in node.predicates),
+            ",".join(node.sort_keys),
+            ",".join(node.join_columns),
+            ",".join(node.group_keys),
+            str(node.limit_count),
+            f"{node.est_rows:.8g}",
+            str(node.est_width),
+            f"{node.est_startup_cost:.8g}",
+            f"{node.est_total_cost:.8g}",
+            str(len(node.children)),
+        )
+        digest.update("|".join(fields).encode("utf-8"))
+        digest.update(_NODE_SEP)
+    return digest.hexdigest()

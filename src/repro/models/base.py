@@ -55,6 +55,38 @@ class CostEstimator:
     ) -> float:
         return float(self.predict_many([record], snapshot_set=snapshot_set)[0])
 
+    # ------------------------------------------------------------------
+    # serving hooks (repro.serving)
+    # ------------------------------------------------------------------
+    def prepare_one(
+        self, record: LabeledPlan, snapshot_set: Optional["SnapshotSet"] = None
+    ):
+        """Cacheable per-record encoding for the serving layer.
+
+        Returns an opaque object that :meth:`predict_prepared` accepts in
+        place of re-encoding *record*.  It must be reusable across plan
+        objects that share a fingerprint (same structure and estimates),
+        which is what lets a :class:`repro.serving.FeatureCache` skip
+        featurization on repeated plans.  The default returns None
+        ("no cacheable form"), which predict_prepared treats as
+        encode-on-demand.
+        """
+        return None
+
+    def predict_prepared(
+        self,
+        labeled: Sequence[LabeledPlan],
+        prepared: Optional[Sequence] = None,
+        snapshot_set: Optional["SnapshotSet"] = None,
+    ) -> np.ndarray:
+        """Batched prediction reusing :meth:`prepare_one` encodings.
+
+        ``prepared[i]`` is the cached encoding of ``labeled[i]`` or None,
+        in which case the record is encoded on the fly (with
+        ``snapshot_set``).  The default ignores ``prepared`` entirely.
+        """
+        return self.predict_many(labeled, snapshot_set=snapshot_set)
+
 
 def snapshot_mapping_for(
     record: LabeledPlan, snapshot_set: Optional["SnapshotSet"]

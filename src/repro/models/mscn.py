@@ -202,16 +202,65 @@ class MSCN(CostEstimator):
         labeled: Sequence[LabeledPlan],
         snapshot_set: Optional["SnapshotSet"] = None,
     ) -> np.ndarray:
+        return self.predict_prepared(labeled, snapshot_set=snapshot_set)
+
+    # ------------------------------------------------------------------
+    # serving hooks
+    # ------------------------------------------------------------------
+    def prepare_one(
+        self, record: LabeledPlan, snapshot_set: Optional["SnapshotSet"] = None
+    ) -> MSCNSample:
+        """The (masked) MSCN sample; plan-object independent, so safe to
+        cache by plan fingerprint and share across requests."""
+        return self._encode(record, snapshot_set)
+
+    def predict_prepared(
+        self,
+        labeled: Sequence[LabeledPlan],
+        prepared: Optional[Sequence] = None,
+        snapshot_set: Optional["SnapshotSet"] = None,
+    ) -> np.ndarray:
         if not labeled:
             return np.zeros(0)
-        samples = [self._encode(r, snapshot_set) for r in labeled]
+        if prepared is None:
+            prepared = [None] * len(labeled)
+        samples = [
+            self._encode(record, snapshot_set) if sample is None else sample
+            for record, sample in zip(labeled, prepared)
+        ]
         out = np.zeros(len(labeled))
         step = 512
         for lo in range(0, len(labeled), step):
             chunk = samples[lo:lo + step]
-            values = self._forward(chunk).numpy().reshape(-1)
+            values = self._forward_numpy(chunk).reshape(-1)
             out[lo:lo + len(chunk)] = from_log(values)
         return out
+
+    def _pool_numpy(self, net, rows_list: List[np.ndarray]) -> np.ndarray:
+        """Inference-only mirror of :meth:`_pool` on raw arrays."""
+        sizes = [rows.shape[0] for rows in rows_list]
+        nonempty = [rows for rows in rows_list if rows.shape[0] > 0]
+        hidden: Optional[np.ndarray] = None
+        if nonempty:
+            hidden = net.forward_numpy(np.concatenate(nonempty, axis=0))
+            hidden = hidden * (hidden > 0)
+        pooled = np.zeros((len(sizes), self.hidden))
+        offset = 0
+        for index, size in enumerate(sizes):
+            if size == 0 or hidden is None:
+                continue
+            pooled[index] = hidden[offset:offset + size].mean(axis=0)
+            offset += size
+        return pooled
+
+    def _forward_numpy(self, samples: Sequence[MSCNSample]) -> np.ndarray:
+        """No-autodiff forward for prediction: the serving hot path."""
+        tables = self._pool_numpy(self.table_net, [s.tables for s in samples])
+        joins = self._pool_numpy(self.join_net, [s.joins for s in samples])
+        preds = self._pool_numpy(self.pred_net, [s.predicates for s in samples])
+        global_vec = np.stack([s.plan_global for s in samples])
+        features = np.concatenate([tables, joins, preds, global_vec], axis=1)
+        return self.out_net.forward_numpy(features)
 
     # ------------------------------------------------------------------
     def final_input_dataset(

@@ -304,20 +304,108 @@ class QPPNet(CostEstimator):
         labeled: Sequence[LabeledPlan],
         snapshot_set: Optional["SnapshotSet"] = None,
     ) -> np.ndarray:
+        return self.predict_prepared(labeled, snapshot_set=snapshot_set)
+
+    # ------------------------------------------------------------------
+    # serving hooks
+    # ------------------------------------------------------------------
+    def prepare_one(
+        self, record: LabeledPlan, snapshot_set: Optional["SnapshotSet"] = None
+    ) -> List[np.ndarray]:
+        """Masked node feature rows in pre-order walk order.
+
+        Walk order (not node ids) is the exchange format so a row list
+        cached for one plan object can be replayed onto any plan with
+        the same fingerprint.
+        """
+        feature_map = self._encode_record(record, snapshot_set)
+        return [feature_map[id(node)] for node in record.plan.walk()]
+
+    def _feature_map_from_rows(
+        self, record: LabeledPlan, rows: Sequence[np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        return {id(node): rows[i] for i, node in enumerate(record.plan.walk())}
+
+    def predict_prepared(
+        self,
+        labeled: Sequence[LabeledPlan],
+        prepared: Optional[Sequence] = None,
+        snapshot_set: Optional["SnapshotSet"] = None,
+    ) -> np.ndarray:
         if not labeled:
             return np.zeros(0)
-        feature_maps = [self._encode_record(r, snapshot_set) for r in labeled]
+        if prepared is None:
+            prepared = [None] * len(labeled)
+        feature_maps = [
+            self._encode_record(record, snapshot_set)
+            if rows is None
+            else self._feature_map_from_rows(record, rows)
+            for record, rows in zip(labeled, prepared)
+        ]
         out = np.zeros(len(labeled))
         step = 256
         for lo in range(0, len(labeled), step):
             chunk = list(range(lo, min(lo + step, len(labeled))))
-            preds, _, roots = self._forward_batch(
+            roots = self._forward_batch_numpy(
                 [labeled[i] for i in chunk], [feature_maps[i] for i in chunk]
             )
-            values = preds.numpy()
-            for local, i in enumerate(chunk):
-                out[i] = float(from_log(values[roots[local]]))
+            out[chunk] = from_log(roots)
         return out
+
+    def _forward_batch_numpy(
+        self,
+        records: Sequence[LabeledPlan],
+        feature_maps: Sequence[Dict[int, np.ndarray]],
+    ) -> np.ndarray:
+        """Inference-only mirror of :meth:`_forward_batch` on raw
+        arrays (no autodiff graph): the serving hot path.  Returns the
+        root log-latency prediction per record."""
+        node_info: List[Tuple[PlanNode, int, int]] = []
+        heights: Dict[int, int] = {}
+
+        def height_of(node: PlanNode) -> int:
+            h = 1 + max((height_of(c) for c in node.children), default=-1)
+            heights[id(node)] = h
+            return h
+
+        for plan_index, record in enumerate(records):
+            height_of(record.plan)
+            for node in record.plan.walk():
+                node_info.append((node, plan_index, heights[id(node)]))
+
+        zero_child = np.zeros(self.data_size)
+        outputs: Dict[int, np.ndarray] = {}  # node id -> unit output row
+        max_height = max(h for _, _, h in node_info)
+        for level in range(max_height + 1):
+            groups: Dict[OperatorType, List[Tuple[PlanNode, int]]] = {}
+            for node, plan_index, h in node_info:
+                if h == level:
+                    groups.setdefault(node.op, []).append((node, plan_index))
+            for op, members in groups.items():
+                rows = np.stack(
+                    [feature_maps[pi][id(node)] for node, pi in members]
+                )
+                children = np.stack(
+                    [
+                        np.concatenate(
+                            [
+                                outputs[id(node.children[slot])][1:]
+                                if slot < len(node.children)
+                                else zero_child
+                                for slot in range(_MAX_CHILDREN)
+                            ]
+                        )
+                        for node, _ in members
+                    ]
+                )
+                unit_out = self.units[op].forward_numpy(
+                    np.concatenate([rows, children], axis=1)
+                )
+                for row, (node, _) in enumerate(members):
+                    outputs[id(node)] = unit_out[row]
+        return np.array(
+            [float(outputs[id(record.plan)][0]) for record in records]
+        )
 
     # ------------------------------------------------------------------
     # feature-reduction support

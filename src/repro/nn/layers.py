@@ -29,6 +29,15 @@ class Module:
     def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only forward on raw arrays.
+
+        Bit-identical to :meth:`forward` but skips building the
+        autodiff graph — the serving hot path uses this; training
+        never should.
+        """
+        raise NotImplementedError
+
     def zero_grad(self) -> None:
         for p in self.parameters():
             p.zero_grad()
@@ -73,6 +82,9 @@ class Linear(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x @ self.weight + self.bias
 
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.weight.data + self.bias.data
+
     def __repr__(self) -> str:
         return f"Linear({self.in_features} -> {self.out_features})"
 
@@ -82,6 +94,9 @@ class ReLU(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return x.relu()
+
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        return x * (x > 0)
 
     def __repr__(self) -> str:
         return "ReLU()"
@@ -93,6 +108,9 @@ class Sigmoid(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.sigmoid()
 
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
     def __repr__(self) -> str:
         return "Sigmoid()"
 
@@ -102,6 +120,9 @@ class Tanh(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return x.tanh()
+
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
 
     def __repr__(self) -> str:
         return "Tanh()"
@@ -123,6 +144,11 @@ class Sequential(Module):
     def forward(self, x: Tensor) -> Tensor:
         for module in self.modules:
             x = module(x)
+        return x
+
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        for module in self.modules:
+            x = module.forward_numpy(x)
         return x
 
     def __iter__(self) -> Iterator[Module]:

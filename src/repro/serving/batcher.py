@@ -1,0 +1,168 @@
+"""Micro-batching: coalesce concurrent estimates into one forward pass.
+
+The estimators are dramatically more efficient per plan when invoked
+in batches (QPPNet fuses all nodes of a batch sharing (height,
+operator) into single matrix multiplies; MSCN stacks samples), but an
+online service receives requests one at a time.  The micro-batcher is
+the standard serving answer: requests queue briefly, and a worker
+flushes a batch as soon as it reaches ``max_batch`` items (flush on
+size) or the oldest queued request has waited ``flush_window_s``
+(flush on window).  Callers get a Future immediately and block only on
+its result.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ServingError
+
+#: predict_fn: a list of queued items -> one value per item.
+BatchPredictor = Callable[[List[object]], Sequence[float]]
+
+
+@dataclass
+class BatcherStats:
+    """Flush accounting, exposed on service reports."""
+
+    submitted: int = 0
+    batches: int = 0
+    flushed_on_size: int = 0
+    flushed_on_window: int = 0
+    flushed_on_close: int = 0
+    largest_batch: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.submitted / self.batches if self.batches else 0.0
+
+
+class MicroBatcher:
+    """Coalesces submitted items into batched ``predict_fn`` calls."""
+
+    def __init__(
+        self,
+        predict_fn: BatchPredictor,
+        max_batch: int = 64,
+        flush_window_s: float = 0.002,
+        name: str = "batcher",
+    ):
+        if max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {max_batch}")
+        if flush_window_s < 0:
+            raise ServingError("flush_window_s must be >= 0")
+        self.predict_fn = predict_fn
+        self.max_batch = max_batch
+        self.flush_window_s = flush_window_s
+        self.name = name
+        self.stats = BatcherStats()
+        self._cond = threading.Condition()
+        self._pending: List[Tuple[object, Future]] = []
+        self._oldest_arrival = 0.0
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._loop, name=f"microbatcher-{name}", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, item: object) -> "Future[float]":
+        """Queue *item*; the Future resolves to its predicted value."""
+        future: "Future[float]" = Future()
+        with self._cond:
+            if self._closed:
+                raise ServingError(f"batcher {self.name!r} is closed")
+            if not self._pending:
+                self._oldest_arrival = time.monotonic()
+            self._pending.append((item, future))
+            self.stats.submitted += 1
+            self._cond.notify_all()
+        return future
+
+    def estimate(self, item: object, timeout: float = 30.0) -> float:
+        """Submit and block for the result (convenience wrapper)."""
+        return float(self.submit(item).result(timeout=timeout))
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            batch, reason = self._take_batch()
+            if batch is None:
+                return
+            self._run(batch, reason)
+
+    def _take_batch(self):
+        """Block until a batch is due; None signals shutdown."""
+        with self._cond:
+            while not self._pending and not self._closed:
+                self._cond.wait()
+            if not self._pending and self._closed:
+                return None, ""
+            if self._closed:
+                reason = "close"
+            else:
+                deadline = self._oldest_arrival + self.flush_window_s
+                while len(self._pending) < self.max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                if self._closed:
+                    reason = "close"
+                elif len(self._pending) >= self.max_batch:
+                    reason = "size"
+                else:
+                    reason = "window"
+            batch = self._pending[: self.max_batch]
+            del self._pending[: self.max_batch]
+            if self._pending:
+                self._oldest_arrival = time.monotonic()
+            return batch, reason
+
+    def _run(self, batch: List[Tuple[object, Future]], reason: str) -> None:
+        self.stats.batches += 1
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        if reason == "size":
+            self.stats.flushed_on_size += 1
+        elif reason == "window":
+            self.stats.flushed_on_window += 1
+        else:
+            self.stats.flushed_on_close += 1
+        items = [item for item, _ in batch]
+        try:
+            values = np.asarray(self.predict_fn(items), dtype=np.float64)
+            if values.shape[0] != len(items):
+                raise ServingError(
+                    f"predict_fn returned {values.shape[0]} values "
+                    f"for {len(items)} items"
+                )
+        except BaseException as exc:  # propagate to every waiter
+            for _, future in batch:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            return
+        for (_, future), value in zip(batch, values):
+            if not future.cancelled():
+                future.set_result(float(value))
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop accepting work, drain pending items, join the worker."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

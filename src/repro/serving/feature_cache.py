@@ -1,0 +1,99 @@
+"""LRU cache for per-plan encoded features.
+
+Featurization is a real fraction of online estimation cost (building
+the per-node one-hot/numeric vectors walks the plan and the catalog),
+and production traffic repeats plans heavily — the same prepared
+statement arrives thousands of times with identical plans.  The cache
+memoises :meth:`CostEstimator.prepare_one` results keyed by plan
+fingerprint (see :mod:`repro.featurization.fingerprint`), so a repeated
+plan goes straight to the predictor.
+
+Thread-safe; eviction is least-recently-used.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..errors import ServingError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters, exposed on service reports."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+
+class FeatureCache:
+    """Bounded LRU mapping fingerprint -> prepared feature encoding."""
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ServingError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        """The cached value, or None on miss (counts either way)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: str, value: object) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_compute(self, key: str, compute: Callable[[], object]):
+        """Cached value, computing and inserting on miss."""
+        value = self.get(key)
+        if value is None:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._entries))

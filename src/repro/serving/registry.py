@@ -1,0 +1,143 @@
+"""Deployable estimator bundles and the hot-swap registry.
+
+A bundle is the unit of deployment: one trained
+:class:`~repro.models.base.CostEstimator` with the
+:class:`~repro.core.snapshot.SnapshotSet` and keep-masks it was trained
+with, plus the benchmark whose catalog parses and plans incoming SQL.
+The registry names bundles per (benchmark, model) and supports atomic
+hot-swap on retrain: readers always see a complete bundle, and the
+version counter lets downstream caches (feature cache keys include the
+version) invalidate lazily instead of being flushed.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..engine.executor import LabeledPlan
+from ..engine.operators import OperatorType
+from ..errors import ServingError
+from ..models.base import CostEstimator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.snapshot import SnapshotSet
+    from ..workload.collect import Benchmark
+
+
+@dataclass
+class EstimatorBundle:
+    """Everything ``estimate()`` needs, packaged for deployment."""
+
+    name: str
+    estimator: CostEstimator
+    benchmark: Optional["Benchmark"] = None
+    snapshot_set: Optional["SnapshotSet"] = None
+    masks: Dict[OperatorType, np.ndarray] = field(default_factory=dict)
+    global_mask: Optional[np.ndarray] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+    #: Assigned by the registry; bumped on every (re)deploy of the name.
+    version: int = 0
+
+    @property
+    def env_names(self) -> List[str]:
+        """Environments the snapshot set covers (empty when base model)."""
+        return self.snapshot_set.env_names if self.snapshot_set else []
+
+    def knows_environment(self, env_name: str) -> bool:
+        return self.snapshot_set is None or env_name in self.snapshot_set.env_names
+
+    # ------------------------------------------------------------------
+    # prediction façade: always with this bundle's snapshot set
+    # ------------------------------------------------------------------
+    def predict_many(self, labeled: Sequence[LabeledPlan]) -> np.ndarray:
+        return self.estimator.predict_many(labeled, snapshot_set=self.snapshot_set)
+
+    def prepare_one(self, record: LabeledPlan):
+        return self.estimator.prepare_one(record, snapshot_set=self.snapshot_set)
+
+    def predict_prepared(
+        self, labeled: Sequence[LabeledPlan], prepared: Optional[Sequence] = None
+    ) -> np.ndarray:
+        return self.estimator.predict_prepared(
+            labeled, prepared, snapshot_set=self.snapshot_set
+        )
+
+    def with_snapshot_set(self, snapshot_set: "SnapshotSet") -> "EstimatorBundle":
+        """A copy serving from *snapshot_set* (same estimator weights)."""
+        return replace(self, snapshot_set=snapshot_set)
+
+
+class EstimatorRegistry:
+    """Named, versioned bundles with atomic hot-swap semantics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._bundles: Dict[str, EstimatorBundle] = {}
+        self._versions: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self, bundle: EstimatorBundle, name: Optional[str] = None
+    ) -> EstimatorBundle:
+        """Deploy (or hot-swap) *bundle* under *name*; returns it with
+        its assigned version."""
+        key = name or bundle.name
+        if not key:
+            raise ServingError("a bundle needs a non-empty name")
+        with self._lock:
+            version = self._versions.get(key, 0) + 1
+            self._versions[key] = version
+            # Store a copy: mutating the caller's object would corrupt
+            # an earlier deployment of the same object under another
+            # name (cache keys and batchers key on name/version).
+            deployed = replace(bundle, name=key, version=version)
+            self._bundles[key] = deployed
+            return deployed
+
+    def get(self, name: Optional[str] = None) -> EstimatorBundle:
+        """The bundle for *name*; with no name, the sole deployment."""
+        with self._lock:
+            if name is None:
+                if len(self._bundles) != 1:
+                    raise ServingError(
+                        "bundle name required when "
+                        f"{len(self._bundles)} bundles are deployed"
+                    )
+                return next(iter(self._bundles.values()))
+            try:
+                return self._bundles[name]
+            except KeyError:
+                known = ", ".join(sorted(self._bundles)) or "<none>"
+                raise ServingError(
+                    f"no bundle named {name!r} (deployed: {known})"
+                ) from None
+
+    def unregister(self, name: str) -> EstimatorBundle:
+        with self._lock:
+            try:
+                return self._bundles.pop(name)
+            except KeyError:
+                raise ServingError(f"no bundle named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._bundles)
+
+    def version_of(self, name: str) -> int:
+        """Deployment count for *name* (0 when never deployed)."""
+        with self._lock:
+            return self._versions.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._bundles
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._bundles)

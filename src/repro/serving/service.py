@@ -1,0 +1,393 @@
+"""The cost-estimation service façade: SQL/plan in, milliseconds out.
+
+``CostService`` runs the full online path — parse → plan → featurize →
+predict — against deployed :class:`EstimatorBundle`\\ s, with:
+
+- a :class:`FeatureCache` memoising encoded features by plan
+  fingerprint (repeated plans skip featurization entirely);
+- a :class:`SnapshotStore` (optional) that fits-and-caches feature
+  snapshots for environments the bundle has never seen, hot-swapping
+  the bundle onto the extended snapshot set;
+- a :class:`MicroBatcher` per bundle behind :meth:`estimate_async`,
+  coalescing concurrent requests into batched forward passes;
+- per-stage latency and hit-rate counters (:meth:`report`).
+
+Estimates are deterministic: the same plan under the same bundle
+version always produces the same number, whether it came through the
+single, batched or async path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..engine.environment import DatabaseEnvironment
+from ..engine.executor import LabeledPlan
+from ..engine.operators import PlanNode
+from ..engine.optimizer import PlanBuilder
+from ..errors import ServingError
+from ..featurization.fingerprint import plan_fingerprint
+from ..sql.ast import SelectQuery
+from ..sql.parser import parse_sql
+from .batcher import MicroBatcher
+from .feature_cache import FeatureCache
+from .registry import EstimatorBundle, EstimatorRegistry
+from .snapshot_store import SnapshotStore, template_snapshot_fitter
+
+#: What estimate() accepts: SQL text, a parsed query, or a built plan.
+QueryLike = Union[str, SelectQuery, PlanNode]
+
+STAGES = ("parse", "plan", "featurize", "predict")
+
+
+#: Cache marker for "prepare_one returned None" (estimators with no
+#: cacheable encoding): distinguishes a cached no-op from a miss, so
+#: such bundles neither pollute the LRU with useless recomputes nor
+#: skew the hit-rate counters.
+_NO_FEATURES = object()
+
+
+@dataclass
+class ServiceStats:
+    """Request counters and per-stage wall time (thread-safe: callers
+    and the micro-batcher worker record concurrently)."""
+
+    requests: int = 0
+    batched_requests: int = 0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    stage_counts: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record(self, stage: str, seconds: float, count: int = 1) -> None:
+        with self._lock:
+            self.stage_seconds[stage] = (
+                self.stage_seconds.get(stage, 0.0) + seconds
+            )
+            self.stage_counts[stage] = self.stage_counts.get(stage, 0) + count
+
+    def count_requests(self, count: int = 1, batched: bool = False) -> None:
+        with self._lock:
+            if batched:
+                self.batched_requests += count
+            else:
+                self.requests += count
+
+    def stage_rows(self) -> List[Tuple[str, int, float, float]]:
+        """(stage, count, total seconds, mean ms) rows, stage-ordered."""
+        rows = []
+        with self._lock:
+            for stage in STAGES:
+                count = self.stage_counts.get(stage, 0)
+                total = self.stage_seconds.get(stage, 0.0)
+                mean_ms = (total / count * 1000.0) if count else 0.0
+                rows.append((stage, count, total, mean_ms))
+        return rows
+
+
+class CostService:
+    """Online estimation over deployed bundles."""
+
+    def __init__(
+        self,
+        registry: Optional[EstimatorRegistry] = None,
+        snapshot_store: Optional[SnapshotStore] = None,
+        cache_capacity: int = 2048,
+        batch_max: int = 64,
+        batch_window_s: float = 0.002,
+        snapshot_scale: int = 8,
+    ):
+        self.registry = registry or EstimatorRegistry()
+        self.snapshot_store = snapshot_store
+        self.cache = FeatureCache(cache_capacity)
+        self.stats = ServiceStats()
+        self.batch_max = batch_max
+        self.batch_window_s = batch_window_s
+        self.snapshot_scale = snapshot_scale
+        self._lock = threading.Lock()
+        self._builders: Dict[Tuple[str, str], PlanBuilder] = {}
+        self._batchers: Dict[str, MicroBatcher] = {}
+
+    # ------------------------------------------------------------------
+    # deployment
+    # ------------------------------------------------------------------
+    def deploy(
+        self, bundle: EstimatorBundle, name: Optional[str] = None
+    ) -> EstimatorBundle:
+        """Register (or hot-swap) a bundle; returns it versioned."""
+        return self.registry.register(bundle, name=name)
+
+    def _bundle(self, name: Optional[str]) -> EstimatorBundle:
+        return self.registry.get(name)
+
+    # ------------------------------------------------------------------
+    # environment handling
+    # ------------------------------------------------------------------
+    def _ensure_environment(
+        self, bundle: EstimatorBundle, env: DatabaseEnvironment
+    ) -> EstimatorBundle:
+        """Bundle whose snapshot set covers *env*, extending via the
+        snapshot store (and hot-swapping) when needed."""
+        if bundle.knows_environment(env.name):
+            return bundle
+        if self.snapshot_store is None:
+            raise ServingError(
+                f"bundle {bundle.name!r} has no snapshot for environment "
+                f"{env.name!r} and the service has no SnapshotStore to fit one"
+            )
+        if bundle.benchmark is None:
+            raise ServingError(
+                f"bundle {bundle.name!r} carries no benchmark; cannot fit "
+                f"a snapshot for environment {env.name!r}"
+            )
+        fitter = template_snapshot_fitter(
+            bundle.benchmark, scale=self.snapshot_scale
+        )
+        extended = self.snapshot_store.extend_set(
+            bundle.snapshot_set,
+            env,
+            fitter,
+            namespace=bundle.benchmark.name,
+        )
+        # Hot-swap: the new set re-normalises coefficients, so the
+        # version bump (via register) retires stale feature-cache keys.
+        return self.registry.register(bundle.with_snapshot_set(extended))
+
+    # ------------------------------------------------------------------
+    # the online path
+    # ------------------------------------------------------------------
+    def _builder_for(
+        self, bundle: EstimatorBundle, env: DatabaseEnvironment
+    ) -> PlanBuilder:
+        key = (bundle.name, env.name)
+        with self._lock:
+            builder = self._builders.get(key)
+            if builder is None:
+                if bundle.benchmark is None:
+                    raise ServingError(
+                        f"bundle {bundle.name!r} carries no benchmark; "
+                        "pass an already-built plan instead of SQL"
+                    )
+                builder = PlanBuilder(
+                    bundle.benchmark.catalog, bundle.benchmark.stats, env
+                )
+                self._builders[key] = builder
+            return builder
+
+    def _resolve_plan(
+        self,
+        query: QueryLike,
+        bundle: EstimatorBundle,
+        env: DatabaseEnvironment,
+    ) -> Tuple[PlanNode, str]:
+        """Parse/plan as needed; returns (plan, sql text if known)."""
+        sql_text = ""
+        if isinstance(query, str):
+            start = time.perf_counter()
+            sql_text = query
+            if bundle.benchmark is None:
+                raise ServingError(
+                    f"bundle {bundle.name!r} carries no benchmark catalog; "
+                    "cannot parse SQL"
+                )
+            query = parse_sql(query, bundle.benchmark.catalog)
+            self.stats.record("parse", time.perf_counter() - start)
+        if isinstance(query, SelectQuery):
+            start = time.perf_counter()
+            plan = self._builder_for(bundle, env).build(query)
+            self.stats.record("plan", time.perf_counter() - start)
+            sql_text = sql_text or query.sql()
+            return plan, sql_text
+        if isinstance(query, PlanNode):
+            return query, sql_text
+        raise ServingError(
+            f"estimate() accepts SQL text, SelectQuery or PlanNode, "
+            f"got {type(query).__name__}"
+        )
+
+    def _prepare(
+        self,
+        bundle: EstimatorBundle,
+        record: LabeledPlan,
+        env: DatabaseEnvironment,
+    ):
+        start = time.perf_counter()
+        key = plan_fingerprint(
+            record.plan, bundle.name, bundle.version, env.name
+        )
+        prepared = self.cache.get(key)
+        if prepared is None:  # miss (None is never stored)
+            prepared = bundle.prepare_one(record)
+            self.cache.put(
+                key, _NO_FEATURES if prepared is None else prepared
+            )
+        elif prepared is _NO_FEATURES:
+            prepared = None
+        self.stats.record("featurize", time.perf_counter() - start)
+        return prepared
+
+    def _record_for(
+        self, plan: PlanNode, env: DatabaseEnvironment, sql_text: str
+    ) -> LabeledPlan:
+        return LabeledPlan(
+            plan=plan, latency_ms=0.0, env_name=env.name, query_sql=sql_text
+        )
+
+    # ------------------------------------------------------------------
+    # public estimation API
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        query: QueryLike,
+        env: DatabaseEnvironment,
+        bundle: Optional[str] = None,
+    ) -> float:
+        """Estimated latency (ms) of *query* under *env*, synchronously."""
+        deployed = self._ensure_environment(self._bundle(bundle), env)
+        plan, sql_text = self._resolve_plan(query, deployed, env)
+        record = self._record_for(plan, env, sql_text)
+        prepared = self._prepare(deployed, record, env)
+        start = time.perf_counter()
+        value = float(deployed.predict_prepared([record], [prepared])[0])
+        self.stats.record("predict", time.perf_counter() - start)
+        self.stats.count_requests()
+        return value
+
+    def estimate_many(
+        self,
+        queries: Sequence[QueryLike],
+        env: DatabaseEnvironment,
+        bundle: Optional[str] = None,
+        batch_size: int = 64,
+    ) -> np.ndarray:
+        """Batched estimates: featurize each query (through the cache),
+        then predict in chunks of *batch_size* fused forward passes."""
+        if batch_size < 1:
+            raise ServingError(f"batch_size must be >= 1, got {batch_size}")
+        deployed = self._ensure_environment(self._bundle(bundle), env)
+        records: List[LabeledPlan] = []
+        prepared: List[object] = []
+        for query in queries:
+            plan, sql_text = self._resolve_plan(query, deployed, env)
+            record = self._record_for(plan, env, sql_text)
+            records.append(record)
+            prepared.append(self._prepare(deployed, record, env))
+        out = np.zeros(len(records))
+        for lo in range(0, len(records), batch_size):
+            hi = min(lo + batch_size, len(records))
+            start = time.perf_counter()
+            out[lo:hi] = deployed.predict_prepared(
+                records[lo:hi], prepared[lo:hi]
+            )
+            self.stats.record("predict", time.perf_counter() - start, hi - lo)
+        self.stats.count_requests(len(records))
+        self.stats.count_requests(len(records), batched=True)
+        return out
+
+    def estimate_async(
+        self,
+        query: QueryLike,
+        env: DatabaseEnvironment,
+        bundle: Optional[str] = None,
+    ):
+        """Queue *query* on the bundle's micro-batcher; returns a Future
+        resolving to the estimate.  Concurrent callers are coalesced
+        into single batched forward passes."""
+        deployed = self._ensure_environment(self._bundle(bundle), env)
+        plan, sql_text = self._resolve_plan(query, deployed, env)
+        record = self._record_for(plan, env, sql_text)
+        prepared = self._prepare(deployed, record, env)
+        batcher = self._batcher_for(deployed.name)
+        self.stats.count_requests()
+        # The bundle rides along: prepared features are only valid for
+        # the bundle version that encoded them, so a hot-swap must not
+        # re-route in-flight requests onto new masks/weights.
+        return batcher.submit((deployed, record, prepared))
+
+    # ------------------------------------------------------------------
+    # micro-batching plumbing
+    # ------------------------------------------------------------------
+    def _batcher_for(self, bundle_name: str) -> MicroBatcher:
+        with self._lock:
+            batcher = self._batchers.get(bundle_name)
+            if batcher is None:
+                batcher = MicroBatcher(
+                    lambda items: self._run_batch(bundle_name, items),
+                    max_batch=self.batch_max,
+                    flush_window_s=self.batch_window_s,
+                    name=bundle_name,
+                )
+                self._batchers[bundle_name] = batcher
+            return batcher
+
+    def _run_batch(self, bundle_name: str, items: List[object]) -> np.ndarray:
+        # A batch may straddle a hot-swap: group by the bundle captured
+        # at submit time, since each request's prepared features match
+        # only that bundle's masks and snapshot normalisation.
+        groups: Dict[int, Tuple[EstimatorBundle, List[int]]] = {}
+        for index, (bundle, _, _) in enumerate(items):
+            groups.setdefault(id(bundle), (bundle, []))[1].append(index)
+        out = np.zeros(len(items))
+        start = time.perf_counter()
+        for bundle, indices in groups.values():
+            out[indices] = bundle.predict_prepared(
+                [items[i][1] for i in indices],
+                [items[i][2] for i in indices],
+            )
+        self.stats.record("predict", time.perf_counter() - start, len(items))
+        self.stats.count_requests(len(items), batched=True)
+        return out
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    def batcher_stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {name: b.stats for name, b in self._batchers.items()}
+
+    def report(self) -> str:
+        """Human-readable per-stage latency and cache hit-rate report."""
+        from ..eval.reporting import render_serving_report
+
+        throughput: List[Tuple[str, float, float]] = []
+        cache_rows = [
+            (
+                "feature-cache",
+                self.cache.stats.hits,
+                self.cache.stats.misses,
+                self.cache.stats.hit_rate,
+            )
+        ]
+        if self.snapshot_store is not None:
+            stats = self.snapshot_store.stats
+            cache_rows.append(
+                (
+                    "snapshot-store",
+                    stats.hits + stats.approx_hits,
+                    stats.misses,
+                    stats.hit_rate,
+                )
+            )
+        return render_serving_report(
+            throughput, self.stats.stage_rows(), cache_rows
+        )
+
+    def close(self) -> None:
+        """Drain and stop every micro-batcher."""
+        with self._lock:
+            batchers = list(self._batchers.values())
+            self._batchers.clear()
+        for batcher in batchers:
+            batcher.close()
+
+    def __enter__(self) -> "CostService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,208 @@
+"""Caching store for fitted per-environment feature snapshots.
+
+Fitting a :class:`~repro.core.snapshot.FeatureSnapshot` means executing
+the simplified-template workload under the environment and solving the
+Table I least-squares fits — cheap compared to FSO, but far from free
+when a service sees many knob configurations.  The store keys fitted
+snapshots by a *canonical knob fingerprint* (environment names do not
+matter; two environments with identical knobs and hardware share one
+snapshot) and can optionally reuse the nearest cached snapshot when a
+new configuration is within a normalised knob-space tolerance — the
+serving-time analogue of the paper's recall discussion: approximate,
+instantly available coefficients now beat exact coefficients after a
+refit stall.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..core.snapshot import FeatureSnapshot, SnapshotSet, fit_snapshot_from_queries
+from ..core.templates import generate_simplified_queries
+from ..engine.environment import DatabaseEnvironment
+from ..engine.executor import ExecutionSimulator
+from ..engine.knobs import KNOB_SPECS
+from ..errors import ServingError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..workload.collect import Benchmark
+
+SnapshotFitter = Callable[[DatabaseEnvironment], FeatureSnapshot]
+
+
+def knob_signature(env: DatabaseEnvironment) -> str:
+    """Canonical, name-independent identity of (knobs, hardware)."""
+    values = env.knobs.as_dict()
+    parts = [f"hw={env.hardware.name}"]
+    for knob in sorted(values):
+        value = values[knob]
+        if isinstance(value, bool):
+            parts.append(f"{knob}={int(value)}")
+        elif isinstance(value, float):
+            parts.append(f"{knob}={value:.10g}")
+        else:
+            parts.append(f"{knob}={value}")
+    return ";".join(parts)
+
+
+def knob_vector(env: DatabaseEnvironment) -> np.ndarray:
+    """Knobs as a vector normalised to each spec's sampling range.
+
+    Log-scale knobs are compared in log space, matching how they are
+    sampled — a 64MB→80MB ``shared_buffers`` move is small, a
+    64MB→640MB move is not.
+    """
+    out = []
+    for name in sorted(KNOB_SPECS):
+        spec = KNOB_SPECS[name]
+        value = env.knobs[name]
+        if spec.is_bool:
+            out.append(1.0 if value else 0.0)
+            continue
+        value = float(value)
+        low, high = float(spec.low), float(spec.high)
+        if spec.log_scale and low > 0 and value > 0:
+            span = np.log(high) - np.log(low)
+            out.append((np.log(value) - np.log(low)) / span if span else 0.0)
+        else:
+            span = high - low
+            out.append((value - low) / span if span else 0.0)
+    return np.array(out, dtype=np.float64)
+
+
+@dataclass
+class StoreStats:
+    """Exact hits, tolerance ("approximate") hits, fits and evictions."""
+
+    hits: int = 0
+    approx_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.approx_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return (self.hits + self.approx_hits) / total if total else 0.0
+
+
+class SnapshotStore:
+    """Bounded knob-keyed cache of fitted feature snapshots."""
+
+    def __init__(self, capacity: int = 64, reuse_tolerance: float = 0.0):
+        """``reuse_tolerance`` > 0 enables approximate reuse: a new knob
+        configuration whose normalised Chebyshev distance to a cached
+        one is within the tolerance reuses the cached coefficients
+        (relabelled to the new environment's name) instead of fitting."""
+        if capacity < 1:
+            raise ServingError(f"store capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.reuse_tolerance = reuse_tolerance
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, str], Tuple[np.ndarray, FeatureSnapshot]]"
+        self._entries = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def get_or_fit(
+        self,
+        env: DatabaseEnvironment,
+        fitter: SnapshotFitter,
+        namespace: str = "",
+    ) -> FeatureSnapshot:
+        """The snapshot for *env*, from cache when possible.
+
+        *namespace* (typically the benchmark name) isolates workloads:
+        the same knobs under TPC-H and Sysbench fit different
+        coefficients and must not share entries.
+        """
+        key = (namespace, knob_signature(env))
+        vector = knob_vector(env)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._relabel(cached[1], env)
+            nearest = self._nearest(namespace, vector)
+            if nearest is not None:
+                self.stats.approx_hits += 1
+                return self._relabel(nearest, env)
+            self.stats.misses += 1
+        # Fit outside the lock: fits are slow and independent.
+        snapshot = fitter(env)
+        with self._lock:
+            self._entries[key] = (vector, snapshot)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return self._relabel(snapshot, env)
+
+    def _nearest(self, namespace: str, vector: np.ndarray) -> Optional[FeatureSnapshot]:
+        if self.reuse_tolerance <= 0:
+            return None
+        best: Optional[FeatureSnapshot] = None
+        best_distance = self.reuse_tolerance
+        for (ns, _), (cached_vector, snapshot) in self._entries.items():
+            if ns != namespace:
+                continue
+            distance = float(np.max(np.abs(cached_vector - vector)))
+            if distance <= best_distance:
+                best_distance = distance
+                best = snapshot
+        return best
+
+    @staticmethod
+    def _relabel(snapshot: FeatureSnapshot, env: DatabaseEnvironment) -> FeatureSnapshot:
+        if snapshot.env_name == env.name:
+            return snapshot
+        return replace(snapshot, env_name=env.name)
+
+    # ------------------------------------------------------------------
+    def extend_set(
+        self,
+        snapshot_set: SnapshotSet,
+        env: DatabaseEnvironment,
+        fitter: SnapshotFitter,
+        namespace: str = "",
+    ) -> SnapshotSet:
+        """*snapshot_set* grown to cover *env* (no-op when it already
+        does); the new snapshot comes through the cache."""
+        if env.name in snapshot_set.env_names:
+            return snapshot_set
+        snapshot = self.get_or_fit(env, fitter, namespace=namespace)
+        return snapshot_set.with_snapshot(snapshot)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+def template_snapshot_fitter(
+    benchmark: "Benchmark", scale: int = 8, seed: int = 0
+) -> SnapshotFitter:
+    """The FST fitter the paper recommends, bound to *benchmark*:
+    execute Algorithm 1's simplified templates under the environment and
+    fit the Table I formulas."""
+
+    def fitter(env: DatabaseEnvironment) -> FeatureSnapshot:
+        simulator = ExecutionSimulator(benchmark.catalog, benchmark.stats, env)
+        queries = generate_simplified_queries(
+            benchmark.template_texts,
+            benchmark.catalog,
+            benchmark.abstract,
+            scale=scale,
+            seed=seed,
+        )
+        return fit_snapshot_from_queries(queries, simulator, source="template")
+
+    return fitter

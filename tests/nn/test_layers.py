@@ -113,3 +113,18 @@ class TestMLPBuilder:
     def test_output_dims(self):
         model = mlp(7, (5,), 3)
         assert model(Tensor(np.zeros((2, 7)))).shape == (2, 3)
+
+
+class TestForwardNumpy:
+    """The inference fast path must be bit-identical to the autodiff
+    forward — including saturation behaviour (sigmoid clips at +-60)."""
+
+    @pytest.mark.parametrize("activation", ["relu", "sigmoid", "tanh"])
+    def test_matches_tensor_forward(self, activation):
+        model = mlp(6, (8, 8), 2, seed_key=("fnp", activation),
+                    activation=activation)
+        rng = np.random.default_rng(7)
+        x = rng.normal(scale=40.0, size=(5, 6))  # large: hits saturation
+        via_tensor = model(Tensor(x)).numpy()
+        via_numpy = model.forward_numpy(x)
+        assert np.array_equal(via_tensor, via_numpy)

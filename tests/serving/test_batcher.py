@@ -1,0 +1,93 @@
+"""MicroBatcher: flush-on-size, flush-on-window, errors, lifecycle."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import MicroBatcher
+
+
+def _double(items):
+    return np.array([item * 2.0 for item in items])
+
+
+def test_flush_on_size():
+    # A huge window: only reaching max_batch can flush this batch.
+    with MicroBatcher(_double, max_batch=4, flush_window_s=30.0) as batcher:
+        futures = [batcher.submit(i) for i in range(4)]
+        values = [f.result(timeout=5.0) for f in futures]
+    assert values == [0.0, 2.0, 4.0, 6.0]
+    assert batcher.stats.flushed_on_size >= 1
+    assert batcher.stats.largest_batch == 4
+
+
+def test_flush_on_window():
+    with MicroBatcher(_double, max_batch=64, flush_window_s=0.01) as batcher:
+        future = batcher.submit(21)
+        assert future.result(timeout=5.0) == 42.0
+    assert batcher.stats.flushed_on_window >= 1
+
+
+def test_concurrent_submitters_are_coalesced():
+    batches = []
+
+    def predictor(items):
+        batches.append(len(items))
+        return _double(items)
+
+    with MicroBatcher(predictor, max_batch=8, flush_window_s=0.05) as batcher:
+        results = {}
+
+        def worker(i):
+            results[i] = batcher.submit(i).result(timeout=5.0)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert results == {i: i * 2.0 for i in range(8)}
+    # All 8 items went through, in fewer than 8 forward passes.
+    assert sum(batches) == 8
+    assert len(batches) < 8
+
+
+def test_predictor_error_propagates_to_every_future():
+    def boom(items):
+        raise RuntimeError("model exploded")
+
+    with MicroBatcher(boom, max_batch=2, flush_window_s=30.0) as batcher:
+        futures = [batcher.submit(i) for i in range(2)]
+        for future in futures:
+            with pytest.raises(RuntimeError, match="model exploded"):
+                future.result(timeout=5.0)
+
+
+def test_wrong_result_length_is_an_error():
+    with MicroBatcher(lambda items: [1.0], max_batch=2,
+                      flush_window_s=30.0) as batcher:
+        futures = [batcher.submit(i) for i in range(2)]
+        for future in futures:
+            with pytest.raises(ServingError):
+                future.result(timeout=5.0)
+
+
+def test_close_drains_pending_work():
+    batcher = MicroBatcher(_double, max_batch=64, flush_window_s=30.0)
+    futures = [batcher.submit(i) for i in range(3)]
+    batcher.close()
+    assert [f.result(timeout=1.0) for f in futures] == [0.0, 2.0, 4.0]
+    with pytest.raises(ServingError):
+        batcher.submit(5)
+
+
+def test_invalid_configuration():
+    with pytest.raises(ServingError):
+        MicroBatcher(_double, max_batch=0)
+    with pytest.raises(ServingError):
+        MicroBatcher(_double, flush_window_s=-1.0)

@@ -1,0 +1,69 @@
+"""FeatureCache: hit/miss accounting and LRU eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import FeatureCache
+
+
+def test_miss_then_hit_counters():
+    cache = FeatureCache(capacity=4)
+    assert cache.get("a") is None
+    cache.put("a", [1, 2, 3])
+    assert cache.get("a") == [1, 2, 3]
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_get_or_compute_computes_once():
+    cache = FeatureCache(capacity=4)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return "value"
+
+    assert cache.get_or_compute("k", compute) == "value"
+    assert cache.get_or_compute("k", compute) == "value"
+    assert len(calls) == 1
+
+
+def test_lru_eviction_order():
+    cache = FeatureCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # refresh a; b is now least recent
+    cache.put("c", 3)
+    assert "a" in cache
+    assert "b" not in cache
+    assert "c" in cache
+    assert cache.stats.evictions == 1
+    assert len(cache) == 2
+
+
+def test_put_existing_key_updates_without_evicting():
+    cache = FeatureCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)
+    assert cache.get("a") == 10
+    assert cache.stats.evictions == 0
+
+
+def test_clear_keeps_counters():
+    cache = FeatureCache(capacity=2)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("a") is None
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ServingError):
+        FeatureCache(capacity=0)

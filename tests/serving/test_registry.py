@@ -1,0 +1,96 @@
+"""EstimatorRegistry: naming, hot-swap versioning, lookup errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.models.base import CostEstimator
+from repro.serving import EstimatorBundle, EstimatorRegistry
+
+
+class _StubEstimator(CostEstimator):
+    """Constant estimator; enough to exercise bundle plumbing."""
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def fit(self, train, snapshot_set=None):  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def predict_many(self, labeled, snapshot_set=None):
+        return np.full(len(labeled), self.value)
+
+
+def _bundle(name: str, value: float = 1.0) -> EstimatorBundle:
+    return EstimatorBundle(name=name, estimator=_StubEstimator(value))
+
+
+def test_register_and_get():
+    registry = EstimatorRegistry()
+    deployed = registry.register(_bundle("tpch:qppnet"))
+    assert deployed.version == 1
+    assert registry.get("tpch:qppnet") is deployed
+    assert "tpch:qppnet" in registry
+    assert registry.names() == ["tpch:qppnet"]
+
+
+def test_single_bundle_needs_no_name():
+    registry = EstimatorRegistry()
+    deployed = registry.register(_bundle("only"))
+    assert registry.get() is deployed
+    registry.register(_bundle("second"))
+    with pytest.raises(ServingError, match="name required"):
+        registry.get()
+
+
+def test_hot_swap_bumps_version_and_replaces():
+    registry = EstimatorRegistry()
+    first = registry.register(_bundle("b", value=1.0))
+    second = registry.register(_bundle("b", value=2.0))
+    assert (first.version, second.version) == (1, 2)
+    assert registry.get("b") is second
+    assert len(registry) == 1
+    # Version history survives unregister: a redeploy keeps counting.
+    registry.unregister("b")
+    third = registry.register(_bundle("b", value=3.0))
+    assert third.version == 3
+    assert registry.version_of("b") == 3
+
+
+def test_swapped_bundle_serves_new_predictions():
+    registry = EstimatorRegistry()
+    registry.register(_bundle("b", value=1.0))
+    registry.register(_bundle("b", value=2.0))
+    out = registry.get("b").predict_many([object(), object()])
+    assert np.allclose(out, 2.0)
+
+
+def test_register_same_object_under_two_names_does_not_corrupt():
+    registry = EstimatorRegistry()
+    shared = _bundle("original")
+    first = registry.register(shared, name="a")
+    second = registry.register(shared, name="b")
+    # register stores copies: the first deployment keeps its identity.
+    assert (first.name, first.version) == ("a", 1)
+    assert (second.name, second.version) == ("b", 1)
+    assert registry.get("a") is first
+    assert registry.get("b") is second
+    assert shared.name == "original"
+
+
+def test_missing_bundle_errors():
+    registry = EstimatorRegistry()
+    with pytest.raises(ServingError, match="no bundle named"):
+        registry.get("ghost")
+    with pytest.raises(ServingError, match="no bundle named"):
+        registry.unregister("ghost")
+    with pytest.raises(ServingError):
+        registry.register(_bundle(""))
+
+
+def test_bundle_env_coverage_without_snapshot_set():
+    bundle = _bundle("b")
+    assert bundle.env_names == []
+    assert bundle.knows_environment("anything")

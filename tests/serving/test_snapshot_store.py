@@ -1,0 +1,107 @@
+"""SnapshotStore: knob fingerprints, exact/approximate reuse, namespaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.snapshot import FeatureSnapshot
+from repro.engine.environment import DatabaseEnvironment, random_environments
+from repro.engine.hardware import DEFAULT_PROFILE, get_profile
+from repro.engine.knobs import default_configuration
+from repro.engine.operators import OperatorType
+from repro.serving import SnapshotStore, knob_signature, knob_vector
+
+
+def _snapshot(env_name: str) -> FeatureSnapshot:
+    return FeatureSnapshot(
+        env_name=env_name,
+        coefficients={OperatorType.SEQ_SCAN: np.array([1.0, 2.0])},
+    )
+
+
+def _counting_fitter(log):
+    def fitter(env):
+        log.append(env.name)
+        return _snapshot(env.name)
+
+    return fitter
+
+
+def test_signature_ignores_environment_name():
+    config = default_configuration()
+    profile = get_profile(DEFAULT_PROFILE)
+    a = DatabaseEnvironment(config, profile, name="env-a")
+    b = DatabaseEnvironment(config, profile, name="env-b")
+    assert knob_signature(a) == knob_signature(b)
+    assert np.allclose(knob_vector(a), knob_vector(b))
+
+
+def test_distinct_knobs_have_distinct_signatures():
+    envs = random_environments(2, seed=7)
+    assert knob_signature(envs[0]) != knob_signature(envs[1])
+
+
+def test_exact_reuse_skips_refit_and_relabels():
+    config = default_configuration()
+    profile = get_profile(DEFAULT_PROFILE)
+    store = SnapshotStore()
+    fits = []
+    first = store.get_or_fit(
+        DatabaseEnvironment(config, profile, name="env-a"),
+        _counting_fitter(fits),
+    )
+    second = store.get_or_fit(
+        DatabaseEnvironment(config, profile, name="env-b"),
+        _counting_fitter(fits),
+    )
+    assert fits == ["env-a"]
+    assert store.stats.hits == 1 and store.stats.misses == 1
+    assert first.env_name == "env-a"
+    assert second.env_name == "env-b"
+    # Coefficients are shared, not re-fitted.
+    assert second.coefficients is first.coefficients
+
+
+def test_approximate_reuse_within_tolerance():
+    base = default_configuration()
+    profile = get_profile(DEFAULT_PROFILE)
+    near = base.with_overrides(
+        work_mem=int(float(base["work_mem"]) * 1.02)
+    )
+    far = base.with_overrides(work_mem=int(float(base["work_mem"]) * 64))
+    store = SnapshotStore(reuse_tolerance=0.05)
+    fits = []
+    store.get_or_fit(
+        DatabaseEnvironment(base, profile, name="base"), _counting_fitter(fits)
+    )
+    store.get_or_fit(
+        DatabaseEnvironment(near, profile, name="near"), _counting_fitter(fits)
+    )
+    store.get_or_fit(
+        DatabaseEnvironment(far, profile, name="far"), _counting_fitter(fits)
+    )
+    assert fits == ["base", "far"]
+    assert store.stats.approx_hits == 1
+
+
+def test_namespaces_are_isolated():
+    config = default_configuration()
+    profile = get_profile(DEFAULT_PROFILE)
+    store = SnapshotStore()
+    fits = []
+    env = DatabaseEnvironment(config, profile, name="env")
+    store.get_or_fit(env, _counting_fitter(fits), namespace="tpch")
+    store.get_or_fit(env, _counting_fitter(fits), namespace="sysbench")
+    assert len(fits) == 2
+    assert store.stats.misses == 2
+
+
+def test_capacity_eviction():
+    profile = get_profile(DEFAULT_PROFILE)
+    store = SnapshotStore(capacity=2)
+    fits = []
+    for env in random_environments(3, seed=11):
+        store.get_or_fit(env, _counting_fitter(fits))
+    assert len(store) == 2
+    assert store.stats.evictions == 1
