@@ -17,6 +17,22 @@ from repro.eval.harness import ExperimentContext
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: minimal scales so CI stress jobs can run the "
+        "serving/drift benches on every push",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    """True under ``--quick``: benches shrink to smoke-test scale."""
+    return bool(request.config.getoption("--quick"))
+
+
 @pytest.fixture(scope="session")
 def context():
     """One shared context so benches reuse labelled collections."""

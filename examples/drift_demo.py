@@ -1,0 +1,124 @@
+"""Online adaptation demo: a served estimator survives workload drift.
+
+The serving-layer sequel to ``dynamic_workload_recall.py`` — instead
+of driving :class:`FeatureRecall` by hand, everything happens inside
+the :class:`~repro.serving.CostService`:
+
+1. QCFE reduces features on a point-select-only Sysbench workload and
+   the bundle is deployed with adaptation enabled.
+2. The workload drifts to range queries.  Estimates stream to the
+   bundle's recall watcher; execution feedback (the simulator standing
+   in for the database's EXPLAIN ANALYZE) fills the refit window.
+3. The background RefitWorker flags the recalled dimensions,
+   warm-retrains a copy off the hot path, shadow-scores it against the
+   live bundle, and hot-swaps only because it wins.
+
+Run:  python examples/drift_demo.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import QCFE, QCFEConfig, collect_baselines
+from repro.engine import ExecutionSimulator
+from repro.engine.executor import LabeledPlan
+from repro.nn import numpy_q_error
+from repro.serving import AdaptationConfig, CostService, SnapshotStore
+from repro.workload import get_benchmark, standard_environments
+from repro.workload.sysbench_oltp import sysbench_queries
+
+
+def labeled_subset(benchmark, environments, shapes, total, seed):
+    per_env = max(1, total // len(environments))
+    labeled = []
+    for env_index, env in enumerate(environments):
+        simulator = ExecutionSimulator(benchmark.catalog, benchmark.stats, env)
+        pool = sysbench_queries(benchmark.catalog, per_env * 8, seed=seed + env_index)
+        picked = [(n, q) for n, q in pool if n in shapes][:per_env]
+        for name, query in picked:
+            result = simulator.run_query(query)
+            labeled.append(
+                LabeledPlan(
+                    plan=result.plan, latency_ms=result.latency_ms,
+                    env_name=env.name, query_sql=query.sql(), template=name,
+                )
+            )
+    return labeled
+
+
+def main() -> None:
+    benchmark = get_benchmark("sysbench")
+    environments = standard_environments(2, seed=0)
+    env_by_name = {env.name: env for env in environments}
+
+    print("Phase 1: reduce on point selects, deploy with adaptation on ...")
+    point_only = labeled_subset(
+        benchmark, environments, {"point_select"}, 160, seed=1
+    )
+    pipeline = QCFE(
+        benchmark, environments,
+        QCFEConfig(model="qppnet", snapshot_source="template",
+                   reduction="diff", epochs=8),
+    )
+    result = pipeline.fit(point_only)
+    print(f"  reduction pruned {result.reduction_ratio:.0%} of dimensions")
+
+    service = CostService(
+        snapshot_store=SnapshotStore(),
+        adaptation=AdaptationConfig(background=True, poll_interval_s=0.01,
+                                    refit_epochs=6),
+    )
+    bundle = pipeline.export_bundle()
+    bundle.metadata["recall_baselines"] = collect_baselines(
+        pipeline.operator_encoder, point_only
+    )
+    deployed = service.deploy(bundle)
+    stale = service.registry.get(deployed.name)
+    print(f"  deployed {deployed.name} v{deployed.version}")
+
+    print("\nPhase 2: workload drifts to range queries ...")
+    range_shapes = {"simple_range", "sum_range", "order_range", "distinct_range"}
+    drifted = labeled_subset(benchmark, environments, range_shapes, 120, seed=9)
+    # Interleave across environments (concurrent traffic) so the refit
+    # window's oldest-train/newest-shadow split sees every environment.
+    by_env = {}
+    for record in drifted:
+        by_env.setdefault(record.env_name, []).append(record)
+    drifted = [r for group in zip(*by_env.values()) for r in group]
+    # Estimates stream to the watcher; feedback fills the refit window.
+    for record in drifted:
+        service.estimate(record.plan, env_by_name[record.env_name])
+        service.record_feedback(record, env_by_name[record.env_name])
+
+    print("  serving continues while the refit runs in the background ...")
+    stats = service.adaptation.stats
+    deadline = time.monotonic() + 60.0
+    while stats.promotions + stats.rollbacks < 1 and time.monotonic() < deadline:
+        service.estimate(drifted[0].plan, env_by_name[drifted[0].env_name])
+        time.sleep(0.005)
+    service.adaptation.wait_idle(timeout=30.0)
+
+    watcher = service.adaptation.watcher(deployed.name)
+    promoted = service.registry.get(deployed.name)
+    print(f"  recalled {watcher.recall.total_flagged} pruned dimensions; "
+          f"refits={stats.refits}, promotions={stats.promotions}, "
+          f"rollbacks={stats.rollbacks}")
+    print(f"  bundle hot-swapped: v{stale.version} -> v{promoted.version}")
+
+    print("\nPhase 3: the promoted bundle vs the stale one ...")
+    actual = np.array([r.latency_ms for r in drifted])
+    stale_q = numpy_q_error(stale.predict_many(drifted), actual).mean()
+    new_q = numpy_q_error(promoted.predict_many(drifted), actual).mean()
+    print(f"  drifted-workload mean q-error: stale {stale_q:.3f} "
+          f"-> promoted {new_q:.3f}")
+
+    print()
+    print(service.report())
+    service.close()
+
+
+if __name__ == "__main__":
+    main()

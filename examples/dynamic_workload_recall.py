@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import QCFE, QCFEConfig, FeatureRecall
+from repro.core import QCFE, QCFEConfig, FeatureRecall, collect_baselines
 from repro.engine import ExecutionSimulator
 from repro.models import train_test_split
 from repro.workload import get_benchmark, standard_environments
@@ -64,15 +64,7 @@ def main() -> None:
     # Baseline feature means from the reduction-time workload, so the
     # recall can also detect mean shifts (a pruned dim constant at a
     # NEW value, like est_rows jumping from 1 to 100).
-    baselines = {}
-    rows_by_op = {}
-    for record in train:
-        for node in record.plan.walk():
-            rows_by_op.setdefault(node.op, []).append(
-                pipeline.operator_encoder.encode_node(node)
-            )
-    for op, rows in rows_by_op.items():
-        baselines[op] = np.mean(rows, axis=0)
+    baselines = collect_baselines(pipeline.operator_encoder, train)
     recall = FeatureRecall(
         result.masks, pipeline.operator_encoder.feature_names, baselines=baselines
     )

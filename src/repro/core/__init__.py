@@ -31,7 +31,7 @@ from .granularity import (
     fit_fine_grained,
     residual_improvement,
 )
-from .recall import FeatureRecall
+from .recall import FeatureRecall, collect_baselines
 from .pipeline import QCFE, QCFEConfig, QCFEResult
 
 __all__ = [
@@ -65,6 +65,7 @@ __all__ = [
     "fit_fine_grained",
     "residual_improvement",
     "FeatureRecall",
+    "collect_baselines",
     "QCFE",
     "QCFEConfig",
     "QCFEResult",

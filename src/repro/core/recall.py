@@ -13,18 +13,30 @@ future work; this module implements it:
   dimension that starts *varying* (beyond its reduction-time behaviour)
   is flagged;
 - :meth:`recall_masks` returns updated masks with the flagged
-  dimensions re-included, so the pipeline can warm-retrain with them.
+  dimensions re-included, so the pipeline can warm-retrain with them;
+- :func:`collect_baselines` exports the per-operator mean feature
+  vectors from reduction-time data (the "what did the pruned dims look
+  like when we pruned them" reference), and
+  :meth:`FeatureRecall.state_dict` / :meth:`FeatureRecall.from_state`
+  serialize a watcher so a serving layer can persist and restore its
+  drift state across deployments.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
 from ..engine.operators import OperatorType
 from ..errors import FeatureError
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine.executor import LabeledPlan
+    from ..featurization.encoding import OperatorEncoder
 
 #: A pruned dimension is recalled once its observed standard deviation
 #: exceeds this fraction of the live dimensions' median std.
@@ -54,6 +66,23 @@ class _DimensionStats:
         if self.mean is None or self.count < 2:
             return np.zeros(0 if self.mean is None else len(self.mean))
         return np.sqrt(self.m2 / (self.count - 1))
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "mean": None if self.mean is None else self.mean.tolist(),
+            "m2": None if self.m2 is None else self.m2.tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "_DimensionStats":
+        mean = state.get("mean")
+        m2 = state.get("m2")
+        return cls(
+            count=int(state.get("count", 0)),
+            mean=None if mean is None else np.asarray(mean, dtype=np.float64),
+            m2=None if m2 is None else np.asarray(m2, dtype=np.float64),
+        )
 
 
 class FeatureRecall:
@@ -145,3 +174,82 @@ class FeatureRecall:
     @property
     def total_flagged(self) -> int:
         return sum(len(dims) for dims in self._flagged.values())
+
+    # ------------------------------------------------------------------
+    # serialization (JSON-safe: operator types stored by value)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """The watcher's full state as plain (JSON-serializable) data:
+        masks, layout, baselines, streaming statistics and flags."""
+        return {
+            "feature_names": list(self.feature_names),
+            "masks": {
+                op.value: mask.astype(int).tolist()
+                for op, mask in self.masks.items()
+            },
+            "baselines": {
+                op.value: mean.tolist() for op, mean in self.baselines.items()
+            },
+            "stats": {
+                op.value: stats.state_dict() for op, stats in self._stats.items()
+            },
+            "flagged": {
+                op.value: sorted(int(d) for d in dims)
+                for op, dims in self._flagged.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "FeatureRecall":
+        """Rebuild a watcher from :meth:`state_dict` output; streaming
+        statistics and already-flagged dimensions are restored, so
+        observation continues where the serialized watcher left off."""
+        try:
+            feature_names = list(state["feature_names"])
+            masks = {
+                OperatorType(op): np.asarray(mask, dtype=bool)
+                for op, mask in dict(state["masks"]).items()
+            }
+        except (KeyError, ValueError, TypeError) as exc:
+            raise FeatureError(f"invalid FeatureRecall state: {exc}") from exc
+        baselines = {
+            OperatorType(op): np.asarray(mean, dtype=np.float64)
+            for op, mean in dict(state.get("baselines", {})).items()
+        }
+        recall = cls(masks, feature_names, baselines=baselines or None)
+        for op, stats_state in dict(state.get("stats", {})).items():
+            recall._stats[OperatorType(op)] = _DimensionStats.from_state(
+                stats_state
+            )
+        for op, dims in dict(state.get("flagged", {})).items():
+            recall._flagged[OperatorType(op)] = {int(d) for d in dims}
+        return recall
+
+
+def collect_baselines(
+    encoder: "OperatorEncoder",
+    labeled: Iterable["LabeledPlan"],
+) -> Dict[OperatorType, np.ndarray]:
+    """Per-operator mean *unmasked* feature vectors over a labelled set.
+
+    This is the baseline export for :class:`FeatureRecall`: computed on
+    the reduction-time workload, it records what every dimension looked
+    like when the keep-masks were chosen, so a pruned dimension that
+    later settles at a *different* constant (est_rows jumping from 1 to
+    100 after a drift) is caught by the mean-shift rule even though its
+    variance stays near zero.
+
+    Rows are encoded *without* any snapshot mapping, matching how the
+    serving adaptation loop observes traffic: the per-environment
+    snapshot slots stay zero on both the baseline and observation
+    sides, so they can never produce spurious mean-shift flags.
+    """
+    rows_by_op: Dict[OperatorType, List[np.ndarray]] = {}
+    for record in labeled:
+        for node in record.plan.walk():
+            rows_by_op.setdefault(node.op, []).append(
+                encoder.encode_node(node)
+            )
+    return {
+        op: np.mean(np.stack(rows), axis=0) for op, rows in rows_by_op.items()
+    }

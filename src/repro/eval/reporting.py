@@ -29,13 +29,16 @@ def render_serving_report(
     throughput: Sequence[Tuple[str, float, float]],
     stages: Sequence[Tuple[str, int, float, float]],
     caches: Sequence[Tuple[str, int, int, float]],
+    adaptation: Sequence[Tuple[str, object]] = (),
 ) -> str:
     """Serving metrics in the repo's table style.
 
     ``throughput`` rows are (mode, plans/sec, mean ms/plan); ``stages``
     rows are (stage, calls, total seconds, mean ms) as produced by
     :meth:`repro.serving.ServiceStats.stage_rows`; ``caches`` rows are
-    (cache, hits, misses, hit rate).
+    (cache, hits, misses, hit rate); ``adaptation`` rows are
+    (counter, value) as produced by
+    :meth:`repro.serving.AdaptationStats.rows`.
     """
     sections = []
     if throughput:
@@ -67,6 +70,10 @@ def render_serving_report(
                     for name, hits, misses, rate in caches
                 ],
             )
+        )
+    if adaptation:
+        sections.append(
+            format_table(["adaptation", "value"], list(adaptation))
         )
     return "\n\n".join(sections)
 

@@ -87,6 +87,33 @@ class CostEstimator:
         """
         return self.predict_many(labeled, snapshot_set=snapshot_set)
 
+    def warm_retrain(
+        self,
+        train: Sequence[LabeledPlan],
+        masks=None,
+        snapshot_set: Optional["SnapshotSet"] = None,
+        epochs: Optional[int] = None,
+    ) -> TrainStats:
+        """Refit from the current weights, optionally widening masks.
+
+        The online-adaptation entry point (see
+        :mod:`repro.serving.adaptation`): when workload drift recalls
+        pruned dimensions, the refit should *extend* the deployed model
+        rather than retrain it from scratch.  ``masks`` are recalled
+        keep-masks (implementation-specific shape); recall only *adds*
+        dimensions, whose new weights start at zero — function
+        preserving — so a short ``epochs`` budget suffices.  The
+        default ignores ``masks`` and simply refits.
+        """
+        previous = getattr(self, "epochs", None)
+        if epochs is not None and previous is not None:
+            self.epochs = epochs
+        try:
+            return self.fit(train, snapshot_set=snapshot_set)
+        finally:
+            if epochs is not None and previous is not None:
+                self.epochs = previous
+
 
 def snapshot_mapping_for(
     record: LabeledPlan, snapshot_set: Optional["SnapshotSet"]
@@ -95,3 +122,47 @@ def snapshot_mapping_for(
     if snapshot_set is None:
         return None
     return snapshot_set.normalized(record.env_name)
+
+
+def warm_start_remap(
+    old: "object",
+    new: "object",
+    old_keep: np.ndarray,
+    new_keep: np.ndarray,
+    fold_mean: np.ndarray,
+) -> None:
+    """Re-mask an MLP's input space function-preservingly, in place.
+
+    ``old``/``new`` are Sequential MLPs whose first module is a linear
+    layer (weight shape: input rows x hidden); ``old_keep``/``new_keep``
+    are boolean keep-vectors over the *full* input space describing
+    which rows each network's first layer actually has.  Rows kept in
+    both are copied; rows dropped from the old net fold their
+    contribution — ``fold_mean[dim] * weight_row``, sound when the
+    dimension is constant over the data — into the bias; newly added
+    rows start at zero (also function-preserving).  Deeper layers are
+    copied verbatim.
+
+    Shared by QPPNet (per-operator units, child-data suffix always
+    kept) and MSCN (final MLP, set-output prefix always kept): the
+    subtle index arithmetic lives once, here.
+    """
+    old_rows = np.nonzero(np.asarray(old_keep, dtype=bool))[0]
+    new_rows = np.nonzero(np.asarray(new_keep, dtype=bool))[0]
+    old_pos = {int(d): i for i, d in enumerate(old_rows)}
+    new_set = set(int(d) for d in new_rows)
+    old_first = old.modules[0]
+    new_first = new.modules[0]
+    weight = np.zeros((len(new_rows), old_first.weight.data.shape[1]))
+    for row, dim in enumerate(new_rows):
+        source = old_pos.get(int(dim))
+        if source is not None:
+            weight[row] = old_first.weight.data[source]
+    bias = old_first.bias.data.copy()
+    for dim, source in old_pos.items():
+        if dim not in new_set:
+            bias = bias + fold_mean[dim] * old_first.weight.data[source]
+    new_first.weight.data = weight
+    new_first.bias.data = bias
+    for old_layer, new_layer in zip(old.modules[1:], new.modules[1:]):
+        new_layer.load_state_dict(old_layer.state_dict())

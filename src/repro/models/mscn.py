@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.snapshot import SnapshotSet
 from ..rng import rng_for
-from .base import CostEstimator, TrainStats, snapshot_mapping_for
+from .base import CostEstimator, TrainStats, snapshot_mapping_for, warm_start_remap
 from .qppnet import from_log, to_log
 
 
@@ -85,22 +85,56 @@ class MSCN(CostEstimator):
         """
         old_out = self.out_net if fold_mean is not None else None
         old_nets = (self.table_net, self.join_net, self.pred_net)
+        old_mask = self.global_mask
         self.global_mask = np.asarray(mask)
         self._build()
         if old_out is None:
             return
         self.table_net, self.join_net, self.pred_net = old_nets
-        row_keep = np.concatenate(
-            [np.ones(3 * self.hidden, dtype=bool), self.global_mask.astype(bool)]
+        # Handle re-masking an already-masked net (recall widens the
+        # mask): indexed in the *full* (set outputs + global block)
+        # input space, with the set-output prefix always kept.
+        set_width = 3 * self.hidden
+
+        def full_keep(keep_global: Optional[np.ndarray]) -> np.ndarray:
+            global_keep = (
+                np.asarray(keep_global, dtype=bool)
+                if keep_global is not None
+                else np.ones(self.encoder.global_dim, dtype=bool)
+            )
+            return np.concatenate(
+                [np.ones(set_width, dtype=bool), global_keep]
+            )
+
+        warm_start_remap(
+            old_out,
+            self.out_net,
+            full_keep(old_mask),
+            full_keep(self.global_mask),
+            fold_mean,
         )
-        old_first = old_out.modules[0]
-        new_first = self.out_net.modules[0]
-        new_first.weight.data = old_first.weight.data[row_keep].copy()
-        dropped = ~row_keep
-        folded = fold_mean[dropped] @ old_first.weight.data[dropped]
-        new_first.bias.data = old_first.bias.data + folded
-        for old_layer, new_layer in zip(old_out.modules[1:], self.out_net.modules[1:]):
-            new_layer.load_state_dict(old_layer.state_dict())
+
+    def warm_retrain(
+        self,
+        train: Sequence[LabeledPlan],
+        masks: Optional[np.ndarray] = None,
+        snapshot_set: Optional["SnapshotSet"] = None,
+        epochs: Optional[int] = None,
+    ) -> TrainStats:
+        """Install a recalled global ``masks`` vector and refit briefly.
+
+        Recall only re-includes dimensions, so the warm start is
+        function-preserving (new first-layer rows start at zero); the
+        fold mean is never consulted and passed as zeros.
+        """
+        if masks is not None:
+            full_width = 3 * self.hidden + self.encoder.global_dim
+            self.set_global_mask(
+                np.asarray(masks, dtype=bool), fold_mean=np.zeros(full_width)
+            )
+        return super().warm_retrain(
+            train, snapshot_set=snapshot_set, epochs=epochs
+        )
 
     def parameters(self):
         params = []

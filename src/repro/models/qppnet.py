@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.snapshot import SnapshotSet
 from ..rng import rng_for
-from .base import CostEstimator, TrainStats, snapshot_mapping_for
+from .base import CostEstimator, TrainStats, snapshot_mapping_for, warm_start_remap
 
 _MAX_CHILDREN = 2
 
@@ -147,25 +147,37 @@ class QPPNet(CostEstimator):
         kept-in-both rows are copied, dropped rows fold into the bias
         (sound when constant), and newly added rows start at zero
         (also function-preserving)."""
-        old_rows = np.nonzero(self._full_keep(old_mask))[0]
-        new_rows = np.nonzero(self._full_keep(self.masks.get(op)))[0]
-        old_pos = {int(d): i for i, d in enumerate(old_rows)}
-        old_first = old.modules[0]
-        new_first = new.modules[0]
-        weight = np.zeros((len(new_rows), old_first.weight.data.shape[1]))
-        new_set = set(int(d) for d in new_rows)
-        for row, dim in enumerate(new_rows):
-            source = old_pos.get(int(dim))
-            if source is not None:
-                weight[row] = old_first.weight.data[source]
-        bias = old_first.bias.data.copy()
-        for dim, source in old_pos.items():
-            if dim not in new_set:
-                bias = bias + mean_input[dim] * old_first.weight.data[source]
-        new_first.weight.data = weight
-        new_first.bias.data = bias
-        for old_layer, new_layer in zip(old.modules[1:], new.modules[1:]):
-            new_layer.load_state_dict(old_layer.state_dict())
+        warm_start_remap(
+            old,
+            new,
+            self._full_keep(old_mask),
+            self._full_keep(self.masks.get(op)),
+            mean_input,
+        )
+
+    def warm_retrain(
+        self,
+        train: Sequence[LabeledPlan],
+        masks: Optional[Mapping[OperatorType, np.ndarray]] = None,
+        snapshot_set: Optional["SnapshotSet"] = None,
+        epochs: Optional[int] = None,
+    ) -> TrainStats:
+        """Install recalled ``masks`` (warm-started) and refit briefly.
+
+        Recalled masks only re-include dimensions, so the warm start is
+        exactly function-preserving: kept rows are copied and newly
+        added rows begin at zero (the fold means are never consulted —
+        zero vectors keep the bookkeeping explicit).
+        """
+        if masks is not None:
+            full_width = self.encoder.dim + _MAX_CHILDREN * self.data_size
+            self.set_masks(
+                masks,
+                fold_means={op: np.zeros(full_width) for op in masks},
+            )
+        return super().warm_retrain(
+            train, snapshot_set=snapshot_set, epochs=epochs
+        )
 
     def parameters(self):
         params = []

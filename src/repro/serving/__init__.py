@@ -13,9 +13,19 @@ Turns trained QCFE estimators into a serving subsystem:
 - :class:`MicroBatcher` — coalesces concurrent requests into fused
   batched forward passes;
 - :class:`CostService` — the façade: ``estimate(sql | plan, env)``
-  end-to-end with per-stage latency and hit-rate counters.
+  end-to-end with per-stage latency and hit-rate counters;
+- :class:`AdaptationManager` / :class:`RefitWorker` — the drift-aware
+  adaptation loop: recall watchers over live traffic, off-hot-path
+  warm refits, shadow-scored promote-or-rollback hot swaps.
 """
 
+from .adaptation import (
+    AdaptationConfig,
+    AdaptationManager,
+    AdaptationStats,
+    BundleWatcher,
+    RefitWorker,
+)
 from .batcher import BatcherStats, MicroBatcher
 from .feature_cache import CacheStats, FeatureCache
 from .registry import EstimatorBundle, EstimatorRegistry
@@ -29,6 +39,11 @@ from .snapshot_store import (
 )
 
 __all__ = [
+    "AdaptationConfig",
+    "AdaptationManager",
+    "AdaptationStats",
+    "BundleWatcher",
+    "RefitWorker",
     "BatcherStats",
     "MicroBatcher",
     "CacheStats",

@@ -63,8 +63,11 @@ class MicroBatcher:
         self.name = name
         self.stats = BatcherStats()
         self._cond = threading.Condition()
-        self._pending: List[Tuple[object, Future]] = []
-        self._oldest_arrival = 0.0
+        #: (item, future, arrival time): per-item arrivals anchor the
+        #: flush deadline to the oldest *remaining* item, so leftovers
+        #: from a size flush keep their original wait budget instead of
+        #: having the window restarted on every drain.
+        self._pending: List[Tuple[object, Future, float]] = []
         self._closed = False
         self._worker = threading.Thread(
             target=self._loop, name=f"microbatcher-{name}", daemon=True
@@ -78,9 +81,7 @@ class MicroBatcher:
         with self._cond:
             if self._closed:
                 raise ServingError(f"batcher {self.name!r} is closed")
-            if not self._pending:
-                self._oldest_arrival = time.monotonic()
-            self._pending.append((item, future))
+            self._pending.append((item, future, time.monotonic()))
             self.stats.submitted += 1
             self._cond.notify_all()
         return future
@@ -107,7 +108,11 @@ class MicroBatcher:
             if self._closed:
                 reason = "close"
             else:
-                deadline = self._oldest_arrival + self.flush_window_s
+                # The head of the FIFO is the oldest remaining request
+                # (possibly a leftover from a previous size flush that
+                # already waited through a predict call); its arrival —
+                # not the drain time — fixes the deadline.
+                deadline = self._pending[0][2] + self.flush_window_s
                 while len(self._pending) < self.max_batch and not self._closed:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
@@ -119,10 +124,10 @@ class MicroBatcher:
                     reason = "size"
                 else:
                     reason = "window"
-            batch = self._pending[: self.max_batch]
+            batch = [
+                (item, future) for item, future, _ in self._pending[: self.max_batch]
+            ]
             del self._pending[: self.max_batch]
-            if self._pending:
-                self._oldest_arrival = time.monotonic()
             return batch, reason
 
     def _run(self, batch: List[Tuple[object, Future]], reason: str) -> None:

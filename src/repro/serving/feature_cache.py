@@ -8,35 +8,49 @@ memoises :meth:`CostEstimator.prepare_one` results keyed by plan
 fingerprint (see :mod:`repro.featurization.fingerprint`), so a repeated
 plan goes straight to the predictor.
 
-Thread-safe; eviction is least-recently-used.
+Thread-safe; eviction is least-recently-used.  Concurrent misses on
+the same key are coalesced: exactly one caller runs ``compute()``
+while the rest block on its in-flight result (no stampede), and a
+computed value of ``None`` (or any falsy value) is cached like any
+other — "no cacheable form" is a result, not a miss.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Callable, Dict, Iterator, Tuple
 
 from ..errors import ServingError
+
+#: Internal marker distinguishing "key absent" from "None was cached".
+_MISSING = object()
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters, exposed on service reports."""
+    """Hit/miss/eviction counters, exposed on service reports.
+
+    ``coalesced`` counts callers that neither hit nor computed: they
+    arrived while another thread's ``compute()`` for the same key was
+    in flight and waited for its result.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    coalesced: int = 0
 
     @property
     def requests(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.coalesced
 
     @property
     def hit_rate(self) -> float:
         total = self.requests
-        return self.hits / total if total else 0.0
+        return (self.hits + self.coalesced) / total if total else 0.0
 
 
 class FeatureCache:
@@ -48,36 +62,83 @@ class FeatureCache:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._inflight: Dict[str, "Future[object]"] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def get(self, key: str):
-        """The cached value, or None on miss (counts either way)."""
+        """The cached value, or None on miss (counts either way).
+
+        Cannot distinguish a cached ``None`` from a miss; callers that
+        cache falsy values should use :meth:`lookup` or
+        :meth:`get_or_compute`.
+        """
+        found, value = self.lookup(key)
+        return value if found else None
+
+    def lookup(self, key: str) -> Tuple[bool, object]:
+        """(found, value) — unambiguous even for cached ``None``."""
         with self._lock:
-            if key in self._entries:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
-                return self._entries[key]
+                return True, value
             self.stats.misses += 1
-            return None
+            return False, None
 
     def put(self, key: str, value: object) -> None:
         with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self._entries[key] = value
-                return
+            self._store(key, value)
+
+    def _store(self, key: str, value: object) -> None:
+        """Insert under the held lock, evicting past capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
             self._entries[key] = value
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            return
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
 
     def get_or_compute(self, key: str, compute: Callable[[], object]):
-        """Cached value, computing and inserting on miss."""
-        value = self.get(key)
-        if value is None:
+        """Cached value, computing and inserting on miss.
+
+        Stampede-safe: concurrent misses on the same key run
+        ``compute()`` exactly once — the first caller computes while
+        the rest wait on the in-flight result.  If the leader's
+        ``compute()`` raises, the waiters see the same exception and
+        the key is left uncached (the next caller retries).
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return value
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self.stats.coalesced += 1
+                leader = False
+            else:
+                self.stats.misses += 1
+                inflight = Future()
+                self._inflight[key] = inflight
+                leader = True
+        if not leader:
+            return inflight.result()
+        try:
             value = compute()
-            self.put(key, value)
+        except BaseException as exc:
+            with self._lock:
+                self._inflight.pop(key, None)
+            inflight.set_exception(exc)
+            raise
+        with self._lock:
+            self._store(key, value)
+            self._inflight.pop(key, None)
+        inflight.set_result(value)
         return value
 
     # ------------------------------------------------------------------

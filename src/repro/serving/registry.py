@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -98,6 +98,26 @@ class EstimatorRegistry:
             deployed = replace(bundle, name=key, version=version)
             self._bundles[key] = deployed
             return deployed
+
+    def update(
+        self, name: str, fn: "Callable[[EstimatorBundle], EstimatorBundle]"
+    ) -> EstimatorBundle:
+        """Atomic read-modify-write hot-swap.
+
+        ``fn`` receives the *current* bundle under the registry lock and
+        returns its replacement (or the same object for "no change", in
+        which case no version is burned).  Concurrent writers — a
+        snapshot-set extension on a request thread and a promotion on
+        the refit worker — serialize here, each building on the other's
+        result instead of silently reverting it (plain ``register`` is
+        last-writer-wins).
+        """
+        with self._lock:
+            current = self.get(name)
+            updated = fn(current)
+            if updated is current:
+                return current
+            return self.register(updated, name=name)
 
     def get(self, name: Optional[str] = None) -> EstimatorBundle:
         """The bundle for *name*; with no name, the sole deployment."""

@@ -19,6 +19,7 @@ single, batched or async path.
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
 from dataclasses import dataclass, field
@@ -34,6 +35,7 @@ from ..errors import ServingError
 from ..featurization.fingerprint import plan_fingerprint
 from ..sql.ast import SelectQuery
 from ..sql.parser import parse_sql
+from .adaptation import AdaptationConfig, AdaptationManager
 from .batcher import MicroBatcher
 from .feature_cache import FeatureCache
 from .registry import EstimatorBundle, EstimatorRegistry
@@ -43,13 +45,6 @@ from .snapshot_store import SnapshotStore, template_snapshot_fitter
 QueryLike = Union[str, SelectQuery, PlanNode]
 
 STAGES = ("parse", "plan", "featurize", "predict")
-
-
-#: Cache marker for "prepare_one returned None" (estimators with no
-#: cacheable encoding): distinguishes a cached no-op from a miss, so
-#: such bundles neither pollute the LRU with useless recomputes nor
-#: skew the hit-rate counters.
-_NO_FEATURES = object()
 
 
 @dataclass
@@ -102,6 +97,7 @@ class CostService:
         batch_max: int = 64,
         batch_window_s: float = 0.002,
         snapshot_scale: int = 8,
+        adaptation: Optional[AdaptationConfig] = None,
     ):
         self.registry = registry or EstimatorRegistry()
         self.snapshot_store = snapshot_store
@@ -113,6 +109,12 @@ class CostService:
         self._lock = threading.Lock()
         self._builders: Dict[Tuple[str, str], PlanBuilder] = {}
         self._batchers: Dict[str, MicroBatcher] = {}
+        #: Drift-aware adaptation loop (None unless configured): deploy
+        #: attaches recall watchers, request records stream to them, and
+        #: a background worker refits/hot-swaps off the hot path.
+        self.adaptation: Optional[AdaptationManager] = (
+            AdaptationManager(self, adaptation) if adaptation is not None else None
+        )
 
     # ------------------------------------------------------------------
     # deployment
@@ -120,8 +122,17 @@ class CostService:
     def deploy(
         self, bundle: EstimatorBundle, name: Optional[str] = None
     ) -> EstimatorBundle:
-        """Register (or hot-swap) a bundle; returns it versioned."""
-        return self.registry.register(bundle, name=name)
+        """Register (or hot-swap) a bundle; returns it versioned.
+
+        With adaptation enabled, a recall watcher is attached when the
+        bundle carries keep-masks — per-operator (QPPNet) or global
+        (MSCN) — and a compatible operator encoder; an unreduced bundle
+        has no pruned dimensions to recall and is served unwatched.
+        """
+        deployed = self.registry.register(bundle, name=name)
+        if self.adaptation is not None:
+            self.adaptation.watch(deployed)
+        return deployed
 
     def _bundle(self, name: Optional[str]) -> EstimatorBundle:
         return self.registry.get(name)
@@ -149,15 +160,23 @@ class CostService:
         fitter = template_snapshot_fitter(
             bundle.benchmark, scale=self.snapshot_scale
         )
-        extended = self.snapshot_store.extend_set(
-            bundle.snapshot_set,
-            env,
-            fitter,
-            namespace=bundle.benchmark.name,
+        # The slow part (fitting, store-deduplicated) runs outside any
+        # registry lock; the graft is then an atomic read-modify-write,
+        # so it composes with concurrent adaptation promotions instead
+        # of reverting them.  The version bump retires stale
+        # feature-cache keys lazily (keys include the version).
+        snapshot = self.snapshot_store.get_or_fit(
+            env, fitter, namespace=bundle.benchmark.name
         )
-        # Hot-swap: the new set re-normalises coefficients, so the
-        # version bump (via register) retires stale feature-cache keys.
-        return self.registry.register(bundle.with_snapshot_set(extended))
+
+        def graft(current: EstimatorBundle) -> EstimatorBundle:
+            if current.knows_environment(env.name):
+                return current  # another thread grafted it meanwhile
+            return current.with_snapshot_set(
+                current.snapshot_set.with_snapshot(snapshot)
+            )
+
+        return self.registry.update(bundle.name, graft)
 
     # ------------------------------------------------------------------
     # the online path
@@ -221,14 +240,12 @@ class CostService:
         key = plan_fingerprint(
             record.plan, bundle.name, bundle.version, env.name
         )
-        prepared = self.cache.get(key)
-        if prepared is None:  # miss (None is never stored)
-            prepared = bundle.prepare_one(record)
-            self.cache.put(
-                key, _NO_FEATURES if prepared is None else prepared
-            )
-        elif prepared is _NO_FEATURES:
-            prepared = None
+        # Stampede-safe: concurrent misses on one fingerprint encode
+        # once, and a legitimate None ("no cacheable form") is cached
+        # rather than recomputed on every request.
+        prepared = self.cache.get_or_compute(
+            key, lambda: bundle.prepare_one(record)
+        )
         self.stats.record("featurize", time.perf_counter() - start)
         return prepared
 
@@ -257,6 +274,7 @@ class CostService:
         value = float(deployed.predict_prepared([record], [prepared])[0])
         self.stats.record("predict", time.perf_counter() - start)
         self.stats.count_requests()
+        self._stream_to_adaptation(deployed.name, record)
         return value
 
     def estimate_many(
@@ -278,6 +296,7 @@ class CostService:
             record = self._record_for(plan, env, sql_text)
             records.append(record)
             prepared.append(self._prepare(deployed, record, env))
+            self._stream_to_adaptation(deployed.name, record)
         out = np.zeros(len(records))
         for lo in range(0, len(records), batch_size):
             hi = min(lo + batch_size, len(records))
@@ -305,10 +324,69 @@ class CostService:
         prepared = self._prepare(deployed, record, env)
         batcher = self._batcher_for(deployed.name)
         self.stats.count_requests()
+        self._stream_to_adaptation(deployed.name, record)
         # The bundle rides along: prepared features are only valid for
         # the bundle version that encoded them, so a hot-swap must not
         # re-route in-flight requests onto new masks/weights.
         return batcher.submit((deployed, record, prepared))
+
+    # ------------------------------------------------------------------
+    # adaptation plumbing
+    # ------------------------------------------------------------------
+    def _stream_to_adaptation(self, bundle_name: str, record: LabeledPlan) -> None:
+        """Hot-path hand-off: a bounded deque append, nothing more."""
+        if self.adaptation is not None:
+            self.adaptation.observe(bundle_name, record, labeled=False)
+
+    def record_feedback(
+        self,
+        query: Union[QueryLike, LabeledPlan],
+        env: DatabaseEnvironment,
+        actual_ms: Optional[float] = None,
+        bundle: Optional[str] = None,
+    ) -> None:
+        """Report what a query actually took once the database ran it.
+
+        Feedback records fill the adaptation loop's retraining window
+        and wake the refit worker.  *query* is ideally a fully labelled
+        :class:`LabeledPlan` (per-node actuals included, as an EXPLAIN
+        ANALYZE would supply); with SQL/plan + ``actual_ms``, per-node
+        actuals are apportioned by optimizer cost fractions.  No-op
+        when adaptation is disabled.
+        """
+        if self.adaptation is None:
+            return
+        deployed = self._ensure_environment(self._bundle(bundle), env)
+        if isinstance(query, LabeledPlan):
+            record = query
+            if record.env_name != env.name:
+                raise ServingError(
+                    f"feedback record is labelled for environment "
+                    f"{record.env_name!r}, not {env.name!r}"
+                )
+        else:
+            if actual_ms is None:
+                raise ServingError(
+                    "record_feedback needs actual_ms unless given a "
+                    "LabeledPlan"
+                )
+            plan, sql_text = self._resolve_plan(query, deployed, env)
+            if isinstance(query, PlanNode):
+                # _resolve_plan passes caller-built plans through as-is;
+                # labelling must not mutate the caller's object (nor let
+                # later feedback calls overwrite this record's targets).
+                plan = copy.deepcopy(plan)
+            root_cost = max(plan.est_total_cost, 1e-9)
+            for node in plan.walk():
+                fraction = min(node.est_total_cost / root_cost, 1.0)
+                node.actual_total_ms = actual_ms * fraction
+            record = LabeledPlan(
+                plan=plan,
+                latency_ms=actual_ms,
+                env_name=env.name,
+                query_sql=sql_text,
+            )
+        self.adaptation.observe(deployed.name, record, labeled=True)
 
     # ------------------------------------------------------------------
     # micro-batching plumbing
@@ -356,10 +434,13 @@ class CostService:
         from ..eval.reporting import render_serving_report
 
         throughput: List[Tuple[str, float, float]] = []
+        # Coalesced requests (waited on another thread's in-flight
+        # compute/fit) count as hits in both columns and rate, so the
+        # displayed counts and percentage agree.
         cache_rows = [
             (
                 "feature-cache",
-                self.cache.stats.hits,
+                self.cache.stats.hits + self.cache.stats.coalesced,
                 self.cache.stats.misses,
                 self.cache.stats.hit_rate,
             )
@@ -369,17 +450,25 @@ class CostService:
             cache_rows.append(
                 (
                     "snapshot-store",
-                    stats.hits + stats.approx_hits,
+                    stats.hits + stats.approx_hits + stats.coalesced,
                     stats.misses,
                     stats.hit_rate,
                 )
             )
+        adaptation_rows = (
+            self.adaptation.stats.rows() if self.adaptation is not None else ()
+        )
         return render_serving_report(
-            throughput, self.stats.stage_rows(), cache_rows
+            throughput,
+            self.stats.stage_rows(),
+            cache_rows,
+            adaptation=adaptation_rows,
         )
 
     def close(self) -> None:
-        """Drain and stop every micro-batcher."""
+        """Stop the adaptation loop, then drain every micro-batcher."""
+        if self.adaptation is not None:
+            self.adaptation.close()
         with self._lock:
             batchers = list(self._batchers.values())
             self._batchers.clear()

@@ -17,12 +17,13 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from concurrent.futures import Future
 from dataclasses import dataclass, replace
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from ..core.snapshot import FeatureSnapshot, SnapshotSet, fit_snapshot_from_queries
+from ..core.snapshot import FeatureSnapshot, fit_snapshot_from_queries
 from ..core.templates import generate_simplified_queries
 from ..engine.environment import DatabaseEnvironment
 from ..engine.executor import ExecutionSimulator
@@ -78,21 +79,31 @@ def knob_vector(env: DatabaseEnvironment) -> np.ndarray:
 
 @dataclass
 class StoreStats:
-    """Exact hits, tolerance ("approximate") hits, fits and evictions."""
+    """Exact hits, tolerance ("approximate") hits, fits and evictions.
+
+    ``coalesced`` counts requests that found an identical knob
+    signature already being fitted by another thread and waited for
+    that fit instead of running a duplicate.
+    """
 
     hits: int = 0
     approx_hits: int = 0
     misses: int = 0
     evictions: int = 0
+    coalesced: int = 0
 
     @property
     def requests(self) -> int:
-        return self.hits + self.approx_hits + self.misses
+        return self.hits + self.approx_hits + self.misses + self.coalesced
 
     @property
     def hit_rate(self) -> float:
         total = self.requests
-        return (self.hits + self.approx_hits) / total if total else 0.0
+        return (
+            (self.hits + self.approx_hits + self.coalesced) / total
+            if total
+            else 0.0
+        )
 
 
 class SnapshotStore:
@@ -111,6 +122,7 @@ class SnapshotStore:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Tuple[str, str], Tuple[np.ndarray, FeatureSnapshot]]"
         self._entries = OrderedDict()
+        self._inflight: Dict[Tuple[str, str], "Future[FeatureSnapshot]"] = {}
 
     # ------------------------------------------------------------------
     def get_or_fit(
@@ -127,6 +139,7 @@ class SnapshotStore:
         """
         key = (namespace, knob_signature(env))
         vector = knob_vector(env)
+        leader = False
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
@@ -137,28 +150,59 @@ class SnapshotStore:
             if nearest is not None:
                 self.stats.approx_hits += 1
                 return self._relabel(nearest, env)
-            self.stats.misses += 1
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                # An identical knob signature is already being fitted
+                # by another thread: wait for that fit instead of
+                # running a duplicate (fits are the expensive path).
+                self.stats.coalesced += 1
+            else:
+                self.stats.misses += 1
+                inflight = Future()
+                self._inflight[key] = inflight
+                leader = True
+        if not leader:
+            return self._relabel(inflight.result(), env)
         # Fit outside the lock: fits are slow and independent.
-        snapshot = fitter(env)
+        try:
+            snapshot = fitter(env)
+        except BaseException as exc:
+            with self._lock:
+                self._inflight.pop(key, None)
+            inflight.set_exception(exc)
+            raise
         with self._lock:
             self._entries[key] = (vector, snapshot)
+            self._inflight.pop(key, None)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+        inflight.set_result(snapshot)
         return self._relabel(snapshot, env)
 
     def _nearest(self, namespace: str, vector: np.ndarray) -> Optional[FeatureSnapshot]:
+        """Nearest within-tolerance snapshot, refreshed in LRU order.
+
+        Must be called with the lock held.  A tolerance reuse counts as
+        a *use* of the cached entry, so it is moved to the MRU end —
+        otherwise a heavily-reused approximate entry would look idle
+        and be evicted first.
+        """
         if self.reuse_tolerance <= 0:
             return None
+        best_key: Optional[Tuple[str, str]] = None
         best: Optional[FeatureSnapshot] = None
         best_distance = self.reuse_tolerance
-        for (ns, _), (cached_vector, snapshot) in self._entries.items():
+        for (ns, sig), (cached_vector, snapshot) in self._entries.items():
             if ns != namespace:
                 continue
             distance = float(np.max(np.abs(cached_vector - vector)))
             if distance <= best_distance:
                 best_distance = distance
+                best_key = (ns, sig)
                 best = snapshot
+        if best_key is not None:
+            self._entries.move_to_end(best_key)
         return best
 
     @staticmethod
@@ -166,21 +210,6 @@ class SnapshotStore:
         if snapshot.env_name == env.name:
             return snapshot
         return replace(snapshot, env_name=env.name)
-
-    # ------------------------------------------------------------------
-    def extend_set(
-        self,
-        snapshot_set: SnapshotSet,
-        env: DatabaseEnvironment,
-        fitter: SnapshotFitter,
-        namespace: str = "",
-    ) -> SnapshotSet:
-        """*snapshot_set* grown to cover *env* (no-op when it already
-        does); the new snapshot comes through the cache."""
-        if env.name in snapshot_set.env_names:
-            return snapshot_set
-        snapshot = self.get_or_fit(env, fitter, namespace=namespace)
-        return snapshot_set.with_snapshot(snapshot)
 
     def __len__(self) -> int:
         with self._lock:

@@ -125,3 +125,72 @@ class TestBaselineShift:
                 {OperatorType.SEQ_SCAN: mask}, NAMES,
                 baselines={OperatorType.SEQ_SCAN: np.zeros(2)},
             )
+
+
+class TestSerialization:
+    def test_state_roundtrip_preserves_flags_and_streaming_stats(self):
+        recall = make_recall(pruned=(3,))
+        rng = np.random.default_rng(1)
+        rows = rows_with({}, n=50, seed=2)
+        rows[:, 3] = rng.integers(0, 2, size=50)
+        assert recall.observe(OperatorType.SEQ_SCAN, rows) == ["index:i"]
+
+        state = recall.state_dict()
+        import json
+
+        restored = FeatureRecall.from_state(json.loads(json.dumps(state)))
+        assert restored.total_flagged == 1
+        assert restored.flagged_dimensions(OperatorType.SEQ_SCAN) == [3]
+        # Observation continues where the serialized watcher left off:
+        # the flagged dim stays flagged (not re-reported), masks agree.
+        assert restored.observe(OperatorType.SEQ_SCAN, rows) == []
+        np.testing.assert_array_equal(
+            restored.recall_masks()[OperatorType.SEQ_SCAN],
+            recall.recall_masks()[OperatorType.SEQ_SCAN],
+        )
+
+    def test_state_roundtrip_preserves_baselines(self):
+        mask = np.ones(len(NAMES), dtype=bool)
+        mask[3] = False
+        baseline = np.zeros(len(NAMES))
+        recall = FeatureRecall(
+            {OperatorType.SEQ_SCAN: mask}, NAMES,
+            baselines={OperatorType.SEQ_SCAN: baseline},
+        )
+        restored = FeatureRecall.from_state(recall.state_dict())
+        # Mean-shift detection still works through the restored baseline.
+        flagged = restored.observe(
+            OperatorType.SEQ_SCAN, rows_with({3: 5.0}, n=30, seed=7)
+        )
+        assert flagged == ["index:i"]
+
+    def test_invalid_state_rejected(self):
+        with pytest.raises(FeatureError):
+            FeatureRecall.from_state({"masks": {}})
+
+
+def test_collect_baselines_means_unmasked_rows():
+    from repro.core.recall import collect_baselines
+    from repro.engine.environment import random_environments
+    from repro.engine.executor import ExecutionSimulator, LabeledPlan
+    from repro.featurization.encoding import OperatorEncoder
+    from repro.workload.collect import get_benchmark
+
+    benchmark = get_benchmark("sysbench")
+    env = random_environments(1, seed=0)[0]
+    simulator = ExecutionSimulator(benchmark.catalog, benchmark.stats, env)
+    labeled = []
+    for _, query in benchmark.generate_queries(6, seed=0):
+        result = simulator.run_query(query)
+        labeled.append(
+            LabeledPlan(
+                plan=result.plan, latency_ms=result.latency_ms,
+                env_name=env.name, query_sql=query.sql(),
+            )
+        )
+    encoder = OperatorEncoder(benchmark.catalog)
+    baselines = collect_baselines(encoder, labeled)
+    assert baselines
+    for op, mean in baselines.items():
+        assert mean.shape == (encoder.dim,)
+        assert np.isfinite(mean).all()

@@ -91,3 +91,45 @@ def test_invalid_configuration():
         MicroBatcher(_double, max_batch=0)
     with pytest.raises(ServingError):
         MicroBatcher(_double, flush_window_s=-1.0)
+
+
+def test_leftover_from_size_flush_keeps_its_arrival_deadline():
+    """A request left queued by a size flush must not have its window
+    restarted: the flush deadline anchors to the oldest *remaining*
+    item's arrival, so its wait stays bounded by roughly one window
+    plus the in-flight predict call — not drain-time + window."""
+    release_first = threading.Event()
+
+    def predictor(items):
+        if items[0] == "blocker":
+            # The first batch holds the worker long enough for the
+            # leftover's window to expire while it waits.
+            release_first.wait(timeout=10.0)
+        return _double_or_zero(items)
+
+    def _double_or_zero(items):
+        return np.array(
+            [0.0 if isinstance(i, str) else i * 2.0 for i in items]
+        )
+
+    window = 0.2
+    with MicroBatcher(predictor, max_batch=2, flush_window_s=window) as batcher:
+        # Batch 1 (size flush): worker blocks inside predict.
+        blocked = [batcher.submit("blocker"), batcher.submit("blocker")]
+        time.sleep(0.02)
+        # Three more arrive while the worker is busy; the next size
+        # flush will take two and leave one behind.
+        batcher.submit(1)
+        batcher.submit(2)
+        leftover = batcher.submit(3)
+        submitted_at = time.monotonic()
+        time.sleep(2.5 * window)  # leftover's own window expires ...
+        release_first.set()  # ... and only now does the worker free up
+        assert leftover.result(timeout=5.0) == 6.0
+        waited_after_free = time.monotonic() - submitted_at
+        for future in blocked:
+            future.result(timeout=5.0)
+    # With the arrival-anchored deadline the leftover flushes as soon
+    # as the worker frees (its window long expired).  The buggy
+    # drain-time anchor would wait a fresh full window first.
+    assert waited_after_free < 2.5 * window + 0.75 * window, waited_after_free

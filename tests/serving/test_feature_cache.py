@@ -67,3 +67,89 @@ def test_clear_keeps_counters():
 def test_capacity_must_be_positive():
     with pytest.raises(ServingError):
         FeatureCache(capacity=0)
+
+
+def test_none_value_is_cached_not_recomputed():
+    cache = FeatureCache(capacity=4)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return None  # "no cacheable form" is a result, not a miss
+
+    assert cache.get_or_compute("k", compute) is None
+    assert cache.get_or_compute("k", compute) is None
+    assert len(calls) == 1
+    found, value = cache.lookup("k")
+    assert found and value is None
+
+
+def test_concurrent_misses_compute_once():
+    """16 threads miss the same key at once: exactly one compute."""
+    import threading
+    import time
+
+    cache = FeatureCache(capacity=8)
+    calls = []
+    barrier = threading.Barrier(16)
+    results = [None] * 16
+
+    def compute():
+        calls.append(1)
+        time.sleep(0.05)  # hold the stampede window open
+        return "prepared"
+
+    def worker(i):
+        barrier.wait()
+        results[i] = cache.get_or_compute("hot-key", compute)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(calls) == 1
+    assert results == ["prepared"] * 16
+    assert cache.stats.misses == 1
+    assert cache.stats.coalesced == 15
+
+
+def test_leader_exception_propagates_and_key_retries():
+    import threading
+
+    cache = FeatureCache(capacity=4)
+    attempts = []
+
+    def boom():
+        attempts.append(1)
+        raise RuntimeError("encode failed")
+
+    with pytest.raises(RuntimeError):
+        cache.get_or_compute("k", boom)
+    # The failed key was not poisoned: the next caller retries.
+    assert cache.get_or_compute("k", lambda: "ok") == "ok"
+    assert len(attempts) == 1
+
+    # Concurrent waiters see the leader's exception.
+    barrier = threading.Barrier(4)
+    errors = []
+
+    def slow_boom():
+        import time
+
+        time.sleep(0.05)
+        raise RuntimeError("encode failed")
+
+    def worker():
+        barrier.wait()
+        try:
+            cache.get_or_compute("k2", slow_boom)
+        except RuntimeError:
+            errors.append(1)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(errors) == 4

@@ -94,3 +94,54 @@ def test_bundle_env_coverage_without_snapshot_set():
     bundle = _bundle("b")
     assert bundle.env_names == []
     assert bundle.knows_environment("anything")
+
+
+def test_update_is_atomic_read_modify_write():
+    from dataclasses import replace
+
+    registry = EstimatorRegistry()
+    registry.register(_bundle("a", value=1.0))
+
+    updated = registry.update(
+        "a", lambda current: replace(current, estimator=_StubEstimator(2.0))
+    )
+    assert updated.version == 2
+    assert registry.get("a").estimator.value == 2.0
+
+    # Returning the current bundle means "no change": no version burned.
+    same = registry.update("a", lambda current: current)
+    assert same is updated
+    assert registry.version_of("a") == 2
+
+    with pytest.raises(ServingError):
+        registry.update("ghost", lambda current: current)
+
+
+def test_concurrent_updates_compose_instead_of_reverting():
+    """Two writers (snapshot extension vs promotion) both land: update
+    serializes read-modify-write, so neither overwrites the other."""
+    import threading
+    from dataclasses import replace
+
+    registry = EstimatorRegistry()
+    registry.register(_bundle("a", value=0.0))
+    barrier = threading.Barrier(8)
+
+    def bump(_):
+        barrier.wait()
+        registry.update(
+            "a",
+            lambda current: replace(
+                current,
+                estimator=_StubEstimator(current.estimator.value + 1.0),
+            ),
+        )
+
+    threads = [threading.Thread(target=bump, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Every increment survived (last-writer-wins would lose some).
+    assert registry.get("a").estimator.value == 8.0
+    assert registry.get("a").version == 9

@@ -105,3 +105,91 @@ def test_capacity_eviction():
         store.get_or_fit(env, _counting_fitter(fits))
     assert len(store) == 2
     assert store.stats.evictions == 1
+
+
+def test_concurrent_identical_misses_fit_once():
+    """16 threads request the same unseen knob signature: one fit."""
+    import threading
+    import time
+
+    config = default_configuration()
+    profile = get_profile(DEFAULT_PROFILE)
+    store = SnapshotStore()
+    fits = []
+    barrier = threading.Barrier(16)
+    results = [None] * 16
+
+    def slow_fitter(env):
+        fits.append(env.name)
+        time.sleep(0.05)  # hold the duplicate-fit window open
+        return _snapshot(env.name)
+
+    def worker(i):
+        barrier.wait()
+        env = DatabaseEnvironment(config, profile, name=f"env-{i}")
+        results[i] = store.get_or_fit(env, slow_fitter)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(fits) == 1
+    assert store.stats.misses == 1
+    assert store.stats.coalesced == 15
+    assert len(store) == 1
+    for i, snapshot in enumerate(results):
+        assert snapshot is not None
+        # Every caller got the shared fit, relabelled to its own env.
+        assert snapshot.env_name == f"env-{i}"
+        assert snapshot.coefficients is results[0].coefficients
+
+
+def test_failed_fit_is_not_poisoned():
+    config = default_configuration()
+    profile = get_profile(DEFAULT_PROFILE)
+    store = SnapshotStore()
+    env = DatabaseEnvironment(config, profile, name="env")
+
+    def boom(_env):
+        raise RuntimeError("fit failed")
+
+    with pytest.raises(RuntimeError):
+        store.get_or_fit(env, boom)
+    fits = []
+    snapshot = store.get_or_fit(env, _counting_fitter(fits))
+    assert fits == ["env"]
+    assert snapshot.env_name == "env"
+
+
+def test_approximate_hit_refreshes_lru_position():
+    """Tolerance reuse counts as a *use*: the reused entry moves to the
+    MRU end so it is not the next eviction victim."""
+    base = default_configuration()
+    profile = get_profile(DEFAULT_PROFILE)
+    near = base.with_overrides(work_mem=int(float(base["work_mem"]) * 1.02))
+    store = SnapshotStore(capacity=2, reuse_tolerance=0.05)
+    fits = []
+    store.get_or_fit(
+        DatabaseEnvironment(base, profile, name="base"), _counting_fitter(fits)
+    )
+    distinct = [
+        env
+        for env in random_environments(4, seed=11)
+        if float(np.max(np.abs(knob_vector(env) - knob_vector(
+            DatabaseEnvironment(base, profile, name="probe"))))) > 0.05
+    ]
+    store.get_or_fit(distinct[0], _counting_fitter(fits))
+    # Approximate hit on "base": refreshes its LRU slot ...
+    store.get_or_fit(
+        DatabaseEnvironment(near, profile, name="near"), _counting_fitter(fits)
+    )
+    assert store.stats.approx_hits == 1
+    # ... so the next insertion evicts the other entry, not "base".
+    store.get_or_fit(distinct[1], _counting_fitter(fits))
+    refits = []
+    store.get_or_fit(
+        DatabaseEnvironment(base, profile, name="base-again"),
+        _counting_fitter(refits),
+    )
+    assert refits == []  # "base" survived the eviction
