@@ -11,7 +11,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.granularity import fit_fine_grained, residual_improvement
 from repro.core.pipeline import QCFE, QCFEConfig

@@ -1,41 +1,29 @@
 """Drift adaptation under live traffic: detect -> refit -> hot-swap.
 
-Not a paper figure — this drives the `repro.serving.adaptation` loop
-end-to-end, the serving-layer answer to the paper's Section IV
-"dynamic workloads" discussion:
+Not a paper figure — a thin invocation of the ``drift-under-load``
+scenario from :mod:`repro.bench.scenarios` (the harness owns the
+stale-training, drifted-traffic replay, async hammer and latency
+sampling), asserting the serving-layer answer to the paper's Section
+IV "dynamic workloads" discussion:
 
-1. Reduce features on a point-select-only Sysbench mix (the read-mix
-   half of sysbench's OLTP transaction) and deploy the bundle.
-2. Shift the workload to the range-query mix and stream it through the
-   service — estimates plus execution feedback.
-3. The background RefitWorker must flag >= 1 recalled dimension,
-   warm-retrain off the hot path, shadow-score and promote.
-
-Asserted:
 - the adaptation loop recalls at least one pruned dimension;
 - the promoted bundle's q-error on the drifted workload beats the
   stale bundle's;
 - serving p50 latency is unchanged while the refit runs (the refit is
   fully off the hot path);
-- a 16-thread async hammer against the service during adaptation
-  returns finite estimates throughout.
+- the concurrent async hammer finishes without errors.
 
 A TPC-H template-mix shift runs as a second scenario (skipped under
-``--quick``).
+``--quick``).  Trajectory JSON lands in ``benchmarks/results/``.
 """
 
 from __future__ import annotations
 
-import threading
-import time
+import pathlib
 
-import numpy as np
+from repro.bench import run_scenarios
 
-from repro.core import QCFE, QCFEConfig, collect_baselines
-from repro.engine.executor import ExecutionSimulator, LabeledPlan
-from repro.eval.harness import default_epochs, env_int
-from repro.nn.loss import numpy_q_error
-from repro.serving import AdaptationConfig, CostService, SnapshotStore
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: With the refit off the hot path, p50 must not move; the generous
 #: bound absorbs CI scheduling noise while still failing hard if the
@@ -43,231 +31,47 @@ from repro.serving import AdaptationConfig, CostService, SnapshotStore
 P50_BUDGET = 5.0
 
 
-def _labeled(benchmark, environments, keep, total, seed):
-    """Labelled plans restricted to template names accepted by *keep*."""
-    per_env = max(1, total // len(environments))
-    labeled = []
-    for env_index, env in enumerate(environments):
-        simulator = ExecutionSimulator(benchmark.catalog, benchmark.stats, env)
-        pool = benchmark.generate_queries(per_env * 8, seed=seed + env_index)
-        picked = [(n, q) for n, q in pool if keep(n)][:per_env]
-        for name, query in picked:
-            result = simulator.run_query(query)
-            labeled.append(
-                LabeledPlan(
-                    plan=result.plan, latency_ms=result.latency_ms,
-                    env_name=env.name, query_sql=query.sql(), template=name,
-                )
-            )
-    return labeled
-
-
-def _p50(latencies):
-    return float(np.percentile(np.array(latencies), 50)) if latencies else 0.0
-
-
-def _interleave(records):
-    """Round-robin records across environments: realistic concurrent
-    traffic, and it keeps the refit window's train/shadow split (oldest
-    train, newest shadow) covering every environment."""
-    by_env = {}
-    for record in records:
-        by_env.setdefault(record.env_name, []).append(record)
-    queues = list(by_env.values())
-    out = []
-    index = 0
-    while any(queues):
-        queue = queues[index % len(queues)]
-        if queue:
-            out.append(queue.pop(0))
-        index += 1
-    return out
-
-
-def _drive_adaptation(
-    benchmark, envs, train_keep, drift_keep, epochs, total, refit_epochs
-):
-    """One drift scenario; returns a dict of measurements."""
-    stale_set = _labeled(benchmark, envs, train_keep, total, seed=1)
-    pipeline = QCFE(
-        benchmark,
-        envs,
-        QCFEConfig(
-            model="qppnet", epochs=epochs, template_scale=4, reduction="diff"
-        ),
-    )
-    pipeline.fit(stale_set)
-    baselines = collect_baselines(pipeline.operator_encoder, stale_set)
-
-    drifted = _interleave(_labeled(benchmark, envs, drift_keep, total, seed=9))
-    env_by_name = {env.name: env for env in envs}
-
-    service = CostService(
-        snapshot_store=SnapshotStore(),
-        adaptation=AdaptationConfig(
-            background=True,
-            poll_interval_s=0.01,
-            min_refit_records=min(24, len(drifted)),
-            refit_epochs=refit_epochs,
-        ),
-    )
-    bundle = pipeline.export_bundle()
-    bundle.metadata["recall_baselines"] = baselines
-    deployed = service.deploy(bundle)
-    name = deployed.name
-    stale = service.registry.get(name)
-
-    probe = [(r.plan, env_by_name[r.env_name]) for r in drifted[:32]]
-
-    def measure(count):
-        out = []
-        for i in range(count):
-            plan, env = probe[i % len(probe)]
-            start = time.perf_counter()
-            service.estimate(plan, env)
-            out.append((time.perf_counter() - start) * 1000.0)
-        return out
-
-    # Warm-up + baseline serving latency, before any drift is flagged.
-    measure(32)
-    before = measure(96)
-
-    # The drifted workload arrives: feedback fills the refit window and
-    # wakes the worker.
-    for record in drifted:
-        service.record_feedback(record, env_by_name[record.env_name])
-
-    # Serve continuously WHILE the background refit runs; also hammer
-    # the async path from 16 threads to shake out concurrency bugs.
-    during = []
-    stats = service.adaptation.stats
-    hammer_values = []
-    hammer_lock = threading.Lock()
-
-    def hammer(seed):
-        futures = []
-        for i in range(8):
-            plan, env = probe[(seed * 8 + i) % len(probe)]
-            futures.append(service.estimate_async(plan, env))
-        values = [f.result(timeout=30.0) for f in futures]
-        with hammer_lock:
-            hammer_values.extend(values)
-
-    threads = [threading.Thread(target=hammer, args=(i,)) for i in range(16)]
-    for t in threads:
-        t.start()
-    deadline = time.monotonic() + 120.0
-    # Keep sampling until the refit has resolved AND we hold enough
-    # samples for a meaningful p50 — a refit finishing faster than the
-    # first measurement batch must not leave `during` empty (a p50 of
-    # 0.0 would pass the latency assertion vacuously).
-    while (
-        stats.promotions + stats.rollbacks < 1 or len(during) < 64
-    ) and time.monotonic() < deadline:
-        during.extend(measure(8))
-    for t in threads:
-        t.join()
-    refitted = stats.promotions + stats.rollbacks >= 1
-    service.adaptation.wait_idle(timeout=30.0)
-
-    promoted = service.registry.get(name)
-    actual = np.array([r.latency_ms for r in drifted])
-    stale_q = float(numpy_q_error(stale.predict_many(drifted), actual).mean())
-    new_q = float(numpy_q_error(promoted.predict_many(drifted), actual).mean())
-    watcher = service.adaptation.watcher(name)
-    measurements = {
-        "benchmark": benchmark.name,
-        "flagged": watcher.recall.total_flagged,
-        "refits": stats.refits,
-        "promotions": stats.promotions,
-        "rollbacks": stats.rollbacks,
-        "refitted": refitted,
-        "stale_version": stale.version,
-        "promoted_version": promoted.version,
-        "stale_q": stale_q,
-        "new_q": new_q,
-        "p50_before_ms": _p50(before),
-        "p50_during_ms": _p50(during),
-        "hammer_ok": bool(
-            hammer_values and np.isfinite(hammer_values).all()
-        ),
-        "report": service.report(),
-    }
-    service.close()
-    return measurements
-
-
-def _render(m):
+def _render(extra: dict) -> str:
     return (
-        f"[{m['benchmark']}] recalled dims: {m['flagged']}, "
-        f"refits: {m['refits']} "
-        f"(promoted {m['promotions']}, rolled back {m['rollbacks']})\n"
-        f"[{m['benchmark']}] bundle version {m['stale_version']} -> "
-        f"{m['promoted_version']}\n"
-        f"[{m['benchmark']}] drifted-workload mean q-error: "
-        f"stale {m['stale_q']:.3f} -> promoted {m['new_q']:.3f}\n"
-        f"[{m['benchmark']}] serving p50: {m['p50_before_ms']:.3f} ms before, "
-        f"{m['p50_during_ms']:.3f} ms during refit\n"
+        f"[{extra['drift_mode']}] recalled dims: {extra['flagged']}, "
+        f"refits: {extra['refits']} (promoted {extra['promotions']}, "
+        f"rolled back {extra['rollbacks']})\n"
+        f"bundle version {extra['stale_version']} -> "
+        f"{extra['promoted_version']}\n"
+        f"drifted-workload mean q-error: stale {extra['stale_q']:.3f} -> "
+        f"promoted {extra['new_q']:.3f}\n"
+        f"serving p50: {extra['p50_before_ms']:.3f} ms before, "
+        f"{extra['p50_during_ms']:.3f} ms during refit\n"
+        f"async hammer: {extra['hammer_completed']} requests, "
+        f"{extra['hammer_errors']} errors\n"
     )
 
 
-def test_drift_adaptation(context, save_result, quick):
-    envs = context.environments(2)
-    total = env_int("QCFE_DRIFT_PLANS", 48 if quick else 96)
-    epochs = 2 if quick else max(3, default_epochs() // 3)
+def _check(extra: dict, report: str) -> None:
+    assert extra["flagged"] >= 1, report
+    assert extra["refitted"], report
+    assert extra["promotions"] >= 1, report
+    assert extra["promoted_version"] > extra["stale_version"], report
+    assert extra["new_q"] < extra["stale_q"], report
+    assert extra["hammer_errors"] == 0 and extra["hammer_completed"] > 0, report
+    # Refit fully off the hot path: p50 holds while retraining runs.
+    assert extra["p50_during_ms"] > 0.0, report  # never vacuous
+    assert extra["p50_during_ms"] <= P50_BUDGET * max(
+        extra["p50_before_ms"], 0.01
+    ), report
 
-    range_shapes = {"simple_range", "sum_range", "order_range", "distinct_range"}
-    sysbench = _drive_adaptation(
-        context.benchmark("sysbench"),
-        envs,
-        train_keep=lambda n: n == "point_select",
-        drift_keep=lambda n: n in range_shapes,
-        epochs=epochs,
-        total=total,
-        refit_epochs=2 if quick else 4,
-    )
-    sections = [_render(sysbench)]
 
-    tpch_m = None
+def test_drift_adaptation(save_result, quick):
+    names = ["drift-under-load"]
     if not quick:
         # Second scenario: a TPC-H template-mix shift (the analytic
         # analogue of a read/write-mix change — half the templates,
         # with their columns/operators, only appear after the drift).
-        tpch = context.benchmark("tpch")
-        names = sorted({name for name, _ in tpch.generate_queries(64, seed=0)})
-        head = set(names[: len(names) // 2])
-        tpch_m = _drive_adaptation(
-            tpch,
-            envs,
-            train_keep=lambda n: n in head,
-            drift_keep=lambda n: n not in head,
-            epochs=epochs,
-            total=total,
-            refit_epochs=4,
-        )
-        sections.append(_render(tpch_m))
-    report = "\n".join(sections) + "\n" + sysbench["report"]
-    save_result("drift", report)
+        names.append("drift-under-load-tpch")
+    results = run_scenarios(names, quick=quick, out_dir=RESULTS_DIR)
 
-    # -- acceptance ----------------------------------------------------
-    assert sysbench["flagged"] >= 1, report
-    assert sysbench["refitted"], report
-    assert sysbench["promotions"] >= 1, report
-    assert sysbench["promoted_version"] > sysbench["stale_version"], report
-    assert sysbench["new_q"] < sysbench["stale_q"], report
-    assert sysbench["hammer_ok"], report
-    # Refit fully off the hot path: p50 holds while retraining runs.
-    assert sysbench["p50_during_ms"] > 0.0, report  # never vacuous
-    assert sysbench["p50_during_ms"] <= P50_BUDGET * max(
-        sysbench["p50_before_ms"], 0.01
-    ), report
-    if tpch_m is not None:
-        # The TPC-H shift must clear the same bar.
-        assert tpch_m["flagged"] >= 1, report
-        assert tpch_m["promotions"] >= 1, report
-        assert tpch_m["new_q"] < tpch_m["stale_q"], report
-        assert tpch_m["hammer_ok"], report
-        assert tpch_m["p50_during_ms"] > 0.0, report
-        assert tpch_m["p50_during_ms"] <= P50_BUDGET * max(
-            tpch_m["p50_before_ms"], 0.01
-        ), report
+    extras = [result["metrics"]["extra"] for result in results]
+    report = "\n".join(_render(extra) for extra in extras)
+    save_result("drift", report)
+    for extra in extras:
+        _check(extra, report)

@@ -1,0 +1,76 @@
+"""repro.bench — the unified load-testing & perf-trajectory harness.
+
+QCFE's claim is *efficiency*; this package is how the repo proves it
+stays true, every PR:
+
+- :mod:`loadgen` — open- (Poisson / fixed-rate / burst) and
+  closed-loop traffic generation over weighted multi-tenant mixes,
+  driving :class:`~repro.serving.CostService` across N threads;
+- :mod:`metrics` — streaming log-bucketed latency histograms
+  (p50/p95/p99/max in fixed memory) and atomic-snapshot counter
+  deltas scraped from ``service.counters()``;
+- :mod:`scenarios` — the named, parameterized scenario registry
+  (steady-state, cold-start, drift-under-load, tenant-skew,
+  snapshot-miss-storm); a new workload is one ``register()`` away;
+- :mod:`runner` — the ``python -m repro.bench`` CLI: runs scenarios,
+  writes schema-versioned ``BENCH_<scenario>.json`` trajectory files;
+- :mod:`compare` — tolerance-band comparison against committed
+  baselines, exiting nonzero on regression (the CI perf gate).
+"""
+
+from .compare import (
+    SCHEMA_VERSION,
+    Tolerance,
+    Violation,
+    compare_dirs,
+    compare_maps,
+    compare_result,
+    default_tolerances,
+    load_results,
+)
+from .loadgen import ArrivalSpec, LoadResult, Tenant, run_load
+from .metrics import (
+    LatencyHistogram,
+    counters_delta,
+    flatten_metrics,
+    load_metrics,
+)
+from .runner import git_sha, result_envelope, run_scenarios
+from .scenarios import (
+    SCENARIOS,
+    Scenario,
+    clear_setup_cache,
+    get_scenario,
+    register,
+    run_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SCENARIOS",
+    "ArrivalSpec",
+    "LatencyHistogram",
+    "LoadResult",
+    "Scenario",
+    "Tenant",
+    "Tolerance",
+    "Violation",
+    "clear_setup_cache",
+    "compare_dirs",
+    "compare_maps",
+    "compare_result",
+    "counters_delta",
+    "default_tolerances",
+    "flatten_metrics",
+    "get_scenario",
+    "git_sha",
+    "load_metrics",
+    "load_results",
+    "register",
+    "result_envelope",
+    "run_load",
+    "run_scenario",
+    "run_scenarios",
+    "scenario_names",
+]

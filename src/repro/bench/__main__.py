@@ -1,0 +1,7 @@
+"""``python -m repro.bench`` — run load scenarios, write the trajectory."""
+
+import sys
+
+from .runner import main
+
+sys.exit(main())

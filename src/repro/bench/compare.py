@@ -1,0 +1,293 @@
+"""Tolerance-band comparison of perf trajectories against a baseline.
+
+A baseline is a committed ``BENCH_<scenario>.json`` (the output of
+``python -m repro.bench`` at a commit the team accepted).  Its
+``tolerances`` section maps dotted metric paths to bands::
+
+    "tolerances": {
+        "metrics.latency_ms.p50": {"direction": "lower", "rel": 9.0, "abs": 5.0},
+        "metrics.throughput_rps": {"direction": "higher", "rel": 0.9},
+        ...
+    }
+
+``direction`` says which way is good; a *lower*-is-better metric
+regresses when ``current > baseline * (1 + rel) + abs``, a
+*higher*-is-better one when ``current < baseline * (1 - rel) - abs``.
+Timing metrics get wide bands (CI runners differ wildly from dev
+boxes; the gate exists to catch order-of-magnitude regressions, not
+5% noise) while structural metrics — error counts, cache hit rates,
+adaptation promotions — are machine-independent and banded tightly.
+
+Only paths listed in the baseline's ``tolerances`` are gated, so the
+policy is explicit, reviewable and editable per scenario.  The module
+doubles as a CLI::
+
+    python -m repro.bench.compare <current-dir> <baseline-dir>
+
+exiting nonzero when any gated metric regressed (or a baseline is
+missing, unless ``--allow-missing``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..errors import ReproError
+from .metrics import flatten_metrics
+
+#: Envelope schema the comparator understands (see runner.py).
+SCHEMA_VERSION = 1
+
+_DIRECTIONS = ("lower", "higher")
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """One metric's acceptance band around its baseline value."""
+
+    direction: str  # "lower" (latency-like) | "higher" (throughput-like)
+    rel: float = 0.0
+    abs: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ReproError(
+                f"tolerance direction must be one of {_DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+        if self.rel < 0 or self.abs < 0:
+            raise ReproError("tolerance rel/abs must be >= 0")
+
+    def bound(self, baseline: float) -> float:
+        """The worst acceptable current value for *baseline*."""
+        if self.direction == "lower":
+            return baseline * (1.0 + self.rel) + self.abs
+        return baseline * (1.0 - self.rel) - self.abs
+
+    def allows(self, baseline: float, current: float) -> bool:
+        if self.direction == "lower":
+            return current <= self.bound(baseline)
+        return current >= self.bound(baseline)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"direction": self.direction, "rel": self.rel, "abs": self.abs}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Tolerance":
+        return cls(
+            direction=str(data["direction"]),
+            rel=float(data.get("rel", 0.0)),
+            abs=float(data.get("abs", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One gated metric that failed (or could not be) the band check."""
+
+    scenario: str
+    metric: str
+    kind: str  # "regression" | "missing-metric" | "missing-baseline" | "schema"
+    baseline: Optional[float] = None
+    current: Optional[float] = None
+    tolerance: Optional[Tolerance] = None
+
+    def render(self) -> str:
+        if self.kind == "regression":
+            assert self.tolerance is not None
+            worst = self.tolerance.bound(self.baseline or 0.0)
+            arrow = "<=" if self.tolerance.direction == "lower" else ">="
+            return (
+                f"[{self.scenario}] {self.metric}: {self.current:.6g} "
+                f"violates band (need {arrow} {worst:.6g}; "
+                f"baseline {self.baseline:.6g}, "
+                f"rel {self.tolerance.rel:g}, abs {self.tolerance.abs:g})"
+            )
+        if self.kind == "missing-metric":
+            return (
+                f"[{self.scenario}] {self.metric}: gated by the baseline "
+                "but absent from the current result"
+            )
+        if self.kind == "missing-baseline":
+            return f"[{self.scenario}] no committed baseline for this scenario"
+        return f"[{self.scenario}] {self.metric}"
+
+
+# ----------------------------------------------------------------------
+# default tolerance policy (baked into freshly written results so
+# promoting a result to baseline is a file copy)
+# ----------------------------------------------------------------------
+#: (path suffix, tolerance) — first match wins; latency bands are wide
+#: because absolute timings move ~5-10x across machines, structural
+#: counters are tight because they don't.
+_DEFAULT_BANDS: Sequence = (
+    (".latency_ms.p50", Tolerance("lower", rel=9.0, abs=5.0)),
+    (".latency_ms.p95", Tolerance("lower", rel=9.0, abs=10.0)),
+    (".latency_ms.p99", Tolerance("lower", rel=9.0, abs=20.0)),
+    (".latency_ms.mean", Tolerance("lower", rel=9.0, abs=5.0)),
+    ("metrics.throughput_rps", Tolerance("higher", rel=0.9)),
+    ("metrics.errors", Tolerance("lower", rel=0.0, abs=0.0)),
+    ("counters.feature_cache.hit_rate", Tolerance("higher", rel=0.5, abs=0.05)),
+    ("counters.snapshot_store.hit_rate", Tolerance("higher", rel=0.5, abs=0.05)),
+    ("counters.adaptation.errors", Tolerance("lower", rel=0.0, abs=0.0)),
+    ("extra.batch_speedup", Tolerance("higher", rel=0.5)),
+    ("extra.warm_speedup", Tolerance("higher", rel=0.5)),
+    # 0/1 flags from the drift scenario: raw flag/promotion counts vary
+    # run-to-run, but "it recalled something and promoted a candidate"
+    # must never regress.
+    ("extra.recalled_any", Tolerance("higher", rel=0.0)),
+    ("extra.promoted_any", Tolerance("higher", rel=0.0)),
+    ("extra.refitted", Tolerance("higher", rel=0.0)),
+    # Any improvement over the stale model passes; a candidate that is
+    # *worse* than what it replaced is a real regression anywhere.
+    ("extra.q_error_improvement", Tolerance("higher", rel=1.0)),
+    ("extra.hammer_errors", Tolerance("lower", rel=0.0, abs=0.0)),
+    ("extra.warm_errors", Tolerance("lower", rel=0.0, abs=0.0)),
+)
+
+
+def default_tolerances(result: Mapping[str, object]) -> Dict[str, Dict[str, object]]:
+    """The default gate for *result*: every default band whose metric
+    path exists (zero-valued throughput — e.g. the drift scenario's
+    wave sampling — is left ungated; a 0 baseline gates nothing)."""
+    flat = flatten_metrics(dict(result.get("metrics", {})), prefix="metrics")
+    out: Dict[str, Dict[str, object]] = {}
+    for path, value in sorted(flat.items()):
+        for suffix, tolerance in _DEFAULT_BANDS:
+            if path.endswith(suffix):
+                if suffix == "metrics.throughput_rps" and value <= 0:
+                    break
+                out[path] = tolerance.to_dict()
+                break
+    return out
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+def compare_result(
+    current: Mapping[str, object], baseline: Mapping[str, object]
+) -> List[Violation]:
+    """Check *current* against *baseline*'s gated metrics."""
+    scenario = str(baseline.get("scenario", "?"))
+    if baseline.get("schema_version") != current.get("schema_version"):
+        return [
+            Violation(
+                scenario,
+                f"schema_version {current.get('schema_version')!r} != "
+                f"baseline {baseline.get('schema_version')!r}",
+                kind="schema",
+            )
+        ]
+    base_flat = flatten_metrics(dict(baseline.get("metrics", {})), "metrics")
+    current_flat = flatten_metrics(dict(current.get("metrics", {})), "metrics")
+    violations: List[Violation] = []
+    for path, spec in sorted(dict(baseline.get("tolerances", {})).items()):
+        base_value = base_flat.get(path)
+        if base_value is None:
+            # A tolerance for a metric the baseline itself lacks gates
+            # nothing (hand-edited baseline); skip rather than fail.
+            continue
+        tolerance = Tolerance.from_dict(spec)
+        current_value = current_flat.get(path)
+        if current_value is None:
+            violations.append(
+                Violation(scenario, path, "missing-metric", baseline=base_value)
+            )
+            continue
+        if not tolerance.allows(base_value, current_value):
+            violations.append(
+                Violation(
+                    scenario,
+                    path,
+                    "regression",
+                    baseline=base_value,
+                    current=current_value,
+                    tolerance=tolerance,
+                )
+            )
+    return violations
+
+
+def load_results(directory: "pathlib.Path | str") -> Dict[str, Dict[str, object]]:
+    """{scenario: result} from every ``BENCH_*.json`` under *directory*."""
+    directory = pathlib.Path(directory)
+    out: Dict[str, Dict[str, object]] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        result = json.loads(path.read_text())
+        out[str(result.get("scenario", path.stem[len("BENCH_"):]))] = result
+    return out
+
+
+def compare_maps(
+    current: Mapping[str, Mapping[str, object]],
+    baselines: Mapping[str, Mapping[str, object]],
+    allow_missing: bool = False,
+) -> List[Violation]:
+    """Compare every current scenario that has a committed baseline.
+
+    A current result with no baseline is a violation unless
+    ``allow_missing`` (a brand-new scenario lands together with its
+    baseline, so silence would hide a forgotten commit).  Baselines
+    with no current result are ignored — the quick gate runs a subset
+    of the registry.
+    """
+    violations: List[Violation] = []
+    for scenario, result in sorted(current.items()):
+        baseline = baselines.get(scenario)
+        if baseline is None:
+            if not allow_missing:
+                violations.append(
+                    Violation(scenario, "", kind="missing-baseline")
+                )
+            continue
+        violations.extend(compare_result(result, baseline))
+    return violations
+
+
+def compare_dirs(
+    current_dir: "pathlib.Path | str",
+    baseline_dir: "pathlib.Path | str",
+    allow_missing: bool = False,
+) -> List[Violation]:
+    """:func:`compare_maps` over every ``BENCH_*.json`` in two dirs."""
+    current = load_results(current_dir)
+    if not current:
+        raise ReproError(f"no BENCH_*.json files under {current_dir}")
+    return compare_maps(
+        current, load_results(baseline_dir), allow_missing=allow_missing
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="Gate BENCH_*.json results against committed baselines.",
+    )
+    parser.add_argument("current", help="directory of fresh BENCH_*.json files")
+    parser.add_argument("baseline", help="directory of committed baselines")
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="tolerate scenarios that have no committed baseline",
+    )
+    args = parser.parse_args(argv)
+    violations = compare_dirs(
+        args.current, args.baseline, allow_missing=args.allow_missing
+    )
+    if violations:
+        print(f"PERF GATE: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  {violation.render()}")
+        return 1
+    print("PERF GATE: all gated metrics within tolerance bands")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -1,0 +1,293 @@
+"""Multi-tenant traffic generation against a :class:`CostService`.
+
+The generator models the two classic load-testing disciplines:
+
+- **closed loop** — each of N workers issues its next request the
+  moment the previous one completes.  Measures the service's capacity
+  (throughput at full concurrency) but latency hides queueing: a slow
+  service simply slows its own offered load.
+- **open loop** — requests arrive on a schedule (Poisson, fixed-rate
+  or bursty) regardless of how the service is doing, the way real
+  traffic does.  When the service falls behind, latency grows; the
+  harness records how far behind the schedule it fell
+  (``behind_schedule``) instead of silently throttling.
+
+Traffic is a weighted mix of :class:`Tenant`\\ s — each tenant has its
+own work items (pre-built plans or SQL text, with their target
+environments) and optionally its own deployed bundle, so one run can
+model e.g. a 90/10 OLTP/analytics split against two estimators.
+
+Workers are deterministic given ``seed``: tenant choice and arrival
+jitter come from per-worker :func:`repro.rng.rng_for` streams.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..rng import rng_for
+from .metrics import LatencyHistogram
+
+#: Arrival process kinds understood by :class:`ArrivalSpec`.
+ARRIVAL_KINDS = ("closed", "poisson", "fixed", "burst")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """How requests arrive.
+
+    ``closed`` ignores the rate fields; the open-loop kinds schedule
+    arrivals at ``rate_rps`` (aggregate across workers).  ``burst``
+    alternates ``burst_size`` back-to-back requests with
+    ``burst_idle_s`` of silence — the pathological pattern for a
+    micro-batcher's flush window.
+    """
+
+    kind: str = "closed"
+    rate_rps: float = 0.0
+    burst_size: int = 8
+    burst_idle_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ReproError(
+                f"unknown arrival kind {self.kind!r}; choose from {ARRIVAL_KINDS}"
+            )
+        if self.kind in ("poisson", "fixed") and self.rate_rps <= 0:
+            raise ReproError(f"{self.kind} arrivals need rate_rps > 0")
+        if self.kind == "burst" and self.burst_size < 1:
+            raise ReproError("burst arrivals need burst_size >= 1")
+
+    def intervals(
+        self, rng: np.random.Generator, workers: int
+    ) -> Optional[Iterator[float]]:
+        """Per-worker inter-arrival times (seconds); None = closed loop.
+
+        Each worker runs the process at ``rate_rps / workers`` so the
+        aggregate offered rate matches the spec.
+        """
+        if self.kind == "closed":
+            return None
+        if self.kind == "fixed":
+            period = workers / self.rate_rps
+
+            def fixed() -> Iterator[float]:
+                while True:
+                    yield period
+
+            return fixed()
+        if self.kind == "poisson":
+            mean = workers / self.rate_rps
+
+            def poisson() -> Iterator[float]:
+                while True:
+                    yield float(rng.exponential(mean))
+
+            return poisson()
+
+        def burst() -> Iterator[float]:
+            while True:
+                for _ in range(self.burst_size - 1):
+                    yield 0.0
+                yield self.burst_idle_s
+
+        return burst()
+
+
+@dataclass
+class Tenant:
+    """One traffic class: a name, its work items and a mix weight.
+
+    ``items`` are ``(query, env)`` pairs — ``query`` is anything
+    :meth:`CostService.estimate` accepts (SQL text, parsed query or
+    pre-built plan).  ``bundle`` routes the tenant at a specific
+    deployment; None uses the service's sole bundle.
+    """
+
+    name: str
+    items: Sequence[Tuple[object, object]]
+    weight: float = 1.0
+    bundle: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ReproError(f"tenant {self.name!r} has no work items")
+        if self.weight <= 0:
+            raise ReproError(f"tenant {self.name!r} needs weight > 0")
+
+
+@dataclass
+class LoadResult:
+    """What one load run measured."""
+
+    latency: LatencyHistogram
+    per_tenant: Dict[str, LatencyHistogram]
+    issued: int = 0
+    errors: int = 0
+    #: Open loop only: requests whose scheduled start had already
+    #: passed by > one period when the worker got to them.
+    behind_schedule: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        return self.latency.count
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+class _SharedState:
+    """Counters shared across load workers."""
+
+    def __init__(self, total_requests: Optional[int]) -> None:
+        self.lock = threading.Lock()
+        self.total = total_requests
+        self.issued = 0
+        self.errors = 0
+        self.behind = 0
+        self.stop = threading.Event()
+
+    def claim(self) -> bool:
+        """Reserve the right to issue one request (False = budget spent)."""
+        with self.lock:
+            if self.total is not None and self.issued >= self.total:
+                self.stop.set()
+                return False
+            self.issued += 1
+            return True
+
+    def count(self, counter: str, amount: int = 1) -> None:
+        with self.lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+
+def run_load(
+    service,
+    tenants: Sequence[Tenant],
+    threads: int = 4,
+    arrival: Optional[ArrivalSpec] = None,
+    duration_s: Optional[float] = None,
+    total_requests: Optional[int] = None,
+    use_async: bool = False,
+    seed: int = 0,
+    timeout_s: float = 30.0,
+) -> LoadResult:
+    """Drive *service* with a tenant mix and measure per-request latency.
+
+    Exactly one of ``duration_s`` / ``total_requests`` bounds the run.
+    ``use_async`` routes requests through :meth:`estimate_async` (the
+    micro-batched path); latency then includes queueing and the batch
+    window, which is what a caller of that path experiences.
+    """
+    if (duration_s is None) == (total_requests is None):
+        raise ReproError("pass exactly one of duration_s / total_requests")
+    if threads < 1:
+        raise ReproError(f"threads must be >= 1, got {threads}")
+    arrival = arrival or ArrivalSpec()
+    tenants = list(tenants)
+    weights = np.array([t.weight for t in tenants], dtype=np.float64)
+    weights /= weights.sum()
+
+    state = _SharedState(total_requests)
+    latency = LatencyHistogram()
+    per_tenant = {t.name: LatencyHistogram() for t in tenants}
+
+    def worker(worker_id: int) -> None:
+        rng = rng_for("bench-loadgen", seed * 4093 + worker_id)
+        intervals = arrival.intervals(rng, threads)
+        period = (
+            threads / arrival.rate_rps
+            if arrival.kind in ("poisson", "fixed")
+            else arrival.burst_idle_s if arrival.kind == "burst" else 0.0
+        )
+        next_start = time.monotonic()
+        # Shard item cursors: worker i starts at the i-th slice of each
+        # tenant's items, so N workers issuing len(items) requests cover
+        # the items ~once instead of lockstepping the same early plans
+        # (which would turn a cold-cache pass into a coalescing storm).
+        cursors = {
+            t.name: worker_id * max(1, len(t.items) // threads)
+            for t in tenants
+        }
+        while not state.stop.is_set():
+            if intervals is not None:
+                next_start += next(intervals)
+                now = time.monotonic()
+                if now < next_start:
+                    # stop.wait wakes early when the run is cancelled.
+                    if state.stop.wait(next_start - now):
+                        break
+                elif period > 0 and now - next_start > period:
+                    state.count("behind")
+            # Claim after the arrival wait: a request cancelled mid-wait
+            # was never issued, so `issued` stays equal to
+            # completed + errors and budget slots are never wasted on
+            # requests that don't go out.
+            if not state.claim():
+                break
+            tenant = tenants[int(rng.choice(len(tenants), p=weights))]
+            items = tenant.items
+            index = cursors[tenant.name]
+            cursors[tenant.name] = index + 1
+            query, env = items[index % len(items)]
+            start = time.perf_counter()
+            try:
+                if use_async:
+                    value = service.estimate_async(
+                        query, env, bundle=tenant.bundle
+                    ).result(timeout=timeout_s)
+                else:
+                    value = service.estimate(query, env, bundle=tenant.bundle)
+            except Exception:
+                state.count("errors")
+                continue
+            if not math.isfinite(float(value)):
+                # A NaN/inf estimate raises nowhere (the batcher happily
+                # resolves futures to garbage) but is just as broken as
+                # an exception — count it, don't let it pass as latency.
+                state.count("errors")
+                continue
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            latency.record(elapsed_ms)
+            per_tenant[tenant.name].record(elapsed_ms)
+
+    workers = [
+        threading.Thread(target=worker, args=(i,), name=f"loadgen-{i}")
+        for i in range(threads)
+    ]
+    started = time.perf_counter()
+    for thread in workers:
+        thread.start()
+    if duration_s is not None:
+        state.stop.wait(duration_s)
+        state.stop.set()
+    for thread in workers:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    return LoadResult(
+        latency=latency,
+        per_tenant=per_tenant,
+        issued=state.issued,
+        errors=state.errors,
+        behind_schedule=state.behind,
+        elapsed_s=elapsed,
+    )
+
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalSpec",
+    "LoadResult",
+    "Tenant",
+    "run_load",
+]

@@ -1,0 +1,251 @@
+"""Streaming metrics for the load-testing harness.
+
+Two concerns live here:
+
+- :class:`LatencyHistogram` — a fixed-memory, log-bucketed latency
+  histogram.  Load workers record per-request latencies concurrently;
+  quantiles (p50/p95/p99), mean and max come out at the end without
+  ever holding per-request samples (a sustained run would otherwise
+  accumulate millions of floats).
+- counter arithmetic over :meth:`repro.serving.CostService.counters`
+  snapshots — :func:`counters_delta` subtracts a "before" snapshot
+  from an "after" one and re-derives the rate metrics (hit rates, mean
+  batch occupancy, per-stage mean latency) from the *delta* counts, so
+  a scenario reports what happened during its measured window, not
+  since service start.
+
+Everything is JSON-serializable plain data on the way out; the
+trajectory files (``BENCH_<scenario>.json``) are built from these
+dicts.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional
+
+#: Histogram range: 1 microsecond to 1000 seconds, in milliseconds.
+_LOW_MS = 1e-3
+_HIGH_MS = 1e6
+#: Buckets per decade of latency; 20 gives ~12% relative resolution
+#: (10^(1/20) per bucket), plenty for p50/p95/p99 trend tracking.
+_PER_DECADE = 20
+_DECADES = int(math.log10(_HIGH_MS / _LOW_MS))
+_BUCKETS = _DECADES * _PER_DECADE
+
+
+class LatencyHistogram:
+    """Thread-safe streaming histogram of latencies in milliseconds.
+
+    Values are binned into log-spaced buckets; quantiles are read back
+    as the geometric midpoint of the covering bucket, so they carry the
+    bucket's ~12% relative resolution.  Exact ``min``/``max``/``sum``
+    are tracked alongside the buckets.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * _BUCKETS
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bucket(value_ms: float) -> int:
+        if value_ms <= _LOW_MS:
+            return 0
+        index = int(math.log10(value_ms / _LOW_MS) * _PER_DECADE)
+        return min(index, _BUCKETS - 1)
+
+    @staticmethod
+    def _bucket_mid_ms(index: int) -> float:
+        # Geometric midpoint of [low * 10^(i/P), low * 10^((i+1)/P)).
+        return _LOW_MS * 10.0 ** ((index + 0.5) / _PER_DECADE)
+
+    # ------------------------------------------------------------------
+    def record(self, value_ms: float) -> None:
+        """Record one latency (milliseconds)."""
+        if value_ms < 0 or not math.isfinite(value_ms):
+            raise ValueError(f"latency must be finite and >= 0, got {value_ms}")
+        index = self._bucket(value_ms)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value_ms
+            self._min = min(self._min, value_ms)
+            self._max = max(self._max, value_ms)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold *other*'s observations into this histogram."""
+        with other._lock:
+            counts = list(other._counts)
+            count, total = other._count, other._sum
+            low, high = other._min, other._max
+        with self._lock:
+            for index, n in enumerate(counts):
+                self._counts[index] += n
+            self._count += count
+            self._sum += total
+            self._min = min(self._min, low)
+            self._max = max(self._max, high)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float:
+        """The latency (ms) at quantile ``q`` in [0, 1]; 0.0 if empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            # Rank of the target observation (1-based), then scan the
+            # cumulative counts for the covering bucket.
+            rank = max(1, math.ceil(q * self._count))
+            seen = 0
+            for index, n in enumerate(self._counts):
+                seen += n
+                if seen >= rank:
+                    mid = self._bucket_mid_ms(index)
+                    # Clamp to the exact extremes so p0/p100 (and any
+                    # quantile landing in the edge buckets) never lie
+                    # outside the observed range.
+                    return min(max(mid, self._min), self._max)
+            return self._max  # pragma: no cover - unreachable
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-ready summary: count, mean, p50/p95/p99, max (ms)."""
+        with self._lock:
+            count, total, high = self._count, self._sum, self._max
+        return {
+            "count": count,
+            "mean": (total / count) if count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": high,
+        }
+
+
+# ----------------------------------------------------------------------
+# counter snapshot arithmetic
+# ----------------------------------------------------------------------
+def _numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def counters_delta(
+    before: Dict[str, object], after: Dict[str, object]
+) -> Dict[str, object]:
+    """``after - before`` over nested counter snapshots.
+
+    Numeric leaves are subtracted (keys only present in *after* — e.g.
+    a batcher created mid-run — are taken as-is); dicts recurse;
+    anything else is dropped.  Derived rates from the snapshots
+    (``hit_rate``, ``mean_batch_size``) are *recomputed from the delta
+    counts* afterwards, since rates cannot be subtracted.
+    """
+    delta = _subtract(before, after)
+    for section in ("feature_cache", "snapshot_store"):
+        counters = delta.get(section)
+        if isinstance(counters, dict):
+            hits = counters.get("hits", 0) + counters.get("coalesced", 0)
+            hits += counters.get("approx_hits", 0)
+            requests = hits + counters.get("misses", 0)
+            counters["requests"] = requests
+            counters["hit_rate"] = hits / requests if requests else 0.0
+            counters.pop("size", None)  # a gauge, not a counter
+    batchers = delta.get("batchers")
+    if isinstance(batchers, dict):
+        for counters in batchers.values():
+            if isinstance(counters, dict):
+                batches = counters.get("batches", 0)
+                counters["mean_batch_size"] = (
+                    counters.get("submitted", 0) / batches if batches else 0.0
+                )
+                counters.pop("largest_batch", None)  # high-water gauge
+    service = delta.get("service")
+    if isinstance(service, dict) and isinstance(service.get("stages"), dict):
+        for stage in service["stages"].values():
+            calls = stage.get("calls", 0)
+            stage["mean_ms"] = (
+                stage.get("seconds", 0.0) / calls * 1000.0 if calls else 0.0
+            )
+    return delta
+
+
+def _subtract(before: Dict[str, object], after: Dict[str, object]) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for key, value in after.items():
+        base = before.get(key)
+        if isinstance(value, dict):
+            out[key] = _subtract(base if isinstance(base, dict) else {}, value)
+        elif _numeric(value):
+            out[key] = value - (base if _numeric(base) else 0)
+    return out
+
+
+def load_metrics(
+    latency: LatencyHistogram,
+    elapsed_s: float,
+    issued: int,
+    errors: int,
+    counters: Optional[Dict[str, object]] = None,
+    per_tenant: Optional[Dict[str, LatencyHistogram]] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the canonical scenario metrics dict.
+
+    Every scenario emits this shape, so the tolerance-band comparator
+    and the trajectory renderer address metrics by one set of dotted
+    paths (``latency_ms.p50``, ``throughput_rps``,
+    ``counters.feature_cache.hit_rate``, ...).
+    """
+    completed = latency.count
+    metrics: Dict[str, object] = {
+        "latency_ms": latency.summary(),
+        "throughput_rps": (completed / elapsed_s) if elapsed_s > 0 else 0.0,
+        "elapsed_s": elapsed_s,
+        "issued": issued,
+        "completed": completed,
+        "errors": errors,
+    }
+    if counters is not None:
+        metrics["counters"] = counters
+    if per_tenant:
+        metrics["per_tenant"] = {
+            name: hist.summary() for name, hist in sorted(per_tenant.items())
+        }
+    if extra:
+        metrics["extra"] = dict(extra)
+    return metrics
+
+
+def flatten_metrics(
+    metrics: Dict[str, object], prefix: str = ""
+) -> Dict[str, float]:
+    """Nested metrics -> {dotted path: numeric value} (non-numeric
+    leaves are dropped).  The comparator and its tolerance maps key on
+    these paths."""
+    out: Dict[str, float] = {}
+    for key, value in metrics.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(flatten_metrics(value, path))
+        elif _numeric(value):
+            out[path] = float(value)
+    return out
+
+
+__all__: List[str] = [
+    "LatencyHistogram",
+    "counters_delta",
+    "flatten_metrics",
+    "load_metrics",
+]

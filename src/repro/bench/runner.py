@@ -1,0 +1,195 @@
+"""Scenario execution + perf-trajectory files + the CLI.
+
+``python -m repro.bench`` runs scenarios and writes one
+``BENCH_<scenario>.json`` per run — the machine-readable perf
+trajectory CI uploads as an artifact and gates against the committed
+baselines in ``benchmarks/baselines/``.  The envelope is
+schema-versioned so old trajectories stay comparable::
+
+    {
+      "schema_version": 1,
+      "scenario": "steady-state",
+      "kind": "steady_state",
+      "quick": true,
+      "seed": 0,
+      "git_sha": "abc1234...",
+      "created_unix": 1700000000.0,
+      "config": { ...resolved scenario params... },
+      "metrics": { "latency_ms": {...}, "throughput_rps": ..., ... },
+      "tolerances": { "metrics.latency_ms.p50": {...}, ... }
+    }
+
+``tolerances`` is the default gate for this result (see
+:mod:`repro.bench.compare`), so promoting a fresh result to baseline
+is exactly ``cp`` — and the bands are sitting in the diff for review.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .compare import (
+    SCHEMA_VERSION,
+    compare_maps,
+    default_tolerances,
+    load_results,
+)
+from .scenarios import get_scenario, run_scenario, scenario_names
+
+#: Where ``python -m repro.bench`` writes by default (next to the
+#: free-form ``benchmarks/results/*.txt`` the pytest benches save).
+DEFAULT_OUT = "benchmarks/results"
+
+
+def git_sha() -> str:
+    """The current commit (short sha), or "unknown" outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def result_envelope(
+    result: Dict[str, object], sha: Optional[str] = None
+) -> Dict[str, object]:
+    """Wrap a :func:`run_scenario` result in the trajectory schema."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": result["scenario"],
+        "kind": result["kind"],
+        "quick": result["quick"],
+        "seed": result["seed"],
+        "git_sha": sha if sha is not None else git_sha(),
+        "created_unix": time.time(),
+        "config": result["config"],
+        "metrics": result["metrics"],
+        "tolerances": default_tolerances(result),
+    }
+
+
+def run_scenarios(
+    names: Sequence[str],
+    quick: bool = False,
+    out_dir: "pathlib.Path | str | None" = DEFAULT_OUT,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Run *names* in order, writing ``BENCH_<name>.json`` for each.
+
+    Returns the envelopes (written verbatim).  ``out_dir=None`` skips
+    writing — callers that only want the metrics (the pytest benches)
+    pass the directory they manage themselves or nothing at all.
+    """
+    sha = git_sha()
+    envelopes: List[Dict[str, object]] = []
+    directory = None
+    if out_dir is not None:
+        directory = pathlib.Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        envelope = result_envelope(run_scenario(name, quick=quick, seed=seed), sha)
+        envelopes.append(envelope)
+        if directory is not None:
+            path = directory / f"BENCH_{name}.json"
+            path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+    return envelopes
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run load scenarios against the serving stack and "
+        "record the perf trajectory as BENCH_<scenario>.json files.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: run the smoke scenarios at reduced scale "
+        "(what the CI perf gate runs on every push)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run NAME (repeatable; default: smoke scenarios under "
+        "--quick, every registered scenario otherwise)",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        metavar="DIR",
+        help=f"directory for BENCH_*.json files (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="DIR",
+        help="after running, gate the results against the baselines in "
+        "DIR and exit nonzero on regression",
+    )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="with --baseline: tolerate scenarios without a baseline",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            tag = " [smoke]" if scenario.smoke else ""
+            print(f"{name}{tag}: {scenario.description}")
+        return 0
+
+    names = args.scenario or scenario_names(smoke_only=args.quick)
+    for name in names:
+        get_scenario(name)  # fail fast on typos, before training anything
+
+    envelopes = run_scenarios(
+        names, quick=args.quick, out_dir=args.out, seed=args.seed
+    )
+
+    from ..eval.reporting import render_bench_trajectory
+
+    print(render_bench_trajectory(envelopes))
+    print(f"\nwrote {len(envelopes)} BENCH_*.json file(s) to {args.out}")
+
+    if args.baseline is not None:
+        # Gate exactly what this invocation ran — the out directory may
+        # hold stale BENCH files from earlier (or fuller) runs, and
+        # those must neither fail the gate nor stand in for a fresh
+        # measurement.
+        violations = compare_maps(
+            {str(e["scenario"]): e for e in envelopes},
+            load_results(args.baseline),
+            allow_missing=args.allow_missing,
+        )
+        if violations:
+            print(f"\nPERF GATE: {len(violations)} violation(s)")
+            for violation in violations:
+                print(f"  {violation.render()}")
+            return 1
+        print("\nPERF GATE: all gated metrics within tolerance bands")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

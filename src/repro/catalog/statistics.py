@@ -23,7 +23,7 @@ import numpy as np
 
 from ..errors import SchemaError
 from ..rng import rng_for, stable_seed
-from .schema import Catalog, Column, ColumnType, Table
+from .schema import Catalog, ColumnType, Table
 
 #: How strongly "true" range selectivities deviate from the uniform
 #: estimate (lognormal sigma).  Chosen so the PG baseline's q-error is

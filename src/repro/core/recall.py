@@ -24,7 +24,7 @@ future work; this module implements it:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 import numpy as np

@@ -29,7 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import FeatureError
-from ..nn.layers import Linear, Module, ReLU, Sequential, Sigmoid, Tanh
+from ..nn.layers import Linear, ReLU, Sequential, Sigmoid, Tanh
 from ..rng import rng_for
 
 _EPS = 1e-9

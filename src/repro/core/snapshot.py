@@ -20,7 +20,6 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..catalog.schema import Catalog
-from ..engine.environment import DatabaseEnvironment
 from ..engine.executor import ExecutionSimulator, LabeledPlan
 from ..engine.operators import OperatorType, PlanNode
 from ..errors import SnapshotError

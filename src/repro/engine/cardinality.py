@@ -8,10 +8,6 @@ and correlation.  Both walks are bottom-up over a plan tree.
 
 from __future__ import annotations
 
-from typing import Dict
-
-import numpy as np
-
 from ..catalog.schema import Catalog
 from ..catalog.statistics import CatalogStatistics
 from ..errors import PlanError

@@ -20,7 +20,7 @@ import numpy as np
 from ..catalog.schema import PAGE_SIZE_BYTES, Catalog
 from ..errors import PlanError
 from .environment import DatabaseEnvironment
-from .operators import JOIN_OPERATORS, OperatorType, PlanNode
+from .operators import OperatorType, PlanNode
 
 RowsOf = Callable[[PlanNode], float]
 

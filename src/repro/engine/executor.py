@@ -15,8 +15,8 @@ queries vary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..catalog.schema import Catalog
 from ..catalog.statistics import CatalogStatistics

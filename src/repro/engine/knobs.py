@@ -11,7 +11,7 @@ execution speed, and planner toggles change which plans get built.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple, Union
+from typing import Dict, List, Mapping, Union
 
 import numpy as np
 

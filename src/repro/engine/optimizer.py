@@ -13,7 +13,6 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..catalog.schema import Catalog
 from ..catalog.statistics import CatalogStatistics
-from ..errors import PlanError
 from ..sql.ast import JoinCondition, SelectQuery
 from .cardinality import CardinalityModel
 from .cost import CostModel

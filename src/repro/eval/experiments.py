@@ -8,19 +8,16 @@ for measured-vs-paper values and DESIGN.md for the experiment index.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.pipeline import QCFE, QCFEConfig
-from ..core.reduction import difference_importance, keep_mask_from_scores
 from ..core.snapshot import SnapshotSet, fit_snapshot_from_queries
 from ..core.templates import generate_simplified_queries
 from ..engine.environment import DatabaseEnvironment, random_environments
 from ..engine.executor import ExecutionSimulator, LabeledPlan
-from ..engine.operators import OperatorType
 from ..models.postgres import PostgresCostEstimator
 from ..models.qppnet import QPPNet
 from ..models.training import evaluate_estimator, train_test_split

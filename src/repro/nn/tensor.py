@@ -13,7 +13,7 @@ full numpy broadcasting with correct gradient reduction.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -188,7 +188,6 @@ class Tensor:
                     self._accumulate(np.outer(grad, other.data) if grad.ndim else grad * other.data)
                 else:
                     g = grad if grad.ndim > 1 else grad[None, :]
-                    a = self.data if self.data.ndim > 1 else self.data[None, :]
                     res = g @ other.data.T
                     self._accumulate(res.reshape(self.shape))
             if other.requires_grad:

@@ -32,6 +32,7 @@ bundle version), and the swap itself is one atomic registry write.
 from __future__ import annotations
 
 import copy
+import dataclasses
 import threading
 import time
 from collections import deque
@@ -131,6 +132,18 @@ class AdaptationStats:
     def add(self, counter: str, amount: float = 1) -> None:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + amount)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A consistent plain-dict copy of every counter, taken under
+        the stats lock (piecemeal reads of the live fields can tear).
+        Enumerated from the dataclass fields so a newly added counter
+        can never silently go missing from reports and bench deltas."""
+        with self._lock:
+            return {
+                f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)
+                if not f.name.startswith("_")
+            }
 
     def rows(self) -> List[Tuple[str, object]]:
         """(counter, value) rows for the serving report."""
@@ -371,7 +384,10 @@ class AdaptationManager:
         store = self.service.snapshot_store
         if store is None:
             return
-        stats = store.stats
+        # Snapshot under the store lock: reading the live counters
+        # field-by-field could pair a fresh miss count with a stale
+        # request count and overstate the miss rate.
+        stats = store.stats_snapshot()
         requests, misses = stats.requests, stats.misses
         delta_requests = requests - self._store_seen_requests
         if delta_requests < self.config.miss_rate_min_requests:

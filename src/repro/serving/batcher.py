@@ -13,11 +13,13 @@ its result.
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +43,16 @@ class BatcherStats:
     @property
     def mean_batch_size(self) -> float:
         return self.submitted / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (counters plus derived occupancy).
+        Enumerated from the dataclass fields so a newly added counter
+        can never silently go missing from reports and bench deltas."""
+        out: Dict[str, object] = {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+        out["mean_batch_size"] = self.mean_batch_size
+        return out
 
 
 class MicroBatcher:
@@ -131,14 +143,19 @@ class MicroBatcher:
             return batch, reason
 
     def _run(self, batch: List[Tuple[object, Future]], reason: str) -> None:
-        self.stats.batches += 1
-        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
-        if reason == "size":
-            self.stats.flushed_on_size += 1
-        elif reason == "window":
-            self.stats.flushed_on_window += 1
-        else:
-            self.stats.flushed_on_close += 1
+        # Counters mutate under the condition lock: `submitted` already
+        # does, and external readers (service reports, bench collectors)
+        # snapshot under the same lock, so they never see a flush half
+        # recorded.
+        with self._cond:
+            self.stats.batches += 1
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            if reason == "size":
+                self.stats.flushed_on_size += 1
+            elif reason == "window":
+                self.stats.flushed_on_window += 1
+            else:
+                self.stats.flushed_on_close += 1
         items = [item for item, _ in batch]
         try:
             values = np.asarray(self.predict_fn(items), dtype=np.float64)
@@ -155,6 +172,12 @@ class MicroBatcher:
         for (_, future), value in zip(batch, values):
             if not future.cancelled():
                 future.set_result(float(value))
+
+    def stats_snapshot(self) -> BatcherStats:
+        """A consistent copy of the flush counters, taken under the
+        same lock that guards their mutation."""
+        with self._cond:
+            return copy.copy(self.stats)
 
     # ------------------------------------------------------------------
     def close(self, timeout: float = 5.0) -> None:

@@ -17,6 +17,8 @@ other — "no cacheable form" is a result, not a miss.
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future
@@ -51,6 +53,17 @@ class CacheStats:
     def hit_rate(self) -> float:
         total = self.requests
         return (self.hits + self.coalesced) / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (counters plus derived rates).  Enumerated
+        from the dataclass fields so a newly added counter can never
+        silently go missing from reports and bench deltas."""
+        out: Dict[str, object] = {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+        out["requests"] = self.requests
+        out["hit_rate"] = self.hit_rate
+        return out
 
 
 class FeatureCache:
@@ -140,6 +153,17 @@ class FeatureCache:
             self._inflight.pop(key, None)
         inflight.set_result(value)
         return value
+
+    def stats_snapshot(self) -> CacheStats:
+        """A consistent copy of the counters.
+
+        Counters mutate under the cache lock, so reading the live
+        :attr:`stats` fields one by one from another thread can observe
+        torn totals (a hit counted but its request not yet visible).
+        The snapshot is taken under the same lock and never mutates.
+        """
+        with self._lock:
+            return copy.copy(self.stats)
 
     # ------------------------------------------------------------------
     def clear(self) -> None:

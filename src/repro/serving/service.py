@@ -85,6 +85,22 @@ class ServiceStats:
                 rows.append((stage, count, total, mean_ms))
         return rows
 
+    def snapshot(self) -> Dict[str, object]:
+        """A consistent plain-dict copy of the request and per-stage
+        counters, taken atomically under the stats lock."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "batched_requests": self.batched_requests,
+                "stages": {
+                    stage: {
+                        "calls": self.stage_counts.get(stage, 0),
+                        "seconds": self.stage_seconds.get(stage, 0.0),
+                    }
+                    for stage in STAGES
+                },
+            }
+
 
 class CostService:
     """Online estimation over deployed bundles."""
@@ -427,7 +443,41 @@ class CostService:
     # ------------------------------------------------------------------
     def batcher_stats(self) -> Dict[str, object]:
         with self._lock:
-            return {name: b.stats for name, b in self._batchers.items()}
+            batchers = list(self._batchers.items())
+        # Snapshots, not live objects: each copy is taken under its
+        # batcher's own lock, so callers never watch counters move (or
+        # tear) mid-read.
+        return {name: b.stats_snapshot() for name, b in batchers}
+
+    def counters(self) -> Dict[str, object]:
+        """Machine-readable snapshot of every serving counter.
+
+        Each section is copied atomically under the lock that guards
+        its mutation — the feature cache, snapshot store, batchers and
+        adaptation loop all count under their own locks — so a load
+        generator sampling mid-traffic never reads torn totals (e.g. a
+        hit recorded but its request not yet visible).  Sections for
+        absent components (no snapshot store, no adaptation) are
+        omitted.
+        """
+        out: Dict[str, object] = {
+            "service": self.stats.snapshot(),
+            "feature_cache": dict(
+                self.cache.stats_snapshot().as_dict(), size=len(self.cache)
+            ),
+        }
+        if self.snapshot_store is not None:
+            out["snapshot_store"] = dict(
+                self.snapshot_store.stats_snapshot().as_dict(),
+                size=len(self.snapshot_store),
+            )
+        out["batchers"] = {
+            name: stats.as_dict()
+            for name, stats in self.batcher_stats().items()
+        }
+        if self.adaptation is not None:
+            out["adaptation"] = self.adaptation.stats.snapshot()
+        return out
 
     def report(self) -> str:
         """Human-readable per-stage latency and cache hit-rate report."""
@@ -436,17 +486,19 @@ class CostService:
         throughput: List[Tuple[str, float, float]] = []
         # Coalesced requests (waited on another thread's in-flight
         # compute/fit) count as hits in both columns and rate, so the
-        # displayed counts and percentage agree.
+        # displayed counts and percentage agree.  All counters come
+        # from atomic snapshots (see counters()).
+        cache_stats = self.cache.stats_snapshot()
         cache_rows = [
             (
                 "feature-cache",
-                self.cache.stats.hits + self.cache.stats.coalesced,
-                self.cache.stats.misses,
-                self.cache.stats.hit_rate,
+                cache_stats.hits + cache_stats.coalesced,
+                cache_stats.misses,
+                cache_stats.hit_rate,
             )
         ]
         if self.snapshot_store is not None:
-            stats = self.snapshot_store.stats
+            stats = self.snapshot_store.stats_snapshot()
             cache_rows.append(
                 (
                     "snapshot-store",

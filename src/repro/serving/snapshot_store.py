@@ -15,6 +15,8 @@ refit stall.
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future
@@ -104,6 +106,17 @@ class StoreStats:
             if total
             else 0.0
         )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (counters plus derived rates).  Enumerated
+        from the dataclass fields so a newly added counter can never
+        silently go missing from reports and bench deltas."""
+        out: Dict[str, object] = {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+        out["requests"] = self.requests
+        out["hit_rate"] = self.hit_rate
+        return out
 
 
 class SnapshotStore:
@@ -210,6 +223,13 @@ class SnapshotStore:
         if snapshot.env_name == env.name:
             return snapshot
         return replace(snapshot, env_name=env.name)
+
+    def stats_snapshot(self) -> StoreStats:
+        """A consistent copy of the counters (see
+        :meth:`FeatureCache.stats_snapshot` for why the live fields
+        must not be read piecemeal)."""
+        with self._lock:
+            return copy.copy(self.stats)
 
     def __len__(self) -> int:
         with self._lock:

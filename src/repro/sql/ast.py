@@ -10,7 +10,7 @@ render back to SQL text via :meth:`SelectQuery.sql`, and the parser in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..catalog.statistics import Predicate
 from ..errors import ParseError

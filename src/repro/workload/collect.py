@@ -9,8 +9,8 @@ random knob environments and keep (plan, environment, latency) labels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..catalog.imdb import imdb_catalog
 from ..catalog.schema import Catalog
@@ -22,8 +22,7 @@ from ..engine.executor import ExecutionSimulator, LabeledPlan
 from ..errors import ReproError
 from ..rng import rng_for
 from ..sql.ast import SelectQuery
-from ..sql.templates import QueryTemplate
-from .joblight import joblight_queries, joblight_templates
+from .joblight import joblight_templates
 from .sysbench_oltp import sysbench_queries, sysbench_template_texts
 from .tpch_queries import tpch_templates
 
@@ -124,6 +123,8 @@ def collect_labeled_plans(
     total: int,
     seed: int = 0,
     noise_sigma: Optional[float] = None,
+    keep: Optional[Callable[[str], bool]] = None,
+    pool_factor: int = 8,
 ) -> List[LabeledPlan]:
     """Collect *total* labelled plans spread evenly across environments.
 
@@ -131,6 +132,11 @@ def collect_labeled_plans(
     generator is run under every knob configuration and the labels are
     pooled; each record remembers its environment name so the feature
     snapshot can be looked up per environment.
+
+    With *keep*, only templates whose name it accepts are executed:
+    the generator is oversampled by *pool_factor* before filtering
+    (how the drift fixtures carve a benchmark into pre/post-drift
+    shapes).
     """
     if not environments:
         raise ReproError("need at least one environment")
@@ -141,7 +147,13 @@ def collect_labeled_plans(
         simulator = ExecutionSimulator(
             benchmark.catalog, benchmark.stats, env, **kwargs
         )
-        queries = benchmark.generate_queries(per_env, seed=seed + env_index)
+        if keep is None:
+            queries = benchmark.generate_queries(per_env, seed=seed + env_index)
+        else:
+            pool = benchmark.generate_queries(
+                per_env * pool_factor, seed=seed + env_index
+            )
+            queries = [(n, q) for n, q in pool if keep(n)][:per_env]
         for template_name, query in queries:
             result = simulator.run_query(query)
             labeled.append(
@@ -156,6 +168,24 @@ def collect_labeled_plans(
         if len(labeled) >= total:
             break
     return labeled[:total]
+
+
+def interleave_by_environment(records: Sequence[LabeledPlan]) -> List[LabeledPlan]:
+    """Round-robin records across environments: realistic concurrent
+    traffic, and an oldest/newest split of the result covers every
+    environment on both sides."""
+    by_env: dict = {}
+    for record in records:
+        by_env.setdefault(record.env_name, []).append(record)
+    queues = list(by_env.values())
+    out: List[LabeledPlan] = []
+    index = 0
+    while any(queues):
+        queue = queues[index % len(queues)]
+        if queue:
+            out.append(queue.pop(0))
+        index += 1
+    return out
 
 
 def standard_environments(count: int = 20, seed: int = 0) -> List[DatabaseEnvironment]:

@@ -1,0 +1,227 @@
+"""Tolerance-band comparison: pass / fail / missing-baseline paths."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    SCHEMA_VERSION,
+    Tolerance,
+    compare_dirs,
+    compare_maps,
+    compare_result,
+    default_tolerances,
+    load_results,
+    main,
+)
+from repro.errors import ReproError
+
+
+def make_result(scenario="steady-state", p50=1.0, rps=100.0, errors=0):
+    result = {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": scenario,
+        "kind": "steady_state",
+        "quick": True,
+        "seed": 0,
+        "git_sha": "deadbee",
+        "created_unix": 0.0,
+        "config": {},
+        "metrics": {
+            "latency_ms": {"p50": p50, "p95": p50 * 2, "p99": p50 * 3,
+                           "mean": p50, "max": p50 * 5, "count": 10},
+            "throughput_rps": rps,
+            "errors": errors,
+            "counters": {"feature_cache": {"hit_rate": 0.9}},
+            "extra": {"batch_speedup": 4.0},
+        },
+    }
+    result["tolerances"] = default_tolerances(result)
+    return result
+
+
+def write_result(directory, result):
+    path = directory / f"BENCH_{result['scenario']}.json"
+    path.write_text(json.dumps(result))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Tolerance bands
+# ----------------------------------------------------------------------
+def test_lower_is_better_band():
+    tolerance = Tolerance("lower", rel=1.0, abs=0.5)
+    assert tolerance.allows(baseline=2.0, current=4.5)   # exactly the bound
+    assert not tolerance.allows(baseline=2.0, current=4.6)
+
+
+def test_higher_is_better_band():
+    tolerance = Tolerance("higher", rel=0.5, abs=0.0)
+    assert tolerance.allows(baseline=100.0, current=50.0)
+    assert not tolerance.allows(baseline=100.0, current=49.0)
+
+
+def test_zero_tolerance_requires_no_worse():
+    tolerance = Tolerance("lower", rel=0.0, abs=0.0)
+    assert tolerance.allows(0.0, 0.0)
+    assert not tolerance.allows(0.0, 1.0)
+
+
+def test_tolerance_validates_inputs():
+    with pytest.raises(ReproError):
+        Tolerance("sideways")
+    with pytest.raises(ReproError):
+        Tolerance("lower", rel=-1.0)
+
+
+def test_tolerance_roundtrip():
+    tolerance = Tolerance("higher", rel=0.25, abs=1.5)
+    assert Tolerance.from_dict(tolerance.to_dict()) == tolerance
+
+
+# ----------------------------------------------------------------------
+# default tolerance policy
+# ----------------------------------------------------------------------
+def test_default_tolerances_cover_the_gated_metrics():
+    bands = default_tolerances(make_result())
+    assert "metrics.latency_ms.p50" in bands
+    assert "metrics.throughput_rps" in bands
+    assert "metrics.errors" in bands
+    assert "metrics.counters.feature_cache.hit_rate" in bands
+    assert "metrics.extra.batch_speedup" in bands
+    # max is machine noise, never gated; counts are informational.
+    assert "metrics.latency_ms.max" not in bands
+    assert "metrics.latency_ms.count" not in bands
+
+
+def test_default_tolerances_skip_zero_throughput():
+    bands = default_tolerances(make_result(rps=0.0))
+    assert "metrics.throughput_rps" not in bands
+
+
+# ----------------------------------------------------------------------
+# result comparison
+# ----------------------------------------------------------------------
+def test_identical_results_pass():
+    result = make_result()
+    assert compare_result(result, result) == []
+
+
+def test_within_band_passes_and_outside_fails():
+    baseline = make_result(p50=1.0)
+    within = make_result(p50=1.0)
+    within["metrics"]["latency_ms"]["p50"] = 5.0   # band: <= 1*(1+9)+5 = 15
+    outside = make_result(p50=1.0)
+    outside["metrics"]["latency_ms"]["p50"] = 20.0
+    assert compare_result(within, baseline) == []
+    violations = compare_result(outside, baseline)
+    assert [v.metric for v in violations] == ["metrics.latency_ms.p50"]
+    assert violations[0].kind == "regression"
+    assert "violates band" in violations[0].render()
+
+
+def test_higher_direction_regression_detected():
+    baseline = make_result(rps=1000.0)
+    slow = make_result(rps=50.0)      # band: >= 1000*(1-0.9) = 100
+    violations = compare_result(slow, baseline)
+    assert [v.metric for v in violations] == ["metrics.throughput_rps"]
+
+
+def test_new_errors_always_regress():
+    violations = compare_result(make_result(errors=1), make_result(errors=0))
+    assert [v.metric for v in violations] == ["metrics.errors"]
+
+
+def test_gated_metric_missing_from_current_is_a_violation():
+    baseline = make_result()
+    current = make_result()
+    del current["metrics"]["extra"]
+    violations = compare_result(current, baseline)
+    assert [v.kind for v in violations] == ["missing-metric"]
+    assert violations[0].metric == "metrics.extra.batch_speedup"
+
+
+def test_tolerance_without_baseline_value_is_skipped():
+    baseline = make_result()
+    baseline["tolerances"]["metrics.extra.not_measured"] = {
+        "direction": "lower", "rel": 0.0,
+    }
+    assert compare_result(make_result(), baseline) == []
+
+
+def test_schema_mismatch_is_a_violation():
+    baseline = make_result()
+    current = make_result()
+    current["schema_version"] = SCHEMA_VERSION + 1
+    violations = compare_result(current, baseline)
+    assert [v.kind for v in violations] == ["schema"]
+
+
+# ----------------------------------------------------------------------
+# directory comparison + CLI
+# ----------------------------------------------------------------------
+def test_compare_dirs_pass_and_missing_baseline(tmp_path):
+    current_dir = tmp_path / "current"
+    baseline_dir = tmp_path / "baseline"
+    current_dir.mkdir()
+    baseline_dir.mkdir()
+    write_result(current_dir, make_result("steady-state"))
+    write_result(baseline_dir, make_result("steady-state"))
+    assert compare_dirs(current_dir, baseline_dir) == []
+
+    # A scenario with no committed baseline fails loudly...
+    write_result(current_dir, make_result("cold-start"))
+    violations = compare_dirs(current_dir, baseline_dir)
+    assert [v.kind for v in violations] == ["missing-baseline"]
+    assert violations[0].scenario == "cold-start"
+    # ... unless explicitly allowed.
+    assert compare_dirs(current_dir, baseline_dir, allow_missing=True) == []
+
+    # Baselines for scenarios not in this run are fine (quick subset).
+    write_result(baseline_dir, make_result("cold-start"))
+    write_result(baseline_dir, make_result("tenant-skew"))
+    assert compare_dirs(current_dir, baseline_dir) == []
+
+
+def test_compare_maps_gates_only_the_given_results():
+    """The runner gates exactly the scenarios it just ran — a stale
+    BENCH file sitting in the out directory must not leak in."""
+    baseline = {"steady-state": make_result("steady-state")}
+    current = {"steady-state": make_result("steady-state")}
+    assert compare_maps(current, baseline) == []
+    # A scenario in the current map with no baseline still fails...
+    current["tenant-skew"] = make_result("tenant-skew")
+    violations = compare_maps(current, baseline)
+    assert [v.kind for v in violations] == ["missing-baseline"]
+    # ... and an empty current map gates nothing at all.
+    assert compare_maps({}, baseline) == []
+
+
+def test_compare_dirs_requires_current_results(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(ReproError):
+        compare_dirs(empty, empty)
+
+
+def test_load_results_keys_by_scenario(tmp_path):
+    write_result(tmp_path, make_result("steady-state"))
+    loaded = load_results(tmp_path)
+    assert set(loaded) == {"steady-state"}
+    assert loaded["steady-state"]["git_sha"] == "deadbee"
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    current_dir = tmp_path / "current"
+    baseline_dir = tmp_path / "baseline"
+    current_dir.mkdir()
+    baseline_dir.mkdir()
+    write_result(baseline_dir, make_result(p50=1.0))
+    write_result(current_dir, make_result(p50=1.0))
+    assert main([str(current_dir), str(baseline_dir)]) == 0
+    write_result(current_dir, make_result(p50=500.0))
+    assert main([str(current_dir), str(baseline_dir)]) == 1
+    out = capsys.readouterr().out
+    assert "metrics.latency_ms.p50" in out

@@ -1,0 +1,101 @@
+"""Load generator: arrival specs, tenant mixing, error accounting."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.loadgen import ArrivalSpec, Tenant, run_load
+from repro.errors import ReproError
+
+
+class FakeService:
+    """Stands in for CostService: returns canned values, can misbehave."""
+
+    def __init__(self, value=1.0, fail_every=0):
+        self.value = value
+        self.fail_every = fail_every
+        self.calls = 0
+
+    def estimate(self, query, env, bundle=None):
+        self.calls += 1
+        if self.fail_every and self.calls % self.fail_every == 0:
+            raise RuntimeError("boom")
+        return self.value
+
+
+ITEMS = [(f"q{i}", f"env{i % 2}") for i in range(8)]
+
+
+def test_arrival_spec_validation():
+    with pytest.raises(ReproError):
+        ArrivalSpec(kind="warp")
+    with pytest.raises(ReproError):
+        ArrivalSpec(kind="poisson", rate_rps=0.0)
+    with pytest.raises(ReproError):
+        ArrivalSpec(kind="burst", burst_size=0)
+
+
+def test_arrival_intervals_shapes():
+    rng = np.random.default_rng(0)
+    assert ArrivalSpec(kind="closed").intervals(rng, 4) is None
+    fixed = ArrivalSpec(kind="fixed", rate_rps=100.0).intervals(rng, 4)
+    assert [next(fixed) for _ in range(3)] == [0.04, 0.04, 0.04]
+    burst = ArrivalSpec(kind="burst", burst_size=3, burst_idle_s=0.5)
+    intervals = burst.intervals(rng, 1)
+    assert [next(intervals) for _ in range(3)] == [0.0, 0.0, 0.5]
+    poisson = ArrivalSpec(kind="poisson", rate_rps=100.0).intervals(rng, 4)
+    draws = [next(poisson) for _ in range(200)]
+    assert all(d >= 0 for d in draws)
+    assert np.mean(draws) == pytest.approx(0.04, rel=0.3)
+
+
+def test_tenant_validation():
+    with pytest.raises(ReproError):
+        Tenant("empty", [])
+    with pytest.raises(ReproError):
+        Tenant("bad-weight", ITEMS, weight=0.0)
+
+
+def test_run_load_requires_exactly_one_bound():
+    service = FakeService()
+    with pytest.raises(ReproError):
+        run_load(service, [Tenant("t", ITEMS)])
+    with pytest.raises(ReproError):
+        run_load(
+            service, [Tenant("t", ITEMS)], duration_s=0.1, total_requests=5
+        )
+
+
+def test_closed_loop_total_requests_accounting():
+    service = FakeService()
+    result = run_load(
+        service, [Tenant("t", ITEMS)], threads=2, total_requests=40
+    )
+    assert result.issued == 40
+    assert result.completed == 40
+    assert result.errors == 0
+    assert result.throughput_rps > 0
+    assert result.per_tenant["t"].count == 40
+
+
+def test_exceptions_count_as_errors_not_latencies():
+    service = FakeService(fail_every=2)
+    result = run_load(
+        service, [Tenant("t", ITEMS)], threads=1, total_requests=20
+    )
+    assert result.errors == 10
+    assert result.completed == 10
+
+
+def test_non_finite_estimates_count_as_errors():
+    result = run_load(
+        FakeService(value=math.nan),
+        [Tenant("t", ITEMS)],
+        threads=1,
+        total_requests=5,
+    )
+    assert result.errors == 5
+    assert result.completed == 0

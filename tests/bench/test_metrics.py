@@ -1,0 +1,172 @@
+"""LatencyHistogram quantiles and counter-snapshot arithmetic."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.bench.metrics import (
+    LatencyHistogram,
+    counters_delta,
+    flatten_metrics,
+    load_metrics,
+)
+
+#: The histogram uses 20 log buckets per decade -> ~12% relative
+#: resolution; quantile checks allow a little over one bucket of error.
+RESOLUTION = 0.15
+
+
+def test_quantiles_track_numpy_percentiles():
+    rng = np.random.default_rng(7)
+    values = rng.lognormal(mean=1.0, sigma=1.2, size=20_000)
+    hist = LatencyHistogram()
+    for value in values:
+        hist.record(float(value))
+    for q in (0.50, 0.95, 0.99):
+        exact = float(np.percentile(values, q * 100))
+        approx = hist.quantile(q)
+        assert approx == pytest.approx(exact, rel=RESOLUTION), q
+    summary = hist.summary()
+    assert summary["count"] == len(values)
+    assert summary["mean"] == pytest.approx(float(values.mean()), rel=1e-9)
+    assert summary["max"] == pytest.approx(float(values.max()), rel=1e-12)
+    # p50 <= p95 <= p99 <= max always holds.
+    assert summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max"]
+
+
+def test_empty_histogram_is_all_zero():
+    hist = LatencyHistogram()
+    assert hist.count == 0
+    assert hist.quantile(0.5) == 0.0
+    assert hist.summary() == {
+        "count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+    }
+
+
+def test_single_value_quantiles_are_exact():
+    hist = LatencyHistogram()
+    hist.record(3.7)
+    # Clamping to the observed min/max beats bucket-midpoint error.
+    for q in (0.0, 0.5, 1.0):
+        assert hist.quantile(q) == pytest.approx(3.7)
+
+
+def test_extreme_values_clamp_into_range():
+    hist = LatencyHistogram()
+    hist.record(0.0)        # below the lowest bucket
+    hist.record(1e9)        # above the highest bucket
+    # Out-of-range values land in the edge buckets: quantiles stay
+    # inside the observed range, exact extremes live in the summary.
+    assert 0.0 <= hist.quantile(0.0) <= 0.01
+    assert hist.quantile(1.0) <= 1e9
+    assert hist.summary()["max"] == pytest.approx(1e9)
+
+
+def test_rejects_negative_and_non_finite():
+    hist = LatencyHistogram()
+    with pytest.raises(ValueError):
+        hist.record(-1.0)
+    with pytest.raises(ValueError):
+        hist.record(float("nan"))
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_merge_equals_combined_recording():
+    rng = np.random.default_rng(3)
+    a_values = rng.exponential(5.0, 500)
+    b_values = rng.exponential(50.0, 500)
+    a, b, combined = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+    for value in a_values:
+        a.record(float(value))
+        combined.record(float(value))
+    for value in b_values:
+        b.record(float(value))
+        combined.record(float(value))
+    a.merge(b)
+    merged, expected = a.summary(), combined.summary()
+    assert merged["count"] == expected["count"]
+    for key in ("mean", "p50", "p95", "p99", "max"):
+        # mean differs only by float summation order.
+        assert merged[key] == pytest.approx(expected[key], rel=1e-12), key
+
+
+def test_concurrent_recording_loses_nothing():
+    hist = LatencyHistogram()
+
+    def record_many():
+        for _ in range(2000):
+            hist.record(1.0)
+
+    threads = [threading.Thread(target=record_many) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert hist.count == 16_000
+
+
+def test_counters_delta_subtracts_and_rederives_rates():
+    before = {
+        "service": {
+            "requests": 100,
+            "stages": {"predict": {"calls": 100, "seconds": 1.0}},
+        },
+        "feature_cache": {
+            "hits": 80, "misses": 20, "coalesced": 0, "evictions": 0,
+            "requests": 100, "hit_rate": 0.8, "size": 20,
+        },
+    }
+    after = {
+        "service": {
+            "requests": 160,
+            "stages": {"predict": {"calls": 160, "seconds": 1.3}},
+        },
+        "feature_cache": {
+            "hits": 134, "misses": 26, "coalesced": 0, "evictions": 0,
+            "requests": 160, "hit_rate": 0.8375, "size": 26,
+        },
+        "batchers": {"b": {"submitted": 64, "batches": 4, "largest_batch": 32}},
+    }
+    delta = counters_delta(before, after)
+    assert delta["service"]["requests"] == 60
+    # The rate covers the window, not service lifetime: 54 hits / 60.
+    assert delta["feature_cache"]["hits"] == 54
+    assert delta["feature_cache"]["hit_rate"] == pytest.approx(0.9)
+    assert "size" not in delta["feature_cache"]  # gauges don't subtract
+    # Sections only present in `after` (batcher created mid-run) count
+    # from zero; occupancy is re-derived from the delta counts.
+    assert delta["batchers"]["b"]["submitted"] == 64
+    assert delta["batchers"]["b"]["mean_batch_size"] == pytest.approx(16.0)
+    assert delta["service"]["stages"]["predict"]["mean_ms"] == pytest.approx(5.0)
+
+
+def test_flatten_metrics_paths_and_non_numeric_leaves():
+    flat = flatten_metrics(
+        {
+            "latency_ms": {"p50": 1.5},
+            "name": "steady",          # dropped: not numeric
+            "ok": True,                # dropped: bools are not metrics
+            "count": 3,
+        },
+        prefix="metrics",
+    )
+    assert flat == {"metrics.latency_ms.p50": 1.5, "metrics.count": 3.0}
+
+
+def test_load_metrics_shape():
+    hist = LatencyHistogram()
+    hist.record(2.0)
+    metrics = load_metrics(
+        hist, elapsed_s=2.0, issued=4, errors=1,
+        counters={"feature_cache": {"hits": 1}},
+        per_tenant={"a": hist},
+        extra={"batch_speedup": 3.5},
+    )
+    assert metrics["completed"] == 1
+    assert metrics["throughput_rps"] == pytest.approx(0.5)
+    assert metrics["per_tenant"]["a"]["count"] == 1
+    assert metrics["extra"]["batch_speedup"] == 3.5

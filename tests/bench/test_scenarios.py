@@ -1,0 +1,84 @@
+"""Scenario registry: round-trips, quick overrides, driver wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.scenarios import (
+    DRIVERS,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    register,
+    scenario_names,
+)
+from repro.errors import ReproError
+
+
+def test_registry_has_the_advertised_scenarios():
+    names = scenario_names()
+    for expected in (
+        "steady-state",
+        "cold-start",
+        "drift-under-load",
+        "drift-under-load-tpch",
+        "tenant-skew",
+        "snapshot-miss-storm",
+    ):
+        assert expected in names
+    smoke = scenario_names(smoke_only=True)
+    assert set(smoke) == {"steady-state", "cold-start", "drift-under-load"}
+    assert set(smoke) <= set(names)
+
+
+def test_every_scenario_round_trips_through_plain_data():
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        data = scenario.to_dict()
+        # JSON-clean: a scenario is shareable as a config file.
+        restored = Scenario.from_dict(json.loads(json.dumps(data)))
+        assert restored == scenario
+        assert restored.resolved(True) == scenario.resolved(True)
+
+
+def test_every_scenario_kind_has_a_driver():
+    for name in scenario_names():
+        assert get_scenario(name).kind in DRIVERS
+
+
+def test_resolved_applies_quick_overrides_on_top():
+    scenario = Scenario(
+        name="t", kind="steady_state", description="",
+        params={"plans": 100, "epochs": 5},
+        quick_overrides={"plans": 10},
+    )
+    assert scenario.resolved(False) == {"plans": 100, "epochs": 5}
+    assert scenario.resolved(True) == {"plans": 10, "epochs": 5}
+    # resolved() hands out copies, not the registry's dicts.
+    scenario.resolved(False)["plans"] = -1
+    assert scenario.resolved(False)["plans"] == 100
+
+
+def test_register_rejects_duplicates_and_unknown_kinds():
+    taken = scenario_names()[0]
+    with pytest.raises(ReproError):
+        register(Scenario(name=taken, kind="steady_state", description=""))
+    with pytest.raises(ReproError):
+        register(Scenario(name="new-name", kind="no-such-driver", description=""))
+    # replace=True is the explicit override path.
+    original = get_scenario(taken)
+    try:
+        replaced = register(
+            Scenario(name=taken, kind="steady_state", description="swap"),
+            replace=True,
+        )
+        assert get_scenario(taken) is replaced
+    finally:
+        SCENARIOS[taken] = original
+
+
+def test_get_scenario_unknown_name():
+    with pytest.raises(ReproError, match="unknown scenario"):
+        get_scenario("definitely-not-registered")

@@ -1,0 +1,97 @@
+"""End-to-end smoke: a tiny scenario through the runner + gate.
+
+One miniature steady-state scenario (a dozen plans, one epoch, a
+fraction of a second of load) runs the whole pipeline for real —
+train, deploy, load, collect, write ``BENCH_*.json``, self-compare —
+in a couple of seconds.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    Scenario,
+    clear_setup_cache,
+    compare_dirs,
+    register,
+    run_scenarios,
+)
+from repro.bench.scenarios import SCENARIOS
+
+TINY = Scenario(
+    name="tiny-steady",
+    kind="steady_state",
+    description="smoke-test steady state at miniature scale",
+    params=dict(
+        benchmark="sysbench", model="qppnet", env_count=2, plans=12,
+        epochs=1, threads=2, arrival="poisson", rate_rps=150.0,
+        duration_s=0.25, batch_max=8, batch_repeats=1,
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def trajectory(tmp_path_factory):
+    register(TINY, replace=True)
+    out_dir = tmp_path_factory.mktemp("trajectory")
+    try:
+        yield run_scenarios(["tiny-steady"], out_dir=out_dir), out_dir
+    finally:
+        SCENARIOS.pop("tiny-steady", None)
+        clear_setup_cache()
+
+
+def test_envelope_schema(trajectory):
+    envelopes, out_dir = trajectory
+    (envelope,) = envelopes
+    assert envelope["schema_version"] == SCHEMA_VERSION
+    assert envelope["scenario"] == "tiny-steady"
+    assert envelope["config"]["plans"] == 12
+    metrics = envelope["metrics"]
+    assert metrics["completed"] >= 1
+    assert metrics["errors"] == 0
+    assert metrics["throughput_rps"] > 0
+    for key in ("p50", "p95", "p99", "max", "mean", "count"):
+        assert key in metrics["latency_ms"]
+    assert 0.0 < metrics["latency_ms"]["p50"] <= metrics["latency_ms"]["max"]
+    assert "feature_cache" in metrics["counters"]
+    assert metrics["extra"]["batch_speedup"] > 0
+    assert envelope["tolerances"]  # the default gate rides along
+
+    # The file on disk is the envelope, verbatim JSON.
+    path = out_dir / "BENCH_tiny-steady.json"
+    assert json.loads(path.read_text()) == envelope
+
+
+def test_trajectory_self_compares_clean(trajectory):
+    _, out_dir = trajectory
+    assert compare_dirs(out_dir, out_dir) == []
+
+
+def test_perturbed_metric_fails_the_gate(trajectory, tmp_path):
+    _, out_dir = trajectory
+    source = json.loads((out_dir / "BENCH_tiny-steady.json").read_text())
+    source["metrics"]["latency_ms"]["p50"] *= 1000.0
+    source["metrics"]["errors"] = 7
+    (tmp_path / "BENCH_tiny-steady.json").write_text(json.dumps(source))
+    violations = compare_dirs(tmp_path, out_dir)
+    assert {v.metric for v in violations} >= {
+        "metrics.latency_ms.p50",
+        "metrics.errors",
+    }
+    assert all(v.kind == "regression" for v in violations)
+
+
+def test_trajectory_renders_as_markdown(trajectory):
+    from repro.eval.reporting import render_bench_trajectory
+
+    envelopes, out_dir = trajectory
+    from_dir = render_bench_trajectory(out_dir)
+    from_list = render_bench_trajectory(envelopes)
+    assert from_dir == from_list
+    assert "| tiny-steady |" in from_dir
+    assert from_dir.startswith("| scenario |")

@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.formulas import FORMULAS, LINEAR, NESTED_LOOP, NLOGN, operator_inputs
 from repro.engine.operators import OperatorType, PlanNode, scan_node
-from repro.errors import SnapshotError
 
 
 class TestDesignRows:

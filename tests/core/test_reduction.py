@@ -17,7 +17,6 @@ from repro.core.reduction import (
 )
 from repro.errors import FeatureError
 from repro.nn.layers import Linear, ReLU, Sequential
-from repro.nn.tensor import Tensor
 
 
 def linear_model(weights: np.ndarray) -> Sequential:

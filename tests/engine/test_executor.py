@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.engine.environment import DatabaseEnvironment, default_environment
+from repro.engine.environment import DatabaseEnvironment
 from repro.engine.executor import ExecutionSimulator, execute_workload
 from repro.engine.explain import explain
 from repro.engine.hardware import get_profile

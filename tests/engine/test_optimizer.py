@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.engine.environment import DatabaseEnvironment, default_environment
+from repro.engine.environment import DatabaseEnvironment
 from repro.engine.hardware import get_profile
 from repro.engine.knobs import default_configuration
 from repro.engine.operators import JOIN_OPERATORS, OperatorType

@@ -3,7 +3,6 @@ the qualitative result the paper reports."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.eval.experiments import (

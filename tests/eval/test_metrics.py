@@ -8,7 +8,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.eval.metrics import QErrorSummary, summarize_q_errors
+from repro.eval.metrics import summarize_q_errors
 
 positive = arrays(np.float64, (20,), elements=st.floats(0.01, 1e5))
 

@@ -14,36 +14,28 @@ import pytest
 
 from repro.core import QCFE, QCFEConfig, collect_baselines
 from repro.engine.environment import random_environments
-from repro.engine.executor import ExecutionSimulator, LabeledPlan
 from repro.serving import (
     AdaptationConfig,
     CostService,
     SnapshotStore,
 )
-from repro.workload.sysbench_oltp import sysbench_queries
+from repro.workload.collect import (
+    collect_labeled_plans,
+    interleave_by_environment,
+)
 
 RANGE_SHAPES = {"simple_range", "sum_range", "order_range", "distinct_range"}
 
 
 def labeled_shapes(benchmark, environments, shapes, total, seed):
     """Labelled sysbench plans restricted to the given query shapes."""
-    per_env = max(1, total // len(environments))
-    labeled = []
-    for env_index, env in enumerate(environments):
-        simulator = ExecutionSimulator(benchmark.catalog, benchmark.stats, env)
-        pool = sysbench_queries(
-            benchmark.catalog, per_env * 8, seed=seed + env_index
-        )
-        picked = [(n, q) for n, q in pool if n in shapes][:per_env]
-        for name, query in picked:
-            result = simulator.run_query(query)
-            labeled.append(
-                LabeledPlan(
-                    plan=result.plan, latency_ms=result.latency_ms,
-                    env_name=env.name, query_sql=query.sql(), template=name,
-                )
-            )
-    return labeled
+    return collect_labeled_plans(
+        benchmark,
+        environments,
+        total,
+        seed=seed,
+        keep=lambda name: name in shapes,
+    )
 
 
 @pytest.fixture(scope="module")
@@ -69,14 +61,10 @@ def point_trained(sysbench, adapt_envs):
     return pipeline, baselines, point_only
 
 
-def interleave(records):
-    """Round-robin across environments (realistic concurrent traffic),
-    so the refit window's oldest-train/newest-shadow split covers every
-    environment on both sides."""
-    by_env = {}
-    for record in records:
-        by_env.setdefault(record.env_name, []).append(record)
-    return [r for group in zip(*by_env.values()) for r in group]
+#: Round-robin across environments (realistic concurrent traffic), so
+#: the refit window's oldest-train/newest-shadow split covers every
+#: environment on both sides.  Shared with the bench drift scenario.
+interleave = interleave_by_environment
 
 
 @pytest.fixture(scope="module")
@@ -323,7 +311,6 @@ def test_redeploy_with_new_masks_refreshes_watcher(point_trained):
     """An offline retrain deployed under the same name must not inherit
     drift state accumulated against the old reduction masks."""
     import numpy as np
-    from dataclasses import replace
 
     pipeline, baselines, _ = point_trained
     with make_service(pipeline, baselines) as service:

@@ -131,3 +131,43 @@ def test_report_renders(service, trained_bundle, serving_envs):
     assert "stage" in text
     assert "feature-cache" in text
     assert "snapshot-store" in text
+
+
+def test_counters_snapshot_is_consistent_and_detached(
+    service, trained_bundle, serving_envs
+):
+    _, labeled = trained_bundle
+    env = serving_envs[0]
+    sql = labeled[0].query_sql
+    service.estimate(sql, env)
+    service.estimate(sql, env)
+    service.estimate_async(sql, env).result(timeout=10.0)
+    counters = service.counters()
+
+    # Internally consistent: totals derived from the same atomic copy.
+    cache = counters["feature_cache"]
+    assert cache["requests"] == (
+        cache["hits"] + cache["misses"] + cache["coalesced"]
+    )
+    assert counters["service"]["requests"] == 3
+    stages = counters["service"]["stages"]
+    assert set(stages) == {"parse", "plan", "featurize", "predict"}
+    assert stages["predict"]["calls"] >= 3
+    batcher = counters["batchers"]["sysbench:qppnet"]
+    assert batcher["submitted"] == 1
+
+    # Detached: a snapshot is a copy, later traffic cannot mutate it.
+    service.estimate(sql, env)
+    assert counters["service"]["requests"] == 3
+    assert cache["requests"] == service.counters()["feature_cache"]["requests"] - 1
+
+
+def test_stats_snapshots_are_copies(service, trained_bundle, serving_envs):
+    _, labeled = trained_bundle
+    service.estimate(labeled[0].query_sql, serving_envs[0])
+    cache_before = service.cache.stats_snapshot()
+    store_before = service.snapshot_store.stats_snapshot()
+    service.estimate(labeled[0].query_sql, serving_envs[0])
+    assert service.cache.stats_snapshot().requests == cache_before.requests + 1
+    assert cache_before is not service.cache.stats
+    assert store_before is not service.snapshot_store.stats

@@ -98,7 +98,6 @@ def test_namespaces_are_isolated():
 
 
 def test_capacity_eviction():
-    profile = get_profile(DEFAULT_PROFILE)
     store = SnapshotStore(capacity=2)
     fits = []
     for env in random_environments(3, seed=11):

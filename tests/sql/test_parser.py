@@ -3,8 +3,6 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.errors import ParseError
 from repro.sql.parser import parse_sql, tokenize
