@@ -1,8 +1,7 @@
 """QCFE: efficient feature engineering for query cost estimation.
 
 Reproduction of Yan et al., ICDE 2024 (arXiv:2310.00877).  See
-DESIGN.md for the system inventory and EXPERIMENTS.md for measured
-results.
+``docs/ARCHITECTURE.md`` for the subsystem map and request lifecycle.
 
 Public entry points:
 
@@ -10,16 +9,22 @@ Public entry points:
   difference-propagation feature reduction, and the QCFE pipeline;
 - :mod:`repro.models` — QPPNet, MSCN and the PostgreSQL baseline;
 - :mod:`repro.engine` — the PostgreSQL-style planner/executor simulator;
-- :mod:`repro.eval` — metrics and the per-table/figure experiments.
+- :mod:`repro.eval` — metrics and the per-table/figure experiments;
+- :mod:`repro.serving` — the online, batched, cached cost service;
+- :mod:`repro.cluster` — the sharded multi-replica serving tier;
+- :mod:`repro.bench` — load scenarios and the perf-trajectory gate.
 """
 
 from .errors import (
+    ClusterError,
     FeatureError,
     ParseError,
     PlanError,
     ReproError,
     SchemaError,
     ServingError,
+    ShardDownError,
+    ShardOverloadError,
     SnapshotError,
     TrainingError,
 )
@@ -35,5 +40,8 @@ __all__ = [
     "FeatureError",
     "SnapshotError",
     "ServingError",
+    "ClusterError",
+    "ShardDownError",
+    "ShardOverloadError",
     "__version__",
 ]

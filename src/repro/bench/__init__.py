@@ -11,7 +11,8 @@ stays true, every PR:
   deltas scraped from ``service.counters()``;
 - :mod:`scenarios` — the named, parameterized scenario registry
   (steady-state, cold-start, drift-under-load, tenant-skew,
-  snapshot-miss-storm); a new workload is one ``register()`` away;
+  snapshot-miss-storm, shard-failover, hot-tenant-isolation); a new
+  workload is one ``register()`` away;
 - :mod:`runner` — the ``python -m repro.bench`` CLI: runs scenarios,
   writes schema-versioned ``BENCH_<scenario>.json`` trajectory files;
 - :mod:`compare` — tolerance-band comparison against committed

@@ -70,15 +70,18 @@ class Tolerance:
         return baseline * (1.0 - self.rel) - self.abs
 
     def allows(self, baseline: float, current: float) -> bool:
+        """Whether *current* is within the band around *baseline*."""
         if self.direction == "lower":
             return current <= self.bound(baseline)
         return current >= self.bound(baseline)
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the baselines' ``tolerances`` values)."""
         return {"direction": self.direction, "rel": self.rel, "abs": self.abs}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "Tolerance":
+        """Parse a band from its :meth:`to_dict` form."""
         return cls(
             direction=str(data["direction"]),
             rel=float(data.get("rel", 0.0)),
@@ -98,6 +101,7 @@ class Violation:
     tolerance: Optional[Tolerance] = None
 
     def render(self) -> str:
+        """One human-readable line for CI logs."""
         if self.kind == "regression":
             assert self.tolerance is not None
             worst = self.tolerance.bound(self.baseline or 0.0)
@@ -114,7 +118,17 @@ class Violation:
                 "but absent from the current result"
             )
         if self.kind == "missing-baseline":
-            return f"[{self.scenario}] no committed baseline for this scenario"
+            # Diagnosable from a CI log alone: name the scenario, the
+            # exact file the gate looked for, and the command that
+            # produces it.
+            expected = self.metric or f"BENCH_{self.scenario}.json"
+            return (
+                f"[{self.scenario}] {expected}: scenario "
+                f"{self.scenario!r} has no committed baseline, so none of "
+                "its gated metrics were checked; generate and commit one "
+                f"with `python -m repro.bench --quick --scenario "
+                f"{self.scenario} --out benchmarks/baselines`"
+            )
         return f"[{self.scenario}] {self.metric}"
 
 
@@ -148,6 +162,23 @@ _DEFAULT_BANDS: Sequence = (
     ("extra.q_error_improvement", Tolerance("higher", rel=1.0)),
     ("extra.hammer_errors", Tolerance("lower", rel=0.0, abs=0.0)),
     ("extra.warm_errors", Tolerance("lower", rel=0.0, abs=0.0)),
+    ("extra.baseline_errors", Tolerance("lower", rel=0.0, abs=0.0)),
+    # Cluster-tier structure flags: a replica kill was detected and
+    # ejected, traffic re-routed, the victim's tenants really moved,
+    # and the hot tenant really sat on its own shard.  All 0/1 and
+    # machine-independent, so they gate tightly.
+    ("extra.ejected_any", Tolerance("higher", rel=0.0)),
+    ("extra.rerouted_any", Tolerance("higher", rel=0.0)),
+    ("extra.moved_off_victim", Tolerance("higher", rel=0.0)),
+    ("extra.hot_isolated", Tolerance("higher", rel=0.0)),
+    # Quiet-tenant p95 under hot load vs. the single-shard baseline:
+    # a same-run, same-machine ratio, so the band is tighter than the
+    # absolute-latency ones but still generous to scheduler noise.
+    ("extra.isolation_p95_ratio", Tolerance("lower", rel=4.0, abs=1.0)),
+    # Admission shedding in the committed scenarios is a regression:
+    # the sync load paths are bounded by worker count, far under the
+    # per-shard admission limit, so any shed means a logic change.
+    ("extra.shed", Tolerance("lower", rel=0.0, abs=0.0)),
 )
 
 
@@ -243,7 +274,11 @@ def compare_maps(
         if baseline is None:
             if not allow_missing:
                 violations.append(
-                    Violation(scenario, "", kind="missing-baseline")
+                    Violation(
+                        scenario,
+                        f"BENCH_{scenario}.json",
+                        kind="missing-baseline",
+                    )
                 )
             continue
         violations.extend(compare_result(result, baseline))
@@ -265,6 +300,7 @@ def compare_dirs(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: gate a results dir against a baseline dir."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.compare",
         description="Gate BENCH_*.json results against committed baselines.",

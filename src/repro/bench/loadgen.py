@@ -78,27 +78,27 @@ class ArrivalSpec:
         if self.kind == "fixed":
             period = workers / self.rate_rps
 
-            def fixed() -> Iterator[float]:
+            def _fixed() -> Iterator[float]:
                 while True:
                     yield period
 
-            return fixed()
+            return _fixed()
         if self.kind == "poisson":
             mean = workers / self.rate_rps
 
-            def poisson() -> Iterator[float]:
+            def _poisson() -> Iterator[float]:
                 while True:
                     yield float(rng.exponential(mean))
 
-            return poisson()
+            return _poisson()
 
-        def burst() -> Iterator[float]:
+        def _burst() -> Iterator[float]:
             while True:
                 for _ in range(self.burst_size - 1):
                     yield 0.0
                 yield self.burst_idle_s
 
-        return burst()
+        return _burst()
 
 
 @dataclass
@@ -138,10 +138,12 @@ class LoadResult:
 
     @property
     def completed(self) -> int:
+        """Requests that finished with a finite estimate."""
         return self.latency.count
 
     @property
     def throughput_rps(self) -> float:
+        """Completed requests per second over the whole run."""
         return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
 
@@ -166,6 +168,7 @@ class _SharedState:
             return True
 
     def count(self, counter: str, amount: int = 1) -> None:
+        """Bump *counter* (``errors`` / ``behind``) by *amount*."""
         with self.lock:
             setattr(self, counter, getattr(self, counter) + amount)
 
@@ -201,7 +204,7 @@ def run_load(
     latency = LatencyHistogram()
     per_tenant = {t.name: LatencyHistogram() for t in tenants}
 
-    def worker(worker_id: int) -> None:
+    def _worker(worker_id: int) -> None:
         rng = rng_for("bench-loadgen", seed * 4093 + worker_id)
         intervals = arrival.intervals(rng, threads)
         period = (
@@ -261,7 +264,7 @@ def run_load(
             per_tenant[tenant.name].record(elapsed_ms)
 
     workers = [
-        threading.Thread(target=worker, args=(i,), name=f"loadgen-{i}")
+        threading.Thread(target=_worker, args=(i,), name=f"loadgen-{i}")
         for i in range(threads)
     ]
     started = time.perf_counter()

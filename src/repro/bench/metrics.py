@@ -95,6 +95,7 @@ class LatencyHistogram:
     # ------------------------------------------------------------------
     @property
     def count(self) -> int:
+        """Observations recorded so far."""
         with self._lock:
             return self._count
 
@@ -149,35 +150,59 @@ def counters_delta(
     a batcher created mid-run — are taken as-is); dicts recurse;
     anything else is dropped.  Derived rates from the snapshots
     (``hit_rate``, ``mean_batch_size``) are *recomputed from the delta
-    counts* afterwards, since rates cannot be subtracted.
+    counts* afterwards, since rates cannot be subtracted.  The fix-up
+    is applied at every nesting depth, so a
+    :meth:`repro.cluster.ClusterService.counters` snapshot — which
+    nests one full per-service section under ``shards.<shard-id>`` —
+    comes out with real per-shard rates too.
     """
     delta = _subtract(before, after)
-    for section in ("feature_cache", "snapshot_store"):
-        counters = delta.get(section)
-        if isinstance(counters, dict):
-            hits = counters.get("hits", 0) + counters.get("coalesced", 0)
-            hits += counters.get("approx_hits", 0)
-            requests = hits + counters.get("misses", 0)
-            counters["requests"] = requests
-            counters["hit_rate"] = hits / requests if requests else 0.0
-            counters.pop("size", None)  # a gauge, not a counter
-    batchers = delta.get("batchers")
-    if isinstance(batchers, dict):
-        for counters in batchers.values():
-            if isinstance(counters, dict):
-                batches = counters.get("batches", 0)
-                counters["mean_batch_size"] = (
-                    counters.get("submitted", 0) / batches if batches else 0.0
-                )
-                counters.pop("largest_batch", None)  # high-water gauge
-    service = delta.get("service")
-    if isinstance(service, dict) and isinstance(service.get("stages"), dict):
-        for stage in service["stages"].values():
-            calls = stage.get("calls", 0)
-            stage["mean_ms"] = (
-                stage.get("seconds", 0.0) / calls * 1000.0 if calls else 0.0
-            )
+    _fix_rates(delta)
     return delta
+
+
+def _fix_rates(delta: Dict[str, object]) -> None:
+    """Recompute derived rates (and drop gauges) in a subtracted
+    snapshot, recursing into nested sections (cluster per-shard
+    counters carry the same shapes one level down)."""
+    for key, value in delta.items():
+        if not isinstance(value, dict):
+            continue
+        if key in ("feature_cache", "snapshot_store"):
+            hits = value.get("hits", 0) + value.get("coalesced", 0)
+            hits += value.get("approx_hits", 0)
+            requests = hits + value.get("misses", 0)
+            value["requests"] = requests
+            value["hit_rate"] = hits / requests if requests else 0.0
+            value.pop("size", None)  # a gauge, not a counter
+        elif key == "admission":
+            # Admission gauges: in-flight is instantaneous, the peak a
+            # high-water mark, the limit a config constant — none
+            # subtract meaningfully.  `admitted`/`shed` are counters
+            # and stay.
+            for gauge in ("inflight", "peak_inflight", "max_inflight"):
+                value.pop(gauge, None)
+        elif key == "batchers":
+            for counters in value.values():
+                if isinstance(counters, dict):
+                    batches = counters.get("batches", 0)
+                    counters["mean_batch_size"] = (
+                        counters.get("submitted", 0) / batches
+                        if batches
+                        else 0.0
+                    )
+                    counters.pop("largest_batch", None)  # high-water gauge
+        elif key == "service" and isinstance(value.get("stages"), dict):
+            for stage in value["stages"].values():
+                calls = stage.get("calls", 0)
+                stage["mean_ms"] = (
+                    stage.get("seconds", 0.0) / calls * 1000.0
+                    if calls
+                    else 0.0
+                )
+            _fix_rates(value)
+        else:
+            _fix_rates(value)
 
 
 def _subtract(before: Dict[str, object], after: Dict[str, object]) -> Dict[str, object]:

@@ -109,6 +109,7 @@ def run_scenarios(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: run scenarios, write trajectories, maybe gate."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Run load scenarios against the serving stack and "

@@ -17,6 +17,12 @@ stack's distinct failure modes and take everything else from params:
   OLTP/analytics) against separately deployed bundles.
 - ``snapshot_miss_storm`` — concurrent traffic from environments the
   bundle has never seen, hammering the snapshot store's fit path.
+- ``shard_failover`` — multi-tenant traffic against the sharded
+  :class:`~repro.cluster.ClusterService` with a replica killed
+  mid-run: re-routing must keep the error rate at zero.
+- ``hot_tenant_isolation`` — one tenant at many times the others'
+  rate on its own shard: the quiet tenants' tail latency must match
+  the single-shard no-hot-traffic baseline.
 
 Training tiny estimator bundles dominates scenario cost, so bundles
 are memoised per configuration: a run of several scenarios shares its
@@ -32,6 +38,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..cluster import ClusterService
 from ..core import QCFE, QCFEConfig, collect_baselines
 from ..engine.environment import random_environments
 from ..engine.executor import LabeledPlan
@@ -68,6 +75,7 @@ class Scenario:
         return merged
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (scenarios are shareable as config files)."""
         return {
             "name": self.name,
             "kind": self.kind,
@@ -79,6 +87,7 @@ class Scenario:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "Scenario":
+        """Parse a scenario from its :meth:`to_dict` form."""
         return cls(
             name=str(data["name"]),
             kind=str(data["kind"]),
@@ -107,6 +116,7 @@ def register(scenario: Scenario, replace: bool = False) -> Scenario:
 
 
 def get_scenario(name: str) -> Scenario:
+    """The registered scenario called *name* (helpful error if none)."""
     try:
         return SCENARIOS[name]
     except KeyError:
@@ -115,6 +125,7 @@ def get_scenario(name: str) -> Scenario:
 
 
 def scenario_names(smoke_only: bool = False) -> List[str]:
+    """Registered scenario names (optionally only the smoke set)."""
     return sorted(
         name for name, s in SCENARIOS.items() if s.smoke or not smoke_only
     )
@@ -142,11 +153,11 @@ def run_scenario(
 def driver(kind: str):
     """Decorator registering a scenario driver under *kind*."""
 
-    def wrap(fn):
+    def _wrap(fn):
         DRIVERS[kind] = fn
         return fn
 
-    return wrap
+    return _wrap
 
 
 # ----------------------------------------------------------------------
@@ -465,15 +476,15 @@ def _drift_under_load(params: Dict[str, object], seed: int) -> Dict[str, object]
         probe = Tenant("probe", _plan_items(drifted[:32], envs))
         sync_errors = [0]
 
-        def measure(count: int) -> LatencyHistogram:
+        def _measure(count: int) -> LatencyHistogram:
             result = run_load(
                 service, [probe], threads=1, total_requests=count, seed=seed
             )
             sync_errors[0] += result.errors
             return result.latency
 
-        measure(32)  # warm-up
-        before_hist = measure(int(params.get("baseline_requests", 96)))
+        _measure(32)  # warm-up
+        before_hist = _measure(int(params.get("baseline_requests", 96)))
 
         counters_before = service.counters()
         # The drifted workload arrives: feedback fills the refit window
@@ -488,7 +499,7 @@ def _drift_under_load(params: Dict[str, object], seed: int) -> Dict[str, object]
         stats = service.adaptation.stats
         hammer_result: Dict[str, object] = {}
 
-        def hammer() -> None:
+        def _hammer() -> None:
             hammer_result["result"] = run_load(
                 service,
                 [probe],
@@ -498,14 +509,14 @@ def _drift_under_load(params: Dict[str, object], seed: int) -> Dict[str, object]
                 seed=seed + 1,
             )
 
-        hammer_thread = threading.Thread(target=hammer, name="drift-hammer")
+        hammer_thread = threading.Thread(target=_hammer, name="drift-hammer")
         hammer_thread.start()
         during = LatencyHistogram()
         deadline = time.monotonic() + float(params.get("deadline_s", 120.0))
         while (
             stats.promotions + stats.rollbacks < 1 or during.count < 64
         ) and time.monotonic() < deadline:
-            during.merge(measure(8))
+            during.merge(_measure(8))
         hammer_thread.join()
         refitted = stats.promotions + stats.rollbacks >= 1
         service.adaptation.wait_idle(timeout=30.0)
@@ -659,6 +670,239 @@ def _snapshot_miss_storm(params: Dict[str, object], seed: int) -> Dict[str, obje
     )
 
 
+def _cluster_factory(params: Dict[str, object]) -> ClusterService:
+    """A ClusterService with one SnapshotStore per replica."""
+    return ClusterService(
+        shard_count=int(params.get("shards", 3)),
+        service_factory=lambda sid: CostService(snapshot_store=SnapshotStore()),
+        failure_threshold=int(params.get("failure_threshold", 3)),
+        max_inflight_per_shard=int(params.get("max_inflight_per_shard", 512)),
+    )
+
+
+def _warm_tenants(cluster, tenants: Sequence[Tenant]) -> None:
+    """One synchronous pass over every tenant's items, so each home
+    shard's feature cache is warm before the measured window."""
+    for tenant in tenants:
+        for query, env in tenant.items:
+            cluster.estimate(query, env, bundle=tenant.bundle)
+
+
+@driver("shard_failover")
+def _shard_failover(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    setup = _setup(
+        str(params.get("benchmark", "sysbench")),
+        model=str(params.get("model", "qppnet")),
+        env_count=int(params.get("env_count", 2)),
+        plans=int(params.get("plans", 96)),
+        epochs=int(params.get("epochs", 4)),
+        seed=seed,
+    )
+    envs, labeled = setup["envs"], setup["labeled"]
+    duration_s = float(params.get("duration_s", 3.0))
+    kill_after_s = float(params.get("kill_after_s", duration_s / 3.0))
+    items = _plan_items(labeled, envs)
+    cluster = _cluster_factory(params)
+    try:
+        names = [f"tenant-{i}" for i in range(int(params.get("tenant_count", 4)))]
+        for name in names:
+            cluster.deploy(setup["bundle"], name=name)
+        tenants = [Tenant(name, items, bundle=name) for name in names]
+        # The victim is tenant-0's home replica, so the kill provably
+        # displaces live traffic (an idle shard would prove nothing).
+        victim = cluster.shard_of(names[0])
+        displaced = [n for n in names if cluster.shard_of(n) == victim]
+        _warm_tenants(cluster, tenants)
+
+        before = cluster.counters()
+        killer = threading.Timer(kill_after_s, cluster.kill_shard, args=(victim,))
+        killer.start()
+        try:
+            result = run_load(
+                cluster,
+                tenants,
+                threads=int(params.get("threads", 4)),
+                arrival=ArrivalSpec(
+                    kind="poisson",
+                    rate_rps=float(params.get("rate_rps", 300.0)),
+                ),
+                duration_s=duration_s,
+                seed=seed,
+            )
+        finally:
+            killer.cancel()
+        after = cluster.counters()
+        delta = counters_delta(before, after)
+        tier = after["cluster"]
+        post_kill_home = cluster.shard_of(names[0])
+    finally:
+        cluster.close()
+    return load_metrics(
+        result.latency,
+        result.elapsed_s,
+        result.issued,
+        result.errors,
+        counters=delta,
+        per_tenant=result.per_tenant,
+        extra={
+            "displaced_tenants": len(displaced),
+            "ejections": tier["ejections"],
+            "reroutes": tier["reroutes"],
+            "exhausted": tier["exhausted"],
+            "shed": tier["shed"],
+            # 0/1 gate flags: the raw counts above vary run-to-run; the
+            # structure — a kill was detected, traffic re-routed, and
+            # the victim really lost its tenants — must not regress.
+            "ejected_any": int(tier["ejections"] >= 1),
+            "rerouted_any": int(tier["reroutes"] >= 1),
+            "moved_off_victim": int(post_kill_home != victim),
+            "error_rate": (
+                result.errors / result.issued if result.issued else 0.0
+            ),
+            "behind_schedule": result.behind_schedule,
+        },
+    )
+
+
+@driver("hot_tenant_isolation")
+def _hot_tenant_isolation(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    setup = _setup(
+        str(params.get("benchmark", "sysbench")),
+        model=str(params.get("model", "qppnet")),
+        env_count=int(params.get("env_count", 2)),
+        plans=int(params.get("plans", 96)),
+        epochs=int(params.get("epochs", 4)),
+        seed=seed,
+    )
+    envs, labeled = setup["envs"], setup["labeled"]
+    items = _plan_items(labeled, envs)
+    shard_count = int(params.get("shards", 3))
+    probe_count = int(params.get("probe_tenants", 3))
+    hot_factor = float(params.get("hot_factor", 10.0))
+    probe_rate = float(params.get("rate_rps", 120.0))
+    duration_s = float(params.get("duration_s", 3.0))
+    threads = int(params.get("threads", 4))
+
+    if shard_count < 2:
+        raise ReproError(
+            "hot-tenant-isolation needs shards >= 2 (the hot tenant must "
+            f"have a shard of its own), got {shard_count}"
+        )
+    cluster = _cluster_factory(params)
+    try:
+        # Pick tenant names whose rendezvous placement (asked of the
+        # *actual* cluster's router, so the prediction can never drift
+        # from the real shard ids) puts every probe on a shard other
+        # than the hot tenant's — deterministic, so the isolation claim
+        # is structural, not luck.
+        hot_name = "hot-tenant"
+        hot_shard = cluster.shard_of(hot_name)
+        probe_names: List[str] = []
+        candidate = 0
+        while len(probe_names) < probe_count:
+            name = f"probe-{candidate}"
+            candidate += 1
+            if cluster.shard_of(name) != hot_shard:
+                probe_names.append(name)
+
+        def _probe_tenants() -> List[Tenant]:
+            return [Tenant(name, items, bundle=name) for name in probe_names]
+
+        # Phase A — the single-shard baseline: the probe tenants alone,
+        # at their steady aggregate rate, on one CostService.
+        with CostService(snapshot_store=SnapshotStore()) as single:
+            for name in probe_names:
+                single.deploy(setup["bundle"], name=name)
+            tenants = _probe_tenants()
+            _warm_tenants(single, tenants)
+            baseline = run_load(
+                single,
+                tenants,
+                threads=threads,
+                arrival=ArrivalSpec(kind="poisson", rate_rps=probe_rate),
+                duration_s=duration_s,
+                seed=seed,
+            )
+        baseline_hist = LatencyHistogram()
+        for name in probe_names:
+            baseline_hist.merge(baseline.per_tenant[name])
+        baseline_summary = baseline_hist.summary()
+
+        # Phase B — the cluster: same probe traffic plus the hot tenant
+        # at ``hot_factor`` times the probes' aggregate rate, pinned by
+        # the router to a shard none of the probes use.
+        for name in probe_names + [hot_name]:
+            cluster.deploy(setup["bundle"], name=name)
+        tenants = _probe_tenants() + [
+            Tenant(hot_name, items, weight=hot_factor * probe_count, bundle=hot_name)
+        ]
+        _warm_tenants(cluster, tenants)
+        before = cluster.counters()
+        result = run_load(
+            cluster,
+            tenants,
+            threads=threads,
+            arrival=ArrivalSpec(
+                kind="poisson", rate_rps=probe_rate * (1.0 + hot_factor)
+            ),
+            duration_s=duration_s,
+            seed=seed,
+        )
+        after = cluster.counters()
+        delta = counters_delta(before, after)
+        tier = after["cluster"]
+        hot_isolated = int(
+            all(cluster.shard_of(name) != cluster.shard_of(hot_name)
+                for name in probe_names)
+        )
+    finally:
+        cluster.close()
+
+    probe_hist = LatencyHistogram()
+    for name in probe_names:
+        probe_hist.merge(result.per_tenant[name])
+    probe_summary = probe_hist.summary()
+    hot_summary = result.per_tenant[hot_name].summary()
+    # Headline metrics describe the whole cluster-phase run (hot tenant
+    # included), so completed + errors == issued and throughput_rps is
+    # the real served rate.  The isolation claim under test — the
+    # *quiet* tenants' tail vs. the single-shard baseline — gates via
+    # `extra.isolation_p95_ratio`; the baseline phase's (independently
+    # run) error count gates under `extra` too, so a failed gate points
+    # at the right phase.
+    return load_metrics(
+        result.latency,
+        result.elapsed_s,
+        result.issued,
+        result.errors,
+        counters=delta,
+        per_tenant=result.per_tenant,
+        extra={
+            "baseline_errors": baseline.errors,
+            "hot_factor": hot_factor,
+            "hot_isolated": hot_isolated,
+            "hot_share": (
+                result.per_tenant[hot_name].count / result.completed
+                if result.completed
+                else 0.0
+            ),
+            "hot_p95_ms": hot_summary["p95"],
+            "baseline_probe_p95_ms": baseline_summary["p95"],
+            "probe_p95_ms": probe_summary["p95"],
+            # The gate: quiet-tenant tail under hot load, relative to
+            # the single-shard steady state.  Same machine, same run,
+            # so the ratio is far more stable than absolute timings.
+            "isolation_p95_ratio": (
+                probe_summary["p95"] / baseline_summary["p95"]
+                if baseline_summary["p95"] > 0
+                else 0.0
+            ),
+            "shed": tier["shed"],
+            "behind_schedule": result.behind_schedule,
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # the registry contents
 # ----------------------------------------------------------------------
@@ -731,6 +975,38 @@ register(Scenario(
         env_count=2, plans=64, epochs=3, threads=4, duration_s=3.0,
     ),
     quick_overrides=dict(plans=32, epochs=2, duration_s=1.0),
+))
+
+register(Scenario(
+    name="shard-failover",
+    kind="shard_failover",
+    description="Multi-tenant traffic against the sharded cluster with "
+    "a replica killed mid-run: failover must keep errors at zero.",
+    smoke=True,
+    params=dict(
+        benchmark="sysbench", model="qppnet", env_count=2, plans=96,
+        epochs=4, shards=3, tenant_count=4, threads=4, rate_rps=300.0,
+        duration_s=3.0, failure_threshold=3,
+    ),
+    quick_overrides=dict(
+        plans=48, epochs=2, duration_s=1.5, rate_rps=200.0,
+    ),
+))
+
+register(Scenario(
+    name="hot-tenant-isolation",
+    kind="hot_tenant_isolation",
+    description="One tenant at 10x the others' rate, pinned to its own "
+    "shard: the quiet tenants' p95 must match the single-shard baseline.",
+    smoke=True,
+    params=dict(
+        benchmark="sysbench", model="qppnet", env_count=2, plans=96,
+        epochs=4, shards=3, probe_tenants=3, hot_factor=10.0,
+        threads=4, rate_rps=120.0, duration_s=3.0,
+    ),
+    quick_overrides=dict(
+        plans=48, epochs=2, duration_s=1.5, rate_rps=80.0,
+    ),
 ))
 
 register(Scenario(

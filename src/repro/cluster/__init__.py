@@ -1,0 +1,34 @@
+"""repro.cluster — the sharded, multi-replica serving tier.
+
+Scales :class:`~repro.serving.CostService` horizontally while keeping
+its API:
+
+- :class:`ShardRouter` — rendezvous (HRW) hashing of tenants across
+  replicas: deterministic across processes, and an ejection moves
+  only the ejected shard's tenants;
+- :class:`AdmissionController` — bounded per-shard in-flight depth
+  with load shedding and a shed counter, so overload degrades
+  predictably instead of collapsing a replica;
+- :class:`ClusterService` — the facade: N independent ``CostService``
+  replicas (own registry, caches, batcher, adaptation loop) behind
+  the same ``estimate`` / ``estimate_many`` / ``estimate_async`` /
+  ``record_feedback`` / ``report`` surface, with per-shard health
+  tracking, failure ejection and failover re-routing.
+
+See ``docs/ARCHITECTURE.md`` for where this sits in the request
+lifecycle and ``docs/SERVING.md`` for operational guarantees.
+"""
+
+from .admission import AdmissionController
+from .router import ShardHealth, ShardRouter, rendezvous_score
+from .service import ClusterService, ClusterShard, ClusterStats
+
+__all__ = [
+    "AdmissionController",
+    "ClusterService",
+    "ClusterShard",
+    "ClusterStats",
+    "ShardHealth",
+    "ShardRouter",
+    "rendezvous_score",
+]

@@ -1,0 +1,92 @@
+"""Per-shard admission control: bounded depth, explicit load shedding.
+
+A saturated shard that keeps queueing work doesn't get slower
+gracefully — it collapses: every queue in the stack (batcher, GIL,
+adaptation deque) grows, latency for *everyone* explodes, and by the
+time requests fail they have already waited out their usefulness.
+The standard fix is to bound the work a replica will hold and refuse
+the excess *at the door*: a shed request fails in microseconds,
+callers can retry elsewhere or back off, and the requests that were
+admitted still meet their latency budget.
+
+:class:`AdmissionController` is that bound — a counting gate over each
+shard's in-flight requests with a shed counter, so overload shows up
+in the cluster report as a number instead of as a latency cliff.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from ..errors import ClusterError
+
+
+class AdmissionController:
+    """A bounded in-flight gate for one shard.
+
+    ``try_acquire`` admits (True) or sheds (False) in O(1) without
+    blocking; every admitted request must ``release()`` exactly once,
+    normally via try/finally around the shard call.
+    """
+
+    def __init__(self, max_inflight: int):
+        """Admit at most *max_inflight* concurrent requests."""
+        if max_inflight < 1:
+            raise ClusterError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.max_inflight = max_inflight
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._admitted = 0
+        self._shed = 0
+        self._peak_inflight = 0
+
+    # ------------------------------------------------------------------
+    def try_acquire(self) -> bool:
+        """Claim one in-flight slot; False (and a shed count) if full."""
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self._shed += 1
+                return False
+            self._inflight += 1
+            self._admitted += 1
+            self._peak_inflight = max(self._peak_inflight, self._inflight)
+            return True
+
+    def release(self) -> None:
+        """Return a slot claimed by :meth:`try_acquire`."""
+        with self._lock:
+            if self._inflight <= 0:
+                raise ClusterError(
+                    "release() without a matching try_acquire()"
+                )
+            self._inflight -= 1
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Requests currently holding a slot."""
+        with self._lock:
+            return self._inflight
+
+    @property
+    def shed(self) -> int:
+        """Requests refused because the shard was full."""
+        with self._lock:
+            return self._shed
+
+    def counters(self) -> Dict[str, int]:
+        """Atomic snapshot of the admission counters."""
+        with self._lock:
+            return {
+                "admitted": self._admitted,
+                "shed": self._shed,
+                "inflight": self._inflight,
+                "peak_inflight": self._peak_inflight,
+                "max_inflight": self.max_inflight,
+            }
+
+
+__all__ = ["AdmissionController"]

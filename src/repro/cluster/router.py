@@ -1,0 +1,222 @@
+"""Tenant-to-shard routing: rendezvous hashing plus health tracking.
+
+The router answers one question — *which replica serves this tenant?* —
+with two properties the cluster tier leans on:
+
+- **Determinism across processes.** Scores come from ``blake2b`` over
+  ``tenant + shard id``, never from Python's per-process-salted
+  ``hash()``, so every router instance (in any process, on any run)
+  agrees on the mapping.  Caches stay warm because a tenant always
+  lands on the same replica.
+- **Minimal disruption (the rendezvous property).** Each tenant ranks
+  *all* shards by score and takes the best alive one.  Ejecting a
+  shard therefore moves only the tenants whose best shard it was —
+  every other tenant keeps its replica (and its warm caches) —
+  and recovery restores exactly the original mapping.
+
+Health is tracked per shard: consecutive failures past a threshold
+eject the shard from routing, and an explicit
+:meth:`ShardRouter.recover` returns it.  A success only resets the
+failure streak of a still-routable shard — ejected shards receive no
+traffic, so recovery is an operator/probe decision, never implicit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..errors import ClusterError
+
+
+def rendezvous_score(tenant: str, shard_id: str) -> int:
+    """Deterministic 64-bit score of (*tenant*, *shard_id*).
+
+    ``blake2b`` keeps the mapping identical across processes and
+    Python versions (``hash()`` is salted per process and would
+    reshuffle every tenant on restart, stone-cold caches included).
+    """
+    digest = hashlib.blake2b(
+        tenant.encode("utf-8") + b"\x00" + shard_id.encode("utf-8"),
+        digest_size=8,
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass
+class ShardHealth:
+    """One shard's failure-tracking state (mutated under the router lock)."""
+
+    shard_id: str
+    alive: bool = True
+    consecutive_failures: int = 0
+    failures: int = 0
+    ejections: int = 0
+
+
+class ShardRouter:
+    """Consistent (rendezvous / HRW) tenant routing over named shards.
+
+    Thread-safe: routing reads and health writes share one lock, so a
+    concurrent ejection never hands two callers different views of the
+    same preference scan.
+    """
+
+    def __init__(self, shard_ids: Sequence[str], failure_threshold: int = 3):
+        """Route over *shard_ids*, ejecting a shard after
+        *failure_threshold* consecutive failures."""
+        ids = list(shard_ids)
+        if not ids:
+            raise ClusterError("a ShardRouter needs at least one shard")
+        if len(set(ids)) != len(ids):
+            raise ClusterError(f"duplicate shard ids: {sorted(ids)}")
+        if failure_threshold < 1:
+            raise ClusterError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self._lock = threading.Lock()
+        self._health: Dict[str, ShardHealth] = {
+            shard_id: ShardHealth(shard_id) for shard_id in ids
+        }
+        #: Stable shard order (registration order) for introspection.
+        self._shard_ids = ids
+        #: Tenant -> ranked shard list.  The shard-id set is fixed at
+        #: construction, so a tenant's ranking never changes; caching
+        #: it keeps the per-request O(shards) hashing (and sort) off
+        #: the routing hot path.  Bounded: cleared wholesale if an
+        #: adversarial tenant-name stream would otherwise grow it.
+        self._preference_cache: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def preference(self, tenant: str) -> List[str]:
+        """Every shard, best-scoring first, ignoring health.
+
+        The alive prefix of this list is the tenant's failover chain:
+        requests try index 0, then 1, and so on.  Ties (possible only
+        by hash collision) break on shard id so the order stays total.
+        """
+        return list(self._ranked(tenant))
+
+    def _ranked(self, tenant: str) -> List[str]:
+        """The cached ranking for *tenant* (callers must not mutate).
+
+        Hashing happens outside the router lock — the ranking is a
+        pure function of (tenant, shard-id set) — so concurrent
+        routing only serializes on the short alive-check scan.
+        """
+        cached = self._preference_cache.get(tenant)
+        if cached is not None:
+            return cached
+        ranked = sorted(
+            self._shard_ids,
+            key=lambda shard_id: (-rendezvous_score(tenant, shard_id), shard_id),
+        )
+        with self._lock:
+            if len(self._preference_cache) >= 65536:
+                self._preference_cache.clear()
+            return self._preference_cache.setdefault(tenant, ranked)
+
+    def shard_for(
+        self, tenant: str, exclude: Optional[Set[str]] = None
+    ) -> str:
+        """The best alive shard for *tenant* (skipping *exclude*)."""
+        ranked = self._ranked(tenant)
+        with self._lock:
+            for shard_id in ranked:
+                if exclude and shard_id in exclude:
+                    continue
+                if self._health[shard_id].alive:
+                    return shard_id
+        raise ClusterError(
+            f"no alive shard for tenant {tenant!r} "
+            f"(shards: {sorted(self._shard_ids)}, excluded: {sorted(exclude or ())})"
+        )
+
+    def alive(self) -> List[str]:
+        """Shard ids currently in the routing pool, registration-ordered."""
+        with self._lock:
+            return [s for s in self._shard_ids if self._health[s].alive]
+
+    def shard_ids(self) -> List[str]:
+        """All shard ids (alive or not), registration-ordered."""
+        return list(self._shard_ids)
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def record_success(self, shard_id: str) -> None:
+        """Reset *shard_id*'s consecutive-failure streak."""
+        with self._lock:
+            self._state(shard_id).consecutive_failures = 0
+
+    def record_failure(self, shard_id: str) -> bool:
+        """Count one failure on *shard_id*; returns True when this
+        failure crossed the threshold and ejected the shard."""
+        with self._lock:
+            state = self._state(shard_id)
+            state.failures += 1
+            state.consecutive_failures += 1
+            if state.alive and state.consecutive_failures >= self.failure_threshold:
+                state.alive = False
+                state.ejections += 1
+                return True
+            return False
+
+    def eject(self, shard_id: str) -> None:
+        """Remove *shard_id* from routing immediately (operator action
+        or a probe that knows the replica is gone)."""
+        with self._lock:
+            state = self._state(shard_id)
+            if state.alive:
+                state.alive = False
+                state.ejections += 1
+
+    def recover(self, shard_id: str) -> None:
+        """Return *shard_id* to the routing pool with a clean streak.
+
+        By the rendezvous property, exactly the tenants that preferred
+        it before the ejection move back; nobody else is touched.
+        """
+        with self._lock:
+            state = self._state(shard_id)
+            state.alive = True
+            state.consecutive_failures = 0
+
+    def is_alive(self, shard_id: str) -> bool:
+        """Whether *shard_id* is currently routable."""
+        with self._lock:
+            return self._state(shard_id).alive
+
+    def health(self) -> Dict[str, ShardHealth]:
+        """A point-in-time copy of every shard's health record."""
+        with self._lock:
+            return {
+                shard_id: ShardHealth(
+                    shard_id=state.shard_id,
+                    alive=state.alive,
+                    consecutive_failures=state.consecutive_failures,
+                    failures=state.failures,
+                    ejections=state.ejections,
+                )
+                for shard_id, state in self._health.items()
+            }
+
+    def _state(self, shard_id: str) -> ShardHealth:
+        try:
+            return self._health[shard_id]
+        except KeyError:
+            raise ClusterError(
+                f"unknown shard {shard_id!r} (shards: {sorted(self._shard_ids)})"
+            ) from None
+
+    def __len__(self) -> int:
+        """Total shard count, alive or not."""
+        return len(self._shard_ids)
+
+
+__all__ = ["ShardHealth", "ShardRouter", "rendezvous_score"]

@@ -1,0 +1,508 @@
+"""The sharded, multi-replica serving tier behind one service API.
+
+A single :class:`~repro.serving.CostService` owns every tenant: one
+hot tenant saturates the batcher, the caches and the refit worker for
+all of them.  :class:`ClusterService` is the horizontal answer — N
+independent ``CostService`` replicas (each with its own registry,
+caches, micro-batchers and adaptation loop), a
+:class:`~repro.cluster.router.ShardRouter` consistent-hashing tenants
+across them, and per-shard :class:`~repro.cluster.admission.AdmissionController`
+gates so overload sheds at the door instead of collapsing the replica.
+
+The facade speaks the same ``estimate`` / ``estimate_many`` /
+``estimate_async`` / ``record_feedback`` / ``report`` API as a single
+service, so the load generator, the bench scenarios and application
+code cannot tell one replica from eight.  What they *can* observe:
+
+- **Tenant affinity.** A tenant (its bundle name by default) always
+  lands on the same shard, keeping that shard's feature cache and
+  snapshot store warm for it.
+- **Failover.** A request that fails on its shard is retried on the
+  tenant's next-preferred replica; repeated failures eject the shard
+  from routing, and by the rendezvous property only the ejected
+  shard's tenants move.
+- **Predictable overload.** A full shard sheds new requests
+  immediately (:class:`~repro.errors.ShardOverloadError`, counted),
+  rather than queueing them into a latency cliff — and never spills
+  a hot tenant's overload onto other tenants' replicas.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import (
+    ClusterError,
+    ReproError,
+    ShardDownError,
+    ShardOverloadError,
+)
+from ..serving import CostService, EstimatorBundle
+from .admission import AdmissionController
+from .router import ShardRouter
+
+#: Builds one replica; receives the shard id (for naming/logging).
+ServiceFactory = Callable[[str], CostService]
+
+
+class ClusterShard:
+    """One replica: a shard id, its service, and its admission gate."""
+
+    def __init__(
+        self, shard_id: str, service: CostService, max_inflight: int
+    ):
+        """Wrap *service* as shard *shard_id* admitting *max_inflight*."""
+        self.shard_id = shard_id
+        self.service = service
+        self.admission = AdmissionController(max_inflight)
+        #: Simulates (or records) a crashed replica: requests fail at
+        #: the shard boundary without touching the service.
+        self.killed = False
+
+    def check_up(self) -> None:
+        """Raise :class:`ShardDownError` when the replica is killed."""
+        if self.killed:
+            raise ShardDownError(f"shard {self.shard_id!r} is down")
+
+
+class ClusterStats:
+    """Cluster-level routing counters (shard-local counts live on the
+    shards' own admission controllers and services)."""
+
+    def __init__(self, shard_ids: Sequence[str]):
+        """Zeroed counters over *shard_ids*."""
+        self._lock = threading.Lock()
+        self._routed: Dict[str, int] = {shard_id: 0 for shard_id in shard_ids}
+        self.reroutes = 0
+        self.exhausted = 0
+
+    def count_routed(self, shard_id: str) -> None:
+        """One request routed to *shard_id* (sync: served to
+        completion; async: successfully submitted — its outcome
+        resolves later on the Future)."""
+        with self._lock:
+            self._routed[shard_id] = self._routed.get(shard_id, 0) + 1
+
+    def count_reroute(self) -> None:
+        """One request retried on a different shard after a failure."""
+        with self._lock:
+            self.reroutes += 1
+
+    def count_exhausted(self) -> None:
+        """One request that failed on every alive shard."""
+        with self._lock:
+            self.exhausted += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """Atomic plain-dict copy of the routing counters."""
+        with self._lock:
+            return {
+                "routed": dict(self._routed),
+                "reroutes": self.reroutes,
+                "exhausted": self.exhausted,
+            }
+
+
+class ClusterService:
+    """N ``CostService`` replicas behind the single-service API."""
+
+    def __init__(
+        self,
+        shard_count: int = 2,
+        shard_ids: Optional[Sequence[str]] = None,
+        service_factory: Optional[ServiceFactory] = None,
+        failure_threshold: int = 3,
+        max_inflight_per_shard: int = 512,
+        **service_kwargs,
+    ):
+        """Build the tier.
+
+        *service_factory* creates each replica (default: a plain
+        ``CostService(**service_kwargs)``).  Pass a factory when each
+        shard needs its own ``SnapshotStore`` or adaptation config —
+        anything passed through *service_kwargs* directly is shared by
+        every replica.  *failure_threshold* consecutive failures eject
+        a shard from routing; *max_inflight_per_shard* bounds each
+        replica's concurrent admissions (excess is shed).
+        """
+        if shard_ids is None:
+            if shard_count < 1:
+                raise ClusterError(
+                    f"shard_count must be >= 1, got {shard_count}"
+                )
+            shard_ids = [f"shard-{i}" for i in range(shard_count)]
+        factory: ServiceFactory = service_factory or (
+            lambda shard_id: CostService(**service_kwargs)
+        )
+        self.router = ShardRouter(shard_ids, failure_threshold=failure_threshold)
+        self._shards: Dict[str, ClusterShard] = {
+            shard_id: ClusterShard(
+                shard_id, factory(shard_id), max_inflight_per_shard
+            )
+            for shard_id in self.router.shard_ids()
+        }
+        self.stats = ClusterStats(self.router.shard_ids())
+        self._lock = threading.Lock()
+        self._deployed: List[str] = []
+
+    # ------------------------------------------------------------------
+    # deployment
+    # ------------------------------------------------------------------
+    def deploy(
+        self, bundle: EstimatorBundle, name: Optional[str] = None
+    ) -> str:
+        """Deploy *bundle* to **every** shard under *name*.
+
+        Full replication is what makes failover trivial: any shard can
+        serve any tenant, so a re-routed request needs no state
+        transfer — it just pays a cold cache on the new replica.
+        Returns the deployed name (the routing key for this tenant).
+        """
+        key = name or bundle.name
+        for shard in self._shards.values():
+            shard.service.deploy(bundle, name=key)
+        with self._lock:
+            if key not in self._deployed:
+                self._deployed.append(key)
+        return key
+
+    def deployed_names(self) -> List[str]:
+        """Every deployed bundle name, in deployment order."""
+        with self._lock:
+            return list(self._deployed)
+
+    def _resolve_key(
+        self, bundle: Optional[str], tenant: Optional[str]
+    ) -> Tuple[str, str]:
+        """(routing key, bundle name) for a request.
+
+        The routing key defaults to the bundle name — tenants are
+        bundles unless the caller says otherwise — and a missing
+        bundle name falls back to the sole deployment, mirroring
+        ``CostService`` semantics.
+        """
+        with self._lock:
+            deployed = list(self._deployed)
+        if bundle is None:
+            if len(deployed) != 1:
+                raise ClusterError(
+                    "bundle name required when "
+                    f"{len(deployed)} bundles are deployed"
+                )
+            bundle = deployed[0]
+        return (tenant or bundle), bundle
+
+    # ------------------------------------------------------------------
+    # routing core
+    # ------------------------------------------------------------------
+    def shard_of(self, tenant: str) -> str:
+        """The shard currently serving *tenant* (health-aware)."""
+        return self.router.shard_for(tenant)
+
+    def _with_failover(self, key: str, call, release_on_success: bool = True):
+        """Run ``call(shard)`` on *key*'s shard, failing over down the
+        tenant's rendezvous preference chain.
+
+        ``release_on_success=False`` transfers ownership of the
+        admission slot *and* of success/failure health recording to the
+        successful ``call`` (the async path holds the slot, and judges
+        health, at Future resolution — recording a submission as a
+        success here would reset the failure streak before the
+        previous future's verdict arrived, and a sick replica would
+        never accumulate enough consecutive failures to be ejected).
+        Every failure path still releases and records here.
+
+        Failures are classified, because retrying the wrong ones is
+        worse than not retrying:
+
+        - **Replica failures** (:class:`ShardDownError`) record a
+          health failure — ejecting the shard at the threshold — and
+          retry on the next alive replica: a mid-run crash costs
+          re-routed requests a cache warm-up, not an error.
+        - **Unexpected exceptions** (a ``TypeError`` from a malformed
+          query object, a numpy shape error) also retry on the next
+          replica — cheap, bounded, and it rescues transient
+          replica-local corruption — but do *not* charge shard
+          health: they may be deterministic request poison, and a
+          poison request must never eject replicas (only
+          :class:`ShardDownError`, which the cluster itself raises
+          for a dead replica, is unambiguous evidence).  If every
+          replica fails, the last error is chained into the raised
+          :class:`ClusterError`.
+        - **Request errors** (any :class:`~repro.errors.ReproError`:
+          unparseable SQL is a ``ParseError``, an unknown bundle or
+          missing snapshot a ``ServingError``, a bad plan a
+          ``PlanError`` — the library raises its hierarchy for
+          everything deterministic) propagate untouched.  Replicas are
+          identical, so these would fail the same way everywhere, and
+          a single bad client must not be able to eject healthy
+          replicas three requests at a time.
+        - **Overload** (:class:`ShardOverloadError`) does not fail
+          over: shedding is deliberate degradation, and spilling a
+          saturated tenant onto other tenants' replicas would defeat
+          the isolation the shards exist to provide.
+        """
+        excluded: Set[str] = set()
+        rerouted = False
+        last_error: Optional[Exception] = None
+        while True:
+            try:
+                shard_id = self.router.shard_for(key, exclude=excluded)
+            except ClusterError:
+                self.stats.count_exhausted()
+                raise ClusterError(
+                    f"request for tenant {key!r} failed on every alive shard"
+                ) from last_error
+            shard = self._shards[shard_id]
+            if not shard.admission.try_acquire():
+                raise ShardOverloadError(
+                    f"shard {shard_id!r} is at its admission limit "
+                    f"({shard.admission.max_inflight} in flight); request shed"
+                )
+            try:
+                shard.check_up()
+                value = call(shard)
+            except ShardDownError as exc:
+                shard.admission.release()
+                self.router.record_failure(shard_id)
+                last_error = exc
+                excluded.add(shard_id)
+                rerouted = True
+                continue
+            except ReproError:
+                # A request-shaped failure fails the same way on every
+                # replica; surface it without charging the shard.
+                shard.admission.release()
+                raise
+            except Exception as exc:
+                # Unexpected: retry elsewhere, but no health charge —
+                # this may be request poison, not a sick replica.
+                shard.admission.release()
+                last_error = exc
+                excluded.add(shard_id)
+                rerouted = True
+                continue
+            if release_on_success:
+                shard.admission.release()
+                self.router.record_success(shard_id)
+            self.stats.count_routed(shard_id)
+            if rerouted:
+                self.stats.count_reroute()
+            return value
+
+    # ------------------------------------------------------------------
+    # public estimation API (CostService-shaped)
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        query,
+        env,
+        bundle: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ) -> float:
+        """Estimated latency (ms) of *query* under *env*, served by the
+        tenant's shard (with failover)."""
+        key, name = self._resolve_key(bundle, tenant)
+        return self._with_failover(
+            key, lambda shard: shard.service.estimate(query, env, bundle=name)
+        )
+
+    def estimate_many(
+        self,
+        queries: Sequence,
+        env,
+        bundle: Optional[str] = None,
+        batch_size: int = 64,
+        tenant: Optional[str] = None,
+    ) -> np.ndarray:
+        """Batched estimates, routed as one unit to the tenant's shard."""
+        key, name = self._resolve_key(bundle, tenant)
+        return self._with_failover(
+            key,
+            lambda shard: shard.service.estimate_many(
+                queries, env, bundle=name, batch_size=batch_size
+            ),
+        )
+
+    def estimate_async(
+        self,
+        query,
+        env,
+        bundle: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ):
+        """Queue *query* on the tenant shard's micro-batcher; returns a
+        Future.  Submission (parse/plan/featurize) fails over like
+        :meth:`estimate`; a failure *after* submission resolves the
+        Future with the error and counts against the shard's health.
+
+        The admission slot is held until the Future resolves — that is
+        what bounds the batcher queue on the async path, so a flood of
+        submissions sheds at the door instead of growing an unbounded
+        backlog of pending futures."""
+        key, name = self._resolve_key(bundle, tenant)
+
+        def _submit(shard: ClusterShard):
+            future = shard.service.estimate_async(query, env, bundle=name)
+
+            def _record(done) -> None:
+                # The slot rides with the request through the batcher
+                # queue; releasing here (success, failure or cancel) is
+                # what makes max_inflight bound the async backlog.
+                shard.admission.release()
+                # Same failure classification as _with_failover: only
+                # an unambiguous replica death (ShardDownError) charges
+                # shard health.  A request-shaped error — which the
+                # batcher fans out to every waiter in the batch — or a
+                # cancellation at close() must not eject replicas.
+                if done.cancelled():
+                    return
+                exc = done.exception()
+                if exc is None:
+                    self.router.record_success(shard.shard_id)
+                elif isinstance(exc, ShardDownError):
+                    self.router.record_failure(shard.shard_id)
+
+            future.add_done_callback(_record)
+            return future
+
+        return self._with_failover(key, _submit, release_on_success=False)
+
+    def record_feedback(
+        self,
+        query,
+        env,
+        actual_ms: Optional[float] = None,
+        bundle: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ) -> None:
+        """Report an actual runtime to the tenant shard's adaptation
+        loop (no-op there when adaptation is disabled)."""
+        key, name = self._resolve_key(bundle, tenant)
+        self._with_failover(
+            key,
+            lambda shard: shard.service.record_feedback(
+                query, env, actual_ms=actual_ms, bundle=name
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # shard lifecycle (failure injection + operations)
+    # ------------------------------------------------------------------
+    def kill_shard(self, shard_id: str) -> None:
+        """Simulate a replica crash: requests reaching *shard_id* fail
+        (and fail over) until the router's threshold ejects it."""
+        self._shard(shard_id).killed = True
+
+    def revive_shard(self, shard_id: str) -> None:
+        """Bring a killed/ejected replica back into routing; exactly
+        its rendezvous tenants move back to it."""
+        self._shard(shard_id).killed = False
+        self.router.recover(shard_id)
+
+    def eject(self, shard_id: str) -> None:
+        """Remove *shard_id* from routing immediately (no failures
+        needed — an operator or external health probe decision)."""
+        self.router.eject(shard_id)
+
+    def _shard(self, shard_id: str) -> ClusterShard:
+        try:
+            return self._shards[shard_id]
+        except KeyError:
+            raise ClusterError(
+                f"unknown shard {shard_id!r} "
+                f"(shards: {sorted(self._shards)})"
+            ) from None
+
+    def shard(self, shard_id: str) -> ClusterShard:
+        """The :class:`ClusterShard` for *shard_id* (introspection)."""
+        return self._shard(shard_id)
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, object]:
+        """Machine-readable counter snapshot for the whole tier.
+
+        ``cluster`` carries routing/admission/health totals;
+        ``shards`` nests each replica's own
+        :meth:`~repro.serving.CostService.counters` snapshot untouched,
+        so existing per-service tooling can point one level down.
+        """
+        health = self.router.health()
+        per_shard: Dict[str, object] = {}
+        shed_total = 0
+        for shard_id, shard in sorted(self._shards.items()):
+            admission = shard.admission.counters()
+            shed_total += int(admission["shed"])
+            per_shard[shard_id] = {
+                "admission": admission,
+                "failures": health[shard_id].failures,
+                "ejections": health[shard_id].ejections,
+            }
+        routing = self.stats.snapshot()
+        return {
+            "cluster": {
+                "routed": routing["routed"],
+                "reroutes": routing["reroutes"],
+                "exhausted": routing["exhausted"],
+                "shed": shed_total,
+                "ejections": sum(h.ejections for h in health.values()),
+                "per_shard": per_shard,
+            },
+            "shards": {
+                shard_id: shard.service.counters()
+                for shard_id, shard in sorted(self._shards.items())
+            },
+        }
+
+    def report(self) -> str:
+        """Human-readable per-shard routing/health/admission report."""
+        from ..eval.reporting import render_cluster_report
+
+        health = self.router.health()
+        routing = self.stats.snapshot()
+        routed: Dict[str, int] = routing["routed"]
+        rows = []
+        for shard_id, shard in sorted(self._shards.items()):
+            admission = shard.admission.counters()
+            rows.append(
+                (
+                    shard_id,
+                    "up" if health[shard_id].alive else "down",
+                    routed.get(shard_id, 0),
+                    health[shard_id].failures,
+                    admission["shed"],
+                    admission["peak_inflight"],
+                )
+            )
+        totals = {
+            "reroutes": routing["reroutes"],
+            "exhausted": routing["exhausted"],
+            "ejections": sum(h.ejections for h in health.values()),
+        }
+        return render_cluster_report(rows, totals)
+
+    def close(self) -> None:
+        """Shut down every replica (adaptation loops, micro-batchers)."""
+        for shard in self._shards.values():
+            shard.service.close()
+
+    def __enter__(self) -> "ClusterService":
+        """Context-manager entry (returns self)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close` the tier."""
+        self.close()
+
+
+__all__ = [
+    "ClusterService",
+    "ClusterShard",
+    "ClusterStats",
+    "ServiceFactory",
+]

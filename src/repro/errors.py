@@ -39,3 +39,15 @@ class SnapshotError(ReproError):
 
 class ServingError(ReproError):
     """The online estimation service was misused or misconfigured."""
+
+
+class ClusterError(ServingError):
+    """The sharded serving tier could not route or serve a request."""
+
+
+class ShardDownError(ClusterError):
+    """A request reached a shard whose replica is dead or ejected."""
+
+
+class ShardOverloadError(ClusterError):
+    """Admission control shed a request: the shard's queue is full."""

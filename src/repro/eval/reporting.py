@@ -80,6 +80,34 @@ def render_serving_report(
     return "\n\n".join(sections)
 
 
+def render_cluster_report(
+    shard_rows: Sequence[Tuple[str, str, int, int, int, int]],
+    totals: Dict[str, int],
+) -> str:
+    """The sharded tier's health/routing report in the repo's table
+    style.
+
+    ``shard_rows`` are (shard, status, routed, failures, shed, peak
+    in-flight) as produced by :meth:`repro.cluster.ClusterService.report`;
+    ``totals`` maps cluster-level counters (reroutes, exhausted,
+    ejections) to their values.
+    """
+    sections = [
+        format_table(
+            ["shard", "status", "routed", "failures", "shed", "peak inflight"],
+            list(shard_rows),
+        )
+    ]
+    if totals:
+        sections.append(
+            format_table(
+                ["cluster", "value"],
+                [(key, value) for key, value in sorted(totals.items())],
+            )
+        )
+    return "\n\n".join(sections)
+
+
 def load_bench_trajectory(directory: Union[str, pathlib.Path]) -> List[Dict]:
     """Every ``BENCH_*.json`` perf-trajectory envelope under
     *directory* (see :mod:`repro.bench.runner`), scenario-sorted."""

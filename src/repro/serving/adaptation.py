@@ -130,6 +130,7 @@ class AdaptationStats:
     )
 
     def add(self, counter: str, amount: float = 1) -> None:
+        """Bump *counter* by *amount* under the stats lock."""
         with self._lock:
             setattr(self, counter, getattr(self, counter) + amount)
 
@@ -202,20 +203,24 @@ class BundleWatcher:
 
     # -- worker side ---------------------------------------------------
     def drain_pending(self) -> List[LabeledPlan]:
+        """Take (and clear) everything queued since the last drain."""
         with self._lock:
             drained = list(self._pending)
             self._pending.clear()
         return drained
 
     def has_pending(self) -> bool:
+        """Whether traffic is queued that the worker has not seen."""
         with self._lock:
             return bool(self._pending)
 
     def window_records(self) -> List[LabeledPlan]:
+        """A copy of the bounded retraining window's records."""
         with self._lock:
             return list(self._window)
 
     def window_size(self) -> int:
+        """How many labelled records the retraining window holds."""
         with self._lock:
             return len(self._window)
 
@@ -318,10 +323,13 @@ class AdaptationManager:
         )
 
     def watcher(self, name: str) -> Optional[BundleWatcher]:
+        """The recall watcher attached to bundle *name* (None if
+        the bundle is unwatched)."""
         with self._lock:
             return self._watchers.get(name)
 
     def watchers(self) -> List[BundleWatcher]:
+        """Every attached recall watcher (a point-in-time copy)."""
         with self._lock:
             return list(self._watchers.values())
 
@@ -476,7 +484,7 @@ class AdaptationManager:
             # update() serializes with it so neither write reverts the
             # other.  The version bump retires stale feature-cache
             # entries lazily.
-            def promote(current: EstimatorBundle) -> EstimatorBundle:
+            def _promote(current: EstimatorBundle) -> EstimatorBundle:
                 if global_recalled is not None:
                     return replace(
                         current,
@@ -493,7 +501,7 @@ class AdaptationManager:
                     ),
                 )
 
-            self.service.registry.update(watcher.name, promote)
+            self.service.registry.update(watcher.name, _promote)
             self.stats.add("promotions")
         else:
             self.stats.add("rollbacks")
@@ -519,6 +527,7 @@ class AdaptationManager:
         return False
 
     def close(self) -> None:
+        """Stop the background worker and join it."""
         with self._cond:
             self._closed = True
             self._cond.notify_all()
@@ -527,6 +536,7 @@ class AdaptationManager:
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
         return self._closed
 
 
@@ -544,6 +554,7 @@ class RefitWorker(threading.Thread):
         self.manager = manager
 
     def run(self) -> None:  # pragma: no cover - exercised via threads
+        """The worker loop: wake, process pending, survive bad passes."""
         manager = self.manager
         while True:
             with manager._cond:

@@ -42,6 +42,7 @@ class BatcherStats:
 
     @property
     def mean_batch_size(self) -> float:
+        """Average items per flushed batch (occupancy)."""
         return self.submitted / self.batches if self.batches else 0.0
 
     def as_dict(self) -> Dict[str, object]:

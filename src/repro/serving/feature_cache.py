@@ -47,10 +47,12 @@ class CacheStats:
 
     @property
     def requests(self) -> int:
+        """Total lookups: hits + misses + coalesced waits."""
         return self.hits + self.misses + self.coalesced
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups that avoided a fresh compute."""
         total = self.requests
         return (self.hits + self.coalesced) / total if total else 0.0
 
@@ -101,6 +103,7 @@ class FeatureCache:
             return False, None
 
     def put(self, key: str, value: object) -> None:
+        """Insert *value* under *key*, evicting past capacity."""
         with self._lock:
             self._store(key, value)
 
@@ -180,5 +183,6 @@ class FeatureCache:
             return key in self._entries
 
     def keys(self) -> Iterator[str]:
+        """The cached keys, LRU-ordered (a point-in-time copy)."""
         with self._lock:
             return iter(list(self._entries))

@@ -49,20 +49,25 @@ class EstimatorBundle:
         return self.snapshot_set.env_names if self.snapshot_set else []
 
     def knows_environment(self, env_name: str) -> bool:
+        """Whether the snapshot set covers *env_name* (base models
+        carry no snapshot set and serve any environment)."""
         return self.snapshot_set is None or env_name in self.snapshot_set.env_names
 
     # ------------------------------------------------------------------
     # prediction façade: always with this bundle's snapshot set
     # ------------------------------------------------------------------
     def predict_many(self, labeled: Sequence[LabeledPlan]) -> np.ndarray:
+        """Predict latencies for *labeled* with this bundle's snapshots."""
         return self.estimator.predict_many(labeled, snapshot_set=self.snapshot_set)
 
     def prepare_one(self, record: LabeledPlan):
+        """Featurize one record for later :meth:`predict_prepared`."""
         return self.estimator.prepare_one(record, snapshot_set=self.snapshot_set)
 
     def predict_prepared(
         self, labeled: Sequence[LabeledPlan], prepared: Optional[Sequence] = None
     ) -> np.ndarray:
+        """Predict from pre-featurized inputs (see :meth:`prepare_one`)."""
         return self.estimator.predict_prepared(
             labeled, prepared, snapshot_set=self.snapshot_set
         )
@@ -138,6 +143,7 @@ class EstimatorRegistry:
                 ) from None
 
     def unregister(self, name: str) -> EstimatorBundle:
+        """Remove and return the bundle deployed under *name*."""
         with self._lock:
             try:
                 return self._bundles.pop(name)
@@ -146,6 +152,7 @@ class EstimatorRegistry:
 
     # ------------------------------------------------------------------
     def names(self) -> List[str]:
+        """Every deployed bundle name, sorted."""
         with self._lock:
             return sorted(self._bundles)
 

@@ -61,6 +61,7 @@ class ServiceStats:
     )
 
     def record(self, stage: str, seconds: float, count: int = 1) -> None:
+        """Add *seconds* of wall time (over *count* calls) to *stage*."""
         with self._lock:
             self.stage_seconds[stage] = (
                 self.stage_seconds.get(stage, 0.0) + seconds
@@ -68,6 +69,7 @@ class ServiceStats:
             self.stage_counts[stage] = self.stage_counts.get(stage, 0) + count
 
     def count_requests(self, count: int = 1, batched: bool = False) -> None:
+        """Count *count* served requests (batched-path ones separately)."""
         with self._lock:
             if batched:
                 self.batched_requests += count
@@ -185,14 +187,14 @@ class CostService:
             env, fitter, namespace=bundle.benchmark.name
         )
 
-        def graft(current: EstimatorBundle) -> EstimatorBundle:
+        def _graft(current: EstimatorBundle) -> EstimatorBundle:
             if current.knows_environment(env.name):
                 return current  # another thread grafted it meanwhile
             return current.with_snapshot_set(
                 current.snapshot_set.with_snapshot(snapshot)
             )
 
-        return self.registry.update(bundle.name, graft)
+        return self.registry.update(bundle.name, _graft)
 
     # ------------------------------------------------------------------
     # the online path
@@ -442,6 +444,7 @@ class CostService:
     # introspection / lifecycle
     # ------------------------------------------------------------------
     def batcher_stats(self) -> Dict[str, object]:
+        """{bundle name: BatcherStats snapshot} for every batcher."""
         with self._lock:
             batchers = list(self._batchers.items())
         # Snapshots, not live objects: each copy is taken under its

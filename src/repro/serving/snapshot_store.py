@@ -96,10 +96,12 @@ class StoreStats:
 
     @property
     def requests(self) -> int:
+        """Total lookups: exact + approximate hits, misses, waits."""
         return self.hits + self.approx_hits + self.misses + self.coalesced
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups that avoided a fresh snapshot fit."""
         total = self.requests
         return (
             (self.hits + self.approx_hits + self.coalesced) / total
@@ -243,7 +245,7 @@ def template_snapshot_fitter(
     execute Algorithm 1's simplified templates under the environment and
     fit the Table I formulas."""
 
-    def fitter(env: DatabaseEnvironment) -> FeatureSnapshot:
+    def _fitter(env: DatabaseEnvironment) -> FeatureSnapshot:
         simulator = ExecutionSimulator(benchmark.catalog, benchmark.stats, env)
         queries = generate_simplified_queries(
             benchmark.template_texts,
@@ -254,4 +256,4 @@ def template_snapshot_fitter(
         )
         return fit_snapshot_from_queries(queries, simulator, source="template")
 
-    return fitter
+    return _fitter

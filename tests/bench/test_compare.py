@@ -176,6 +176,14 @@ def test_compare_dirs_pass_and_missing_baseline(tmp_path):
     violations = compare_dirs(current_dir, baseline_dir)
     assert [v.kind for v in violations] == ["missing-baseline"]
     assert violations[0].scenario == "cold-start"
+    # ... diagnosably from the CI log alone: the message names the
+    # scenario, the exact baseline file the gate wanted, and the
+    # command that refreshes it.
+    message = violations[0].render()
+    assert "cold-start" in message
+    assert "BENCH_cold-start.json" in message
+    assert "python -m repro.bench" in message
+    assert "--scenario cold-start" in message
     # ... unless explicitly allowed.
     assert compare_dirs(current_dir, baseline_dir, allow_missing=True) == []
 

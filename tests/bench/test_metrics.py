@@ -144,6 +144,51 @@ def test_counters_delta_subtracts_and_rederives_rates():
     assert delta["service"]["stages"]["predict"]["mean_ms"] == pytest.approx(5.0)
 
 
+def test_counters_delta_fixes_rates_at_any_nesting_depth():
+    """A ClusterService.counters() snapshot nests one full per-service
+    section under shards.<shard-id>; its rates must be re-derived from
+    the delta counts there too, never subtracted as ratios."""
+    before = {
+        "shards": {
+            "shard-0": {
+                "feature_cache": {"hits": 10, "misses": 10, "coalesced": 0,
+                                  "hit_rate": 0.5, "size": 20},
+            }
+        }
+    }
+    after = {
+        "shards": {
+            "shard-0": {
+                "feature_cache": {"hits": 64, "misses": 16, "coalesced": 0,
+                                  "hit_rate": 0.8, "size": 44},
+                "batchers": {"b": {"submitted": 32, "batches": 4,
+                                   "largest_batch": 16}},
+            }
+        }
+    }
+    after["cluster"] = {
+        "per_shard": {
+            "shard-0": {
+                "admission": {"admitted": 40, "shed": 2, "inflight": 3,
+                              "peak_inflight": 7, "max_inflight": 512},
+            }
+        }
+    }
+    delta = counters_delta(before, after)
+    cache = delta["shards"]["shard-0"]["feature_cache"]
+    # 54 window hits / 60 window requests — not 0.8 - 0.5.
+    assert cache["hit_rate"] == pytest.approx(0.9)
+    assert cache["requests"] == 60
+    assert "size" not in cache  # gauges don't subtract, at any depth
+    batcher = delta["shards"]["shard-0"]["batchers"]["b"]
+    assert batcher["mean_batch_size"] == pytest.approx(8.0)
+    assert "largest_batch" not in batcher
+    # Admission gauges (instantaneous / high-water / config) are
+    # dropped; its true counters subtract normally.
+    admission = delta["cluster"]["per_shard"]["shard-0"]["admission"]
+    assert admission == {"admitted": 40, "shed": 2}
+
+
 def test_flatten_metrics_paths_and_non_numeric_leaves():
     flat = flatten_metrics(
         {

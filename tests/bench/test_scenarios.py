@@ -26,10 +26,18 @@ def test_registry_has_the_advertised_scenarios():
         "drift-under-load-tpch",
         "tenant-skew",
         "snapshot-miss-storm",
+        "shard-failover",
+        "hot-tenant-isolation",
     ):
         assert expected in names
     smoke = scenario_names(smoke_only=True)
-    assert set(smoke) == {"steady-state", "cold-start", "drift-under-load"}
+    assert set(smoke) == {
+        "steady-state",
+        "cold-start",
+        "drift-under-load",
+        "shard-failover",
+        "hot-tenant-isolation",
+    }
     assert set(smoke) <= set(names)
 
 

@@ -1,0 +1,65 @@
+"""AdmissionController: bounded depth, shedding, counter accounting."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cluster import AdmissionController
+from repro.errors import ClusterError
+
+
+def test_admits_up_to_the_bound_then_sheds():
+    gate = AdmissionController(max_inflight=2)
+    assert gate.try_acquire()
+    assert gate.try_acquire()
+    assert not gate.try_acquire()  # full: shed
+    assert not gate.try_acquire()
+    counters = gate.counters()
+    assert counters["admitted"] == 2
+    assert counters["shed"] == 2
+    assert counters["inflight"] == 2
+    assert counters["peak_inflight"] == 2
+
+
+def test_release_reopens_the_gate():
+    gate = AdmissionController(max_inflight=1)
+    assert gate.try_acquire()
+    assert not gate.try_acquire()
+    gate.release()
+    assert gate.try_acquire()
+    assert gate.counters()["admitted"] == 2
+    assert gate.counters()["shed"] == 1
+
+
+def test_release_without_acquire_is_an_error():
+    gate = AdmissionController(max_inflight=1)
+    with pytest.raises(ClusterError):
+        gate.release()
+    with pytest.raises(ClusterError):
+        AdmissionController(0)
+
+
+def test_concurrent_acquires_never_exceed_the_bound():
+    gate = AdmissionController(max_inflight=4)
+    peak_seen = []
+    barrier = threading.Barrier(16)
+
+    def worker() -> None:
+        barrier.wait()
+        for _ in range(200):
+            if gate.try_acquire():
+                peak_seen.append(gate.counters()["inflight"])
+                gate.release()
+
+    threads = [threading.Thread(target=worker) for _ in range(16)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert gate.counters()["inflight"] == 0
+    assert max(peak_seen) <= 4
+    assert gate.counters()["peak_inflight"] <= 4
+    total = gate.counters()["admitted"] + gate.counters()["shed"]
+    assert total == 16 * 200

