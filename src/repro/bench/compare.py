@@ -175,6 +175,20 @@ _DEFAULT_BANDS: Sequence = (
     # a same-run, same-machine ratio, so the band is tighter than the
     # absolute-latency ones but still generous to scheduler noise.
     ("extra.isolation_p95_ratio", Tolerance("lower", rel=4.0, abs=1.0)),
+    # Warm-restart structure flags: the checkpoint restore really
+    # happened, the restored replica predicts bit-identically, and the
+    # warm boot beat the same-run cold boot to its first estimate.
+    # All 0/1 and machine-independent, so they gate tightly.
+    ("extra.warm_restored", Tolerance("higher", rel=0.0)),
+    ("extra.restored_any", Tolerance("higher", rel=0.0)),
+    ("extra.bit_identical", Tolerance("higher", rel=0.0)),
+    ("extra.warm_faster_ttfe", Tolerance("higher", rel=0.0)),
+    # Same-run warm/cold ratios: machine-relative, so banded tighter
+    # than absolute timings but generous to scheduler noise.  The cold
+    # side includes a full snapshot fit, so a warm boot drifting from
+    # ~0.01x toward 1x is a real regression long before the flag trips.
+    ("extra.ttfe_ratio", Tolerance("lower", rel=3.0, abs=0.2)),
+    ("extra.first_window_p95_ratio", Tolerance("lower", rel=4.0, abs=1.0)),
     # Admission shedding in the committed scenarios is a regression:
     # the sync load paths are bounded by worker count, far under the
     # per-shard admission limit, so any shed means a logic change.

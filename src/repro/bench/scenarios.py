@@ -23,6 +23,10 @@ stack's distinct failure modes and take everything else from params:
 - ``hot_tenant_isolation`` — one tenant at many times the others'
   rate on its own shard: the quiet tenants' tail latency must match
   the single-shard no-hot-traffic baseline.
+- ``warm_restart`` — a replica killed mid-run, then restarted cold vs
+  restored from a checkpoint in the same run: the warm boot must
+  reach its first estimate strictly faster, serve a faster first
+  window, and predict bit-identically to the pre-kill replica.
 
 Training tiny estimator bundles dominates scenario cost, so bundles
 are memoised per configuration: a run of several scenarios shares its
@@ -31,6 +35,8 @@ pipelines the way the paper benches share labelled collections.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -903,6 +909,158 @@ def _hot_tenant_isolation(params: Dict[str, object], seed: int) -> Dict[str, obj
     )
 
 
+@driver("warm_restart")
+def _warm_restart(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    """Kill a replica mid-run, then restart it cold vs warm (from a
+    checkpoint) in the same run and compare the two boots head-on."""
+    from ..persist import Checkpointer
+
+    env_count = int(params.get("env_count", 2))
+    setup = _setup(
+        str(params.get("benchmark", "sysbench")),
+        model=str(params.get("model", "qppnet")),
+        env_count=env_count,
+        plans=int(params.get("plans", 96)),
+        epochs=int(params.get("epochs", 4)),
+        seed=seed,
+    )
+    envs, labeled = setup["envs"], setup["labeled"]
+    # The same environment pool extended by one: names (and knobs) of
+    # the first env_count entries match the setup's, the extra one is
+    # genuinely unseen by the bundle's snapshot set — so a cold boot
+    # pays a full on-demand snapshot fit on its first estimate while a
+    # warm boot restores the grafted bundle and skips it.  That is the
+    # structural (not timing-noise) half of the warm/cold gap.
+    extra_env = random_environments(env_count + 1, seed=seed + 3)[env_count]
+    duration_s = float(params.get("duration_s", 2.0))
+    kill_after_s = float(params.get("kill_after_s", duration_s / 3.0))
+    window_requests = int(params.get("window_requests", 48))
+    items = _plan_items(labeled, envs)
+    extra_items = [(record.plan, extra_env) for record in labeled[:16]]
+    cluster = _cluster_factory(params)
+    ckpt_dir = tempfile.mkdtemp(prefix="qcfe-warm-restart-")
+    try:
+        names = [f"tenant-{i}" for i in range(int(params.get("tenant_count", 2)))]
+        for name in names:
+            cluster.deploy(setup["bundle"], name=name)
+        tenants = [Tenant(name, items, bundle=name) for name in names]
+        victim = cluster.shard_of(names[0])
+        _warm_tenants(cluster, tenants)
+        # Graft the unseen environment onto tenant-0's bundle (on its
+        # home shard) so the checkpoint carries the extended snapshot
+        # set and the store's fitted entry.
+        for plan, env in extra_items:
+            cluster.estimate(plan, env, bundle=names[0])
+
+        victim_service = cluster.shard(victim).service
+        checkpointer = Checkpointer(
+            victim_service, ckpt_dir, interval_s=60.0, background=False
+        )
+        ckpt_path = checkpointer.checkpoint_now(force=True)
+        checkpointer.close()
+        checkpoint_bytes = ckpt_path.stat().st_size if ckpt_path else 0
+        probe_plans = [record.plan for record in labeled[:32]]
+        reference = victim_service.estimate_many(
+            probe_plans, envs[0], bundle=names[0]
+        )
+
+        # The measured window: open-loop traffic with the victim killed
+        # mid-run; failover must keep the error count at zero.
+        before = cluster.counters()
+        killer = threading.Timer(kill_after_s, cluster.kill_shard, args=(victim,))
+        killer.start()
+        try:
+            result = run_load(
+                cluster,
+                tenants,
+                threads=int(params.get("threads", 4)),
+                arrival=ArrivalSpec(
+                    kind="poisson",
+                    rate_rps=float(params.get("rate_rps", 250.0)),
+                ),
+                duration_s=duration_s,
+                seed=seed,
+            )
+        finally:
+            killer.cancel()
+        delta = counters_delta(before, cluster.counters())
+
+        def _boot_probe() -> Tuple[float, LatencyHistogram, int]:
+            """(time-to-first-estimate ms, first-window hist, errors)
+            against the freshly restarted victim replica."""
+            errors = 0
+            start = time.perf_counter()
+            try:
+                cluster.estimate(
+                    extra_items[0][0], extra_env, bundle=names[0]
+                )
+            except ReproError:
+                errors += 1
+            ttfe_ms = (time.perf_counter() - start) * 1000.0
+            window = LatencyHistogram()
+            for plan, env in (items * 2)[:window_requests]:
+                begin = time.perf_counter()
+                try:
+                    cluster.estimate(plan, env, bundle=names[0])
+                except ReproError:
+                    errors += 1
+                    continue
+                window.record((time.perf_counter() - begin) * 1000.0)
+            return ttfe_ms, window, errors
+
+        # Cold restart first, warm second: same machine state, same
+        # probe sequence, so the comparison is head-to-head.
+        cluster.restart_shard(victim)
+        cold_ttfe_ms, cold_window, cold_errors = _boot_probe()
+        warm_restored = cluster.restart_shard(victim, checkpoint_dir=ckpt_dir)
+        warm_ttfe_ms, warm_window, warm_errors = _boot_probe()
+
+        restored_service = cluster.shard(victim).service
+        restored_counters = restored_service.counters()
+        restored_bundles = restored_counters["registry"][
+            "restored_from_checkpoint"
+        ]
+        restored_pred = restored_service.estimate_many(
+            probe_plans, envs[0], bundle=names[0]
+        )
+        bit_identical = int(np.array_equal(reference, restored_pred))
+    finally:
+        cluster.close()
+        shutil.rmtree(ckpt_dir, ignore_errors=True)
+
+    cold_p95 = cold_window.summary()["p95"]
+    warm_p95 = warm_window.summary()["p95"]
+    return load_metrics(
+        result.latency,
+        result.elapsed_s,
+        result.issued,
+        result.errors + cold_errors + warm_errors,
+        counters=delta,
+        per_tenant=result.per_tenant,
+        extra={
+            "checkpoint_bytes": checkpoint_bytes,
+            "cold_ttfe_ms": cold_ttfe_ms,
+            "warm_ttfe_ms": warm_ttfe_ms,
+            # The headline gate: the warm boot must reach its first
+            # estimate strictly faster than the same-run cold boot.
+            "ttfe_ratio": warm_ttfe_ms / max(cold_ttfe_ms, 1e-9),
+            "warm_faster_ttfe": int(warm_ttfe_ms < cold_ttfe_ms),
+            "cold_first_window_p95_ms": cold_p95,
+            "warm_first_window_p95_ms": warm_p95,
+            "first_window_p95_ratio": warm_p95 / max(cold_p95, 1e-9),
+            # 0/1 structure flags: the restore really happened and the
+            # restored replica predicts exactly what the dead one did.
+            "warm_restored": int(warm_restored),
+            "restored_any": int(restored_bundles >= 1),
+            "bit_identical": bit_identical,
+            "restored_bundles": restored_bundles,
+            "ejections": delta["cluster"]["ejections"],
+            "reroutes": delta["cluster"]["reroutes"],
+            "behind_schedule": result.behind_schedule,
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # the registry contents
 # ----------------------------------------------------------------------
@@ -1006,6 +1164,25 @@ register(Scenario(
     ),
     quick_overrides=dict(
         plans=48, epochs=2, duration_s=1.5, rate_rps=80.0,
+    ),
+))
+
+register(Scenario(
+    name="warm-restart",
+    kind="warm_restart",
+    description="A replica killed mid-run, restarted cold vs restored "
+    "from checkpoint: warm boot must win time-to-first-estimate and "
+    "predict bit-identically.",
+    smoke=True,
+    params=dict(
+        benchmark="sysbench", model="qppnet", env_count=2, plans=96,
+        epochs=4, shards=2, tenant_count=2, threads=4, rate_rps=250.0,
+        duration_s=2.0, kill_after_s=0.7, window_requests=48,
+        failure_threshold=3,
+    ),
+    quick_overrides=dict(
+        plans=48, epochs=2, duration_s=1.0, rate_rps=150.0,
+        window_requests=32,
     ),
 ))
 

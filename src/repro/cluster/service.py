@@ -138,6 +138,10 @@ class ClusterService:
             lambda shard_id: CostService(**service_kwargs)
         )
         self.router = ShardRouter(shard_ids, failure_threshold=failure_threshold)
+        #: Kept for replica replacement: :meth:`restart_shard` builds
+        #: the replacement service exactly like the original.
+        self._factory = factory
+        self._max_inflight = max_inflight_per_shard
         self._shards: Dict[str, ClusterShard] = {
             shard_id: ClusterShard(
                 shard_id, factory(shard_id), max_inflight_per_shard
@@ -147,6 +151,10 @@ class ClusterService:
         self.stats = ClusterStats(self.router.shard_ids())
         self._lock = threading.Lock()
         self._deployed: List[str] = []
+        #: Last-deployed bundle object per name: a cold replica restart
+        #: re-deploys these when no checkpoint (or a dead one) is
+        #: available.
+        self._bundle_objects: Dict[str, EstimatorBundle] = {}
 
     # ------------------------------------------------------------------
     # deployment
@@ -167,6 +175,7 @@ class ClusterService:
         with self._lock:
             if key not in self._deployed:
                 self._deployed.append(key)
+            self._bundle_objects[key] = bundle
         return key
 
     def deployed_names(self) -> List[str]:
@@ -407,6 +416,90 @@ class ClusterService:
         """Remove *shard_id* from routing immediately (no failures
         needed — an operator or external health probe decision)."""
         self.router.eject(shard_id)
+
+    def restart_shard(
+        self, shard_id: str, checkpoint_dir=None
+    ) -> bool:
+        """Replace *shard_id*'s replica with a fresh service and bring
+        it back into routing — the per-replica warm-restart path.
+
+        With *checkpoint_dir*, the fresh replica first tries a warm
+        boot (:meth:`~repro.serving.CostService.restore`); a corrupt or
+        version-mismatched checkpoint fails over to a cold start, never
+        an error.  Either way, any deployed bundle the boot did not
+        restore is re-deployed from the cluster's retained copies, so
+        the replica always serves every tenant.  Returns True on a warm
+        boot.  Intended for a killed/ejected replica: in-flight
+        requests on a live replica are not drained first.
+        """
+        shard = self._shard(shard_id)
+        old = shard.service
+        fresh = self._factory(shard_id)
+        warm = False
+        if checkpoint_dir is not None:
+            warm = fresh.restore(checkpoint_dir)
+        with self._lock:
+            retained = dict(self._bundle_objects)
+        for name, bundle in retained.items():
+            if name not in fresh.registry:
+                fresh.deploy(bundle, name=name)
+        shard.service = fresh
+        shard.killed = False
+        self.router.recover(shard_id)
+        old.close()
+        return warm
+
+    # ------------------------------------------------------------------
+    # durability (repro.persist)
+    # ------------------------------------------------------------------
+    def save(self, directory, retain: int = 3) -> Dict[str, object]:
+        """Checkpoint every replica under ``directory/<shard_id>/``;
+        returns {shard_id: new checkpoint path}."""
+        import pathlib
+
+        base = pathlib.Path(directory)
+        return {
+            shard_id: shard.service.save(base / shard_id, retain=retain)
+            for shard_id, shard in sorted(self._shards.items())
+        }
+
+    def restore(self, directory) -> Dict[str, bool]:
+        """Warm-boot every replica from ``directory/<shard_id>/``;
+        returns {shard_id: warm?}.
+
+        Replicas whose checkpoints are missing or unloadable stay cold
+        (False) — but never empty: each bundle any warm replica
+        restored is re-deployed onto the replicas that lack it (its
+        newest restored copy), so every tenant is servable everywhere
+        and the failover invariant holds after a partial restore.
+        Warm replicas are untouched — their restored versions (and the
+        version-keyed caches behind them) stay intact.  The cluster's
+        deployment bookkeeping (routing keys, retained bundle copies)
+        is rebuilt from the restored registries.
+        """
+        import pathlib
+
+        base = pathlib.Path(directory)
+        warm = {
+            shard_id: shard.service.restore(base / shard_id)
+            for shard_id, shard in sorted(self._shards.items())
+        }
+        donors: Dict[str, EstimatorBundle] = {}
+        for shard_id, shard in sorted(self._shards.items()):
+            for bundle in shard.service.registry.export_bundles():
+                best = donors.get(bundle.name)
+                if best is None or bundle.version > best.version:
+                    donors[bundle.name] = bundle
+        for shard_id, shard in sorted(self._shards.items()):
+            for name, bundle in donors.items():
+                if name not in shard.service.registry:
+                    shard.service.deploy(bundle, name=name)
+        with self._lock:
+            for name, bundle in donors.items():
+                if name not in self._deployed:
+                    self._deployed.append(name)
+                self._bundle_objects.setdefault(name, bundle)
+        return warm
 
     def _shard(self, shard_id: str) -> ClusterShard:
         try:

@@ -64,6 +64,43 @@ class FeatureSnapshot:
             raise SnapshotError(f"snapshot has no coefficients for {node.op}")
         return FORMULAS[node.op].predict(coeffs, operator_inputs(node, catalog))
 
+    # ------------------------------------------------------------------
+    # serialization (operator types stored by value; arrays stay
+    # arrays so the persist layer keeps coefficients byte-exact)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """The snapshot's full state as plain data + arrays."""
+        return {
+            "env_name": self.env_name,
+            "coefficients": {
+                op.value: coeffs for op, coeffs in self.coefficients.items()
+            },
+            "residuals": {
+                op.value: float(res) for op, res in self.residuals.items()
+            },
+            "source": self.source,
+            "collection_ms": float(self.collection_ms),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "FeatureSnapshot":
+        """Rebuild a snapshot from :meth:`state_dict` output."""
+        try:
+            snapshot = cls(
+                env_name=str(state["env_name"]),
+                source=str(state.get("source", "original")),
+                collection_ms=float(state.get("collection_ms", 0.0)),
+            )
+            for op, coeffs in dict(state.get("coefficients", {})).items():
+                snapshot.coefficients[OperatorType(op)] = np.asarray(
+                    coeffs, dtype=np.float64
+                )
+            for op, res in dict(state.get("residuals", {})).items():
+                snapshot.residuals[OperatorType(op)] = float(res)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"invalid FeatureSnapshot state: {exc}") from exc
+        return snapshot
+
 
 class SnapshotSet:
     """Snapshots for many environments, with cross-env normalisation.
@@ -112,6 +149,22 @@ class SnapshotSet:
         merged = dict(self._by_env)
         merged[snapshot.env_name] = snapshot
         return SnapshotSet(merged.values())
+
+    def state_dict(self) -> Dict[str, object]:
+        """Member snapshots as plain data (normalisation statistics are
+        derived, so they are recomputed — identically — on restore)."""
+        return {
+            "snapshots": [snap.state_dict() for snap in self.snapshots()]
+        }
+
+    @classmethod
+    def from_state(cls, state: "Mapping[str, object]") -> "SnapshotSet":
+        """Rebuild a set from :meth:`state_dict` output."""
+        try:
+            members = list(state["snapshots"])
+        except (KeyError, TypeError) as exc:
+            raise SnapshotError(f"invalid SnapshotSet state: {exc}") from exc
+        return cls(FeatureSnapshot.from_state(member) for member in members)
 
     def normalized(self, env_name: str) -> Dict[OperatorType, np.ndarray]:
         """Standardised coefficient mapping for *env_name*."""

@@ -41,6 +41,17 @@ class ServingError(ReproError):
     """The online estimation service was misused or misconfigured."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read or applied (including
+    unknown schema versions and state the running build cannot
+    rebuild)."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file failed an integrity check: bad magic, a
+    truncated manifest or payload, or a blob hash mismatch."""
+
+
 class ClusterError(ServingError):
     """The sharded serving tier could not route or serve a request."""
 

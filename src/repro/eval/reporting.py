@@ -32,6 +32,7 @@ def render_serving_report(
     stages: Sequence[Tuple[str, int, float, float]],
     caches: Sequence[Tuple[str, int, int, float]],
     adaptation: Sequence[Tuple[str, object]] = (),
+    persist: Sequence[Tuple[str, object]] = (),
 ) -> str:
     """Serving metrics in the repo's table style.
 
@@ -40,7 +41,8 @@ def render_serving_report(
     :meth:`repro.serving.ServiceStats.stage_rows`; ``caches`` rows are
     (cache, hits, misses, hit rate); ``adaptation`` rows are
     (counter, value) as produced by
-    :meth:`repro.serving.AdaptationStats.rows`.
+    :meth:`repro.serving.AdaptationStats.rows`; ``persist`` rows are
+    (counter, value) warm-boot/restore counters.
     """
     sections = []
     if throughput:
@@ -76,6 +78,37 @@ def render_serving_report(
     if adaptation:
         sections.append(
             format_table(["adaptation", "value"], list(adaptation))
+        )
+    if persist:
+        sections.append(format_table(["persist", "value"], list(persist)))
+    return "\n\n".join(sections)
+
+
+def render_persist_report(
+    checkpoints: Sequence[Tuple[str, int, int, str]],
+    counters: Dict[str, object],
+) -> str:
+    """Checkpoint/restore state in the repo's table style.
+
+    ``checkpoints`` rows are (file, seq, bytes, schema) — typically
+    built from :func:`repro.persist.list_checkpoints` +
+    :func:`repro.persist.read_manifest`; ``counters`` maps
+    checkpointer/restore counters (writes, skipped_clean, errors,
+    bundles/snapshots restored) to values.
+    """
+    sections = []
+    if checkpoints:
+        sections.append(
+            format_table(
+                ["checkpoint", "seq", "bytes", "schema"], list(checkpoints)
+            )
+        )
+    if counters:
+        sections.append(
+            format_table(
+                ["persist", "value"],
+                [(key, value) for key, value in sorted(counters.items())],
+            )
         )
     return "\n\n".join(sections)
 

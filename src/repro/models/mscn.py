@@ -146,6 +146,58 @@ class MSCN(CostEstimator):
         return int(sum(p.size for p in self.parameters()))
 
     # ------------------------------------------------------------------
+    # checkpoint serialization (repro.persist)
+    # ------------------------------------------------------------------
+    _NET_NAMES = ("table_net", "join_net", "pred_net", "out_net")
+
+    def state_dict(self) -> Dict[str, object]:
+        """Architecture config, global mask and the four nets' weights.
+
+        The encoder is rebuilt from the benchmark catalog on restore
+        (see :meth:`repro.models.qppnet.QPPNet.state_dict`).
+        """
+        return {
+            "kind": "mscn",
+            "config": {
+                "hidden": self.hidden,
+                "lr": self.lr,
+                "epochs": self.epochs,
+                "batch_size": self.batch_size,
+                "seed": self.seed,
+            },
+            "global_mask": (
+                None
+                if self.global_mask is None
+                else np.asarray(self.global_mask, dtype=bool)
+            ),
+            "nets": {
+                name: getattr(self, name).state_dict()
+                for name in self._NET_NAMES
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state, encoder: MSCNEncoder) -> "MSCN":
+        """Rebuild from :meth:`state_dict` output + a rebuilt encoder;
+        restored weights are installed verbatim (bit-identical)."""
+        config = dict(state.get("config", {}))
+        mask = state.get("global_mask")
+        model = cls(
+            encoder,
+            hidden=int(config.get("hidden", 64)),
+            lr=float(config.get("lr", 1e-3)),
+            epochs=int(config.get("epochs", 40)),
+            batch_size=int(config.get("batch_size", 64)),
+            seed=int(config.get("seed", 0)),
+            global_mask=None if mask is None else np.asarray(mask, dtype=bool),
+        )
+        for name, arrays in dict(state.get("nets", {})).items():
+            if name not in cls._NET_NAMES:
+                raise TrainingError(f"unknown MSCN net {name!r} in state")
+            getattr(model, name).load_state_dict(arrays)
+        return model
+
+    # ------------------------------------------------------------------
     def _encode(
         self, record: LabeledPlan, snapshot_set: Optional["SnapshotSet"]
     ) -> MSCNSample:

@@ -59,3 +59,21 @@ class PostgresCostEstimator(CostEstimator):
     ) -> np.ndarray:
         costs = np.array([record.plan.est_total_cost for record in labeled])
         return costs * self._scale
+
+    # ------------------------------------------------------------------
+    # checkpoint serialization (repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The whole model: the calibration flag and fitted scale."""
+        return {
+            "kind": "postgres",
+            "calibrated": self.calibrated,
+            "scale": float(self._scale),
+        }
+
+    @classmethod
+    def from_state(cls, state) -> "PostgresCostEstimator":
+        """Rebuild from :meth:`state_dict` output."""
+        model = cls(calibrated=bool(state.get("calibrated", False)))
+        model._scale = float(state.get("scale", 1.0))
+        return model

@@ -189,6 +189,64 @@ class QPPNet(CostEstimator):
         return int(sum(p.size for p in self.parameters()))
 
     # ------------------------------------------------------------------
+    # checkpoint serialization (repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Architecture config, masks and per-operator unit weights.
+
+        The encoder is *not* serialized: it is deterministic from the
+        benchmark catalog, which the bundle state names, so
+        :meth:`from_state` rebuilds it instead of persisting hundreds
+        of feature-name strings per checkpoint.
+        """
+        return {
+            "kind": "qppnet",
+            "config": {
+                "data_size": self.data_size,
+                "hidden": list(self.hidden),
+                "lr": self.lr,
+                "epochs": self.epochs,
+                "batch_size": self.batch_size,
+                "seed": self.seed,
+            },
+            "masks": {
+                op.value: mask.astype(bool) for op, mask in self.masks.items()
+            },
+            "units": {
+                op.value: unit.state_dict() for op, unit in self.units.items()
+            },
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Mapping[str, object], encoder: OperatorEncoder
+    ) -> "QPPNet":
+        """Rebuild from :meth:`state_dict` output + a rebuilt encoder.
+
+        Restored weights are installed verbatim (shape-checked by
+        :meth:`repro.nn.layers.Module.load_state_dict`), so the
+        restored model predicts bit-identically to the serialized one.
+        """
+        config = dict(state.get("config", {}))
+        masks = {
+            OperatorType(op): np.asarray(mask, dtype=bool)
+            for op, mask in dict(state.get("masks", {})).items()
+        }
+        model = cls(
+            encoder,
+            data_size=int(config.get("data_size", 8)),
+            hidden=tuple(int(h) for h in config.get("hidden", (64, 64))),
+            lr=float(config.get("lr", 1e-3)),
+            epochs=int(config.get("epochs", 25)),
+            batch_size=int(config.get("batch_size", 32)),
+            seed=int(config.get("seed", 0)),
+            masks=masks,
+        )
+        for op, arrays in dict(state.get("units", {})).items():
+            model.units[OperatorType(op)].load_state_dict(arrays)
+        return model
+
+    # ------------------------------------------------------------------
     # featurization
     # ------------------------------------------------------------------
     def _encode_record(

@@ -1,0 +1,193 @@
+"""The background checkpointing loop: interval + dirty-triggered.
+
+A :class:`Checkpointer` owns one service's durability: every
+``interval_s`` it wakes, asks the service for a cheap *dirty token*
+(registry versions, store/cache sizes, adaptation window fill — no
+weights touched), and only when the token moved since the last
+successful write does it serialize a full checkpoint through
+:func:`repro.persist.checkpoint.write_retained` (atomic
+write-temp-then-rename, bounded retention).  A clean service costs one
+tuple comparison per interval, not a multi-megabyte serialization.
+
+``mark_dirty()`` forces the next wake to write regardless of the
+token; ``checkpoint_now()`` writes synchronously (the warm-restart
+bench and shutdown hooks use it).  Write failures are counted and
+swallowed — a full disk must degrade durability, never serving — and
+the previous retained checkpoints stay untouched because the atomic
+rename never replaces a good file with a partial one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+import pathlib
+
+from ..errors import CheckpointError
+from .checkpoint import write_retained
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..serving.service import CostService
+
+
+def dirty_token(service: "CostService") -> tuple:
+    """A cheap, hashable summary of the service's persistable state.
+
+    Changes whenever something a checkpoint covers changes: a deploy or
+    hot-swap (registry versions), a new fitted snapshot (store size), a
+    new prepared encoding (cache size) or fresh feedback (adaptation
+    window sizes).  Collisions only delay a write by one interval.
+    """
+    registry = service.registry
+    token = (
+        tuple(sorted(registry.versions_snapshot().items())),
+        len(service.snapshot_store) if service.snapshot_store is not None else -1,
+        len(service.cache),
+        tuple(
+            sorted(
+                (watcher.name, watcher.window_size())
+                for watcher in service.adaptation.watchers()
+            )
+        )
+        if service.adaptation is not None
+        else (),
+    )
+    return token
+
+
+class Checkpointer:
+    """Periodically checkpoints one :class:`CostService` to a directory."""
+
+    def __init__(
+        self,
+        service: "CostService",
+        directory: "pathlib.Path | str",
+        interval_s: float = 30.0,
+        retain: int = 3,
+        background: bool = True,
+    ):
+        """Start checkpointing *service* into *directory*.
+
+        ``interval_s`` is the wake period; ``retain`` bounds how many
+        numbered checkpoints are kept.  With ``background=False`` no
+        thread starts and writes happen only on explicit
+        :meth:`checkpoint_now` calls (deterministic mode for tests).
+        """
+        if interval_s <= 0:
+            raise CheckpointError(
+                f"checkpoint interval must be > 0, got {interval_s}"
+            )
+        self.service = service
+        self.directory = pathlib.Path(directory)
+        self.interval_s = float(interval_s)
+        self.retain = int(retain)
+        self._cond = threading.Condition()
+        self._closed = False
+        self._dirty = False
+        self._last_token: Optional[tuple] = None
+        self._stats_lock = threading.Lock()
+        self.writes = 0
+        self.skipped_clean = 0
+        self.errors = 0
+        self.last_write_unix = 0.0
+        self.last_path: Optional[pathlib.Path] = None
+        self._thread: Optional[threading.Thread] = None
+        if background:
+            self._thread = threading.Thread(
+                target=self._run, name="checkpointer", daemon=True
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------
+    def mark_dirty(self) -> None:
+        """Force a write on the next wake (and wake the loop now)."""
+        with self._cond:
+            self._dirty = True
+            self._cond.notify_all()
+
+    def checkpoint_now(self, force: bool = False) -> Optional[pathlib.Path]:
+        """Write a checkpoint synchronously if the service is dirty (or
+        *force*); returns the new path, or None when skipped clean.
+        Write failures are swallowed into the ``errors`` counter —
+        callers needing the exception should call
+        :meth:`repro.serving.CostService.save` directly."""
+        with self._cond:
+            forced = force or self._dirty
+            self._dirty = False
+        token = dirty_token(self.service)
+        if not forced and token == self._last_token:
+            with self._stats_lock:
+                self.skipped_clean += 1
+            return None
+        try:
+            path = write_retained(
+                self.service.state_dict(),
+                self.directory,
+                retain=self.retain,
+                meta={"kind": "cost_service"},
+            )
+        except Exception:
+            # Keep the write owed: a mark_dirty() whose state change the
+            # token cannot see must survive a transient failure (disk
+            # full), or the change would never be persisted once the
+            # disk recovers.
+            if forced:
+                with self._cond:
+                    self._dirty = True
+            with self._stats_lock:
+                self.errors += 1
+            return None
+        self._last_token = token
+        with self._stats_lock:
+            self.writes += 1
+            self.last_write_unix = time.time()
+            self.last_path = path
+        return path
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Write/skip/error counters, copied under the stats lock."""
+        with self._stats_lock:
+            return {
+                "writes": self.writes,
+                "skipped_clean": self.skipped_clean,
+                "errors": self.errors,
+                "last_write_unix": self.last_write_unix,
+                "last_path": str(self.last_path) if self.last_path else None,
+            }
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:  # pragma: no cover - exercised via threads
+        """The loop: sleep an interval (or until marked dirty), write."""
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+                self._cond.wait(self.interval_s)
+                if self._closed:
+                    return
+            self.checkpoint_now()
+
+    def close(self, final_checkpoint: bool = False) -> None:
+        """Stop the loop (optionally writing one last checkpoint)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        if final_checkpoint:
+            self.checkpoint_now()
+
+    def __enter__(self) -> "Checkpointer":
+        """Context-manager entry (returns self)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: stop the loop."""
+        self.close()
+
+
+__all__ = ["Checkpointer", "dirty_token"]

@@ -1,0 +1,308 @@
+"""State-tree codec: JSON-safe manifests plus binary array blobs.
+
+Checkpoints separate *structure* from *weights*: the structure (model
+configs, mask layouts, counters, plan trees) is a plain JSON tree in
+the manifest, while every ``numpy`` array is hoisted into a binary
+blob and replaced by a ``{"__ndarray__": {...}}`` reference.  The
+split keeps manifests human-inspectable (``python -m json.tool`` on
+the manifest region shows exactly what a checkpoint holds) and keeps
+float64 weights byte-exact — no text round-trip, so a restored model
+predicts **bit-identically**.
+
+The codec is deliberately strict: it encodes exactly the types the
+serving stack's ``state_dict()`` forms produce (None, bool, int,
+float, str, list/tuple, str-keyed dict, numpy scalars and arrays) and
+raises :class:`~repro.errors.CheckpointError` on anything else, so a
+new unserializable field fails at *save* time instead of producing a
+checkpoint that cannot restore.
+
+Plan trees get their own explicit codec (:func:`plan_to_state` /
+:func:`plan_from_state`): the adaptation loop's feedback windows hold
+:class:`~repro.engine.executor.LabeledPlan` records whose per-node
+actual times are the refit training targets, so those fields must
+survive a restart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..catalog.statistics import Predicate
+from ..engine.executor import LabeledPlan
+from ..engine.operators import OperatorType, PlanNode
+from ..errors import CheckpointCorruptError, CheckpointError
+
+#: The manifest key marking an encoded array reference.
+ARRAY_KEY = "__ndarray__"
+
+
+class BlobStore:
+    """Accumulates array payloads on encode; resolves references on
+    decode.
+
+    Blobs are raw ``ndarray.tobytes()`` payloads, ordered by reference
+    index; the checkpoint container (:mod:`repro.persist.checkpoint`)
+    owns their on-disk layout and integrity hashes.
+    """
+
+    def __init__(self, blobs: Optional[Sequence[bytes]] = None):
+        """Start empty (encoding) or over *blobs* (decoding)."""
+        self.blobs: List[bytes] = list(blobs or [])
+
+    def add(self, array: np.ndarray) -> Dict[str, object]:
+        """Store *array*'s bytes; returns its manifest reference."""
+        arr = np.ascontiguousarray(array)
+        index = len(self.blobs)
+        self.blobs.append(arr.tobytes())
+        return {
+            ARRAY_KEY: {
+                "blob": index,
+                "dtype": str(arr.dtype),
+                "shape": list(arr.shape),
+            }
+        }
+
+    def get(self, ref: Mapping[str, object]) -> np.ndarray:
+        """The array behind manifest reference *ref* (validated)."""
+        try:
+            spec = dict(ref[ARRAY_KEY])
+            index = int(spec["blob"])
+            dtype = np.dtype(str(spec["dtype"]))
+            shape = tuple(int(dim) for dim in spec["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed array reference {ref!r}") from exc
+        if not 0 <= index < len(self.blobs):
+            raise CheckpointCorruptError(
+                f"array reference points at blob {index}, "
+                f"checkpoint has {len(self.blobs)}"
+            )
+        data = self.blobs[index]
+        expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        if len(data) != expected:
+            raise CheckpointCorruptError(
+                f"blob {index} holds {len(data)} bytes, "
+                f"dtype/shape require {expected}"
+            )
+        return np.frombuffer(data, dtype=dtype).reshape(shape).copy()
+
+
+def encode_state(value: object, store: BlobStore) -> object:
+    """Recursively encode *value* into JSON-safe data, hoisting arrays
+    into *store*.  Raises :class:`CheckpointError` on types the format
+    does not cover."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return store.add(value)
+    if isinstance(value, (list, tuple)):
+        return [encode_state(item, store) for item in value]
+    if isinstance(value, Mapping):
+        out: Dict[str, object] = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CheckpointError(
+                    f"checkpoint dict keys must be str, got {type(key).__name__} "
+                    f"({key!r}); convert enum/typed keys before encoding"
+                )
+            if key == ARRAY_KEY:
+                raise CheckpointError(
+                    f"dict key {ARRAY_KEY!r} is reserved for array references"
+                )
+            out[key] = encode_state(item, store)
+        return out
+    raise CheckpointError(
+        f"cannot serialize {type(value).__name__} into a checkpoint"
+    )
+
+
+def decode_state(value: object, store: BlobStore) -> object:
+    """Inverse of :func:`encode_state`: resolve array references via
+    *store*, recurse through lists and dicts."""
+    if isinstance(value, dict):
+        if ARRAY_KEY in value:
+            return store.get(value)
+        return {key: decode_state(item, store) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_state(item, store) for item in value]
+    return value
+
+
+# ----------------------------------------------------------------------
+# plan trees and labelled records
+# ----------------------------------------------------------------------
+def _predicate_to_state(predicate: Predicate) -> Dict[str, object]:
+    value = predicate.value
+    if isinstance(value, tuple):
+        value = list(value)
+    return {
+        "table": predicate.table,
+        "column": predicate.column,
+        "op": predicate.op,
+        "value": value,
+    }
+
+
+def _predicate_from_state(state: Mapping[str, object]) -> Predicate:
+    value = state.get("value")
+    if isinstance(value, list):
+        # BETWEEN/IN values are tuples in live predicates; restoring
+        # the exact type keeps reprs (and plan fingerprints) stable.
+        value = tuple(value)
+    return Predicate(
+        table=str(state["table"]),
+        column=str(state["column"]),
+        op=str(state["op"]),
+        value=value,
+    )
+
+
+def plan_to_state(plan: PlanNode) -> Dict[str, object]:
+    """A plan tree as plain data, covering every field featurization
+    or refit training reads (estimates, actuals, structure)."""
+    return {
+        "op": plan.op.value,
+        "table": plan.table,
+        "index": plan.index,
+        "predicates": [_predicate_to_state(p) for p in plan.predicates],
+        "sort_keys": list(plan.sort_keys),
+        "join_columns": list(plan.join_columns),
+        "group_keys": list(plan.group_keys),
+        "limit_count": plan.limit_count,
+        "est_rows": plan.est_rows,
+        "est_width": plan.est_width,
+        "est_startup_cost": plan.est_startup_cost,
+        "est_total_cost": plan.est_total_cost,
+        "true_rows": plan.true_rows,
+        "actual_ms": plan.actual_ms,
+        "actual_total_ms": plan.actual_total_ms,
+        "children": [plan_to_state(child) for child in plan.children],
+    }
+
+
+def plan_from_state(state: Mapping[str, object]) -> PlanNode:
+    """Rebuild a plan tree from :func:`plan_to_state` output."""
+    try:
+        node = PlanNode(
+            op=OperatorType(str(state["op"])),
+            children=[plan_from_state(c) for c in state.get("children", [])],
+            table=state.get("table"),
+            index=state.get("index"),
+            predicates=[
+                _predicate_from_state(p) for p in state.get("predicates", [])
+            ],
+            sort_keys=tuple(state.get("sort_keys", ())),
+            join_columns=tuple(state.get("join_columns", ())),
+            group_keys=tuple(state.get("group_keys", ())),
+            limit_count=state.get("limit_count"),
+            est_rows=float(state.get("est_rows", 0.0)),
+            est_width=int(state.get("est_width", 0)),
+            est_startup_cost=float(state.get("est_startup_cost", 0.0)),
+            est_total_cost=float(state.get("est_total_cost", 0.0)),
+        )
+    except CheckpointError:
+        raise
+    except Exception as exc:  # malformed state must stay a clean error
+        raise CheckpointError(f"invalid plan state: {exc}") from exc
+    node.true_rows = float(state.get("true_rows", 0.0))
+    node.actual_ms = float(state.get("actual_ms", 0.0))
+    node.actual_total_ms = float(state.get("actual_total_ms", 0.0))
+    return node
+
+
+def labeled_plan_to_state(record: LabeledPlan) -> Dict[str, object]:
+    """A feedback/training record as plain data."""
+    return {
+        "plan": plan_to_state(record.plan),
+        "latency_ms": record.latency_ms,
+        "env_name": record.env_name,
+        "query_sql": record.query_sql,
+        "template": record.template,
+    }
+
+
+def labeled_plan_from_state(state: Mapping[str, object]) -> LabeledPlan:
+    """Rebuild a record from :func:`labeled_plan_to_state` output."""
+    try:
+        return LabeledPlan(
+            plan=plan_from_state(dict(state["plan"])),
+            latency_ms=float(state["latency_ms"]),
+            env_name=str(state["env_name"]),
+            query_sql=str(state.get("query_sql", "")),
+            template=str(state.get("template", "")),
+        )
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(f"invalid labelled-plan state: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# prepared feature-cache values
+# ----------------------------------------------------------------------
+def encode_prepared(value: object) -> Optional[Dict[str, object]]:
+    """A feature-cache prepared value as plain data, or None when the
+    form is not one the codec recognises (such entries are skipped —
+    cache warmth is an optimisation, not an obligation)."""
+    from ..featurization.mscn_features import MSCNSample
+
+    if value is None:
+        return {"kind": "none"}
+    if isinstance(value, np.ndarray):
+        return {"kind": "array", "value": value}
+    if isinstance(value, (list, tuple)) and all(
+        isinstance(item, np.ndarray) for item in value
+    ):
+        return {"kind": "array_list", "values": list(value)}
+    if isinstance(value, MSCNSample):
+        return {
+            "kind": "mscn_sample",
+            "tables": value.tables,
+            "joins": value.joins,
+            "predicates": value.predicates,
+            "plan_global": value.plan_global,
+        }
+    return None
+
+
+def decode_prepared(state: Mapping[str, object]) -> object:
+    """Inverse of :func:`encode_prepared` (arrays already decoded)."""
+    from ..featurization.mscn_features import MSCNSample
+
+    kind = state.get("kind")
+    if kind == "none":
+        return None
+    if kind == "array":
+        return state["value"]
+    if kind == "array_list":
+        return list(state["values"])
+    if kind == "mscn_sample":
+        return MSCNSample(
+            tables=state["tables"],
+            joins=state["joins"],
+            predicates=state["predicates"],
+            plan_global=state["plan_global"],
+        )
+    raise CheckpointError(f"unknown prepared-value kind {kind!r}")
+
+
+#: Tuple export for callers that need every codec entry point.
+__all__ = [
+    "ARRAY_KEY",
+    "BlobStore",
+    "decode_prepared",
+    "decode_state",
+    "encode_prepared",
+    "encode_state",
+    "labeled_plan_from_state",
+    "labeled_plan_to_state",
+    "plan_from_state",
+    "plan_to_state",
+]

@@ -224,6 +224,13 @@ class BundleWatcher:
         with self._lock:
             return len(self._window)
 
+    def restore_window(self, records: List[LabeledPlan]) -> None:
+        """Replace the retraining window with checkpoint-restored
+        *records* (oldest first; the deque bound still applies)."""
+        with self._lock:
+            self._window.clear()
+            self._window.extend(records)
+
 
 class AdaptationManager:
     """Owns the watchers and the refit worker for one CostService."""
@@ -321,6 +328,39 @@ class AdaptationManager:
             np.array_equal(recall.masks[op], np.asarray(mask, dtype=bool))
             for op, mask in masks.items()
         )
+
+    def restore_watcher(
+        self,
+        name: str,
+        recall_state: Dict[str, object],
+        window: List[LabeledPlan],
+        drift_pending: bool = False,
+        miss_rate_pending: bool = False,
+    ) -> Optional[BundleWatcher]:
+        """Overwrite bundle *name*'s watcher with checkpoint state.
+
+        The watcher itself must already exist (restores run after the
+        bundle is re-installed, which attaches one via :meth:`watch`);
+        a checkpoint whose recall layout no longer matches the live
+        watcher's — the bundle was retrained offline with different
+        masks since the checkpoint — is skipped (returns None), exactly
+        like :meth:`watch` replaces stale watchers on redeploy.
+        Streaming drift statistics, flagged dimensions and the feedback
+        window all continue where the serialized loop left off.
+        """
+        watcher = self.watcher(name)
+        if watcher is None:
+            return None
+        restored = FeatureRecall.from_state(recall_state)
+        if list(restored.feature_names) != list(watcher.recall.feature_names):
+            return None
+        if set(restored.masks) != set(watcher.recall.masks):
+            return None
+        watcher.recall = restored
+        watcher.restore_window(window)
+        watcher.drift_pending = bool(drift_pending)
+        watcher.miss_rate_pending = bool(miss_rate_pending)
+        return watcher
 
     def watcher(self, name: str) -> Optional[BundleWatcher]:
         """The recall watcher attached to bundle *name* (None if

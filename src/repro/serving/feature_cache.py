@@ -157,6 +157,25 @@ class FeatureCache:
         inflight.set_result(value)
         return value
 
+    # ------------------------------------------------------------------
+    # checkpoint support (repro.persist)
+    # ------------------------------------------------------------------
+    def export_entries(self) -> "list[Tuple[str, object]]":
+        """``(key, prepared value)`` pairs, LRU → MRU order (a restore
+        replaying them in order reproduces the eviction order)."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def restore_entries(self, entries: "list[Tuple[str, object]]") -> int:
+        """Install checkpoint-restored *entries* in the given LRU
+        order, respecting capacity; returns how many were installed."""
+        installed = 0
+        with self._lock:
+            for key, value in entries:
+                self._store(str(key), value)
+                installed += 1
+        return installed
+
     def stats_snapshot(self) -> CacheStats:
         """A consistent copy of the counters.
 

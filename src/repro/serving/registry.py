@@ -84,6 +84,9 @@ class EstimatorRegistry:
         self._lock = threading.RLock()
         self._bundles: Dict[str, EstimatorBundle] = {}
         self._versions: Dict[str, int] = {}
+        #: Bundles installed by a checkpoint restore (observability:
+        #: lets bench metrics tell a warm boot from a cold one).
+        self._restored_from_checkpoint = 0
 
     # ------------------------------------------------------------------
     def register(
@@ -149,6 +152,50 @@ class EstimatorRegistry:
                 return self._bundles.pop(name)
             except KeyError:
                 raise ServingError(f"no bundle named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # checkpoint support (repro.persist)
+    # ------------------------------------------------------------------
+    def export_bundles(self) -> List[EstimatorBundle]:
+        """Every deployed bundle (point-in-time copy, name-sorted)."""
+        with self._lock:
+            return [self._bundles[name] for name in sorted(self._bundles)]
+
+    def versions_snapshot(self) -> Dict[str, int]:
+        """The per-name deployment counters (point-in-time copy)."""
+        with self._lock:
+            return dict(self._versions)
+
+    def install_restored(
+        self, bundle: EstimatorBundle, version_counter: Optional[int] = None
+    ) -> EstimatorBundle:
+        """Install a checkpoint-restored *bundle* at its recorded
+        version (no bump: caches keyed on (name, version) stay valid
+        across the restart) and advance the name's deployment counter
+        to *version_counter* so post-restore hot-swaps keep counting
+        where the serialized registry left off.
+        """
+        if not bundle.name:
+            raise ServingError("a restored bundle needs a non-empty name")
+        with self._lock:
+            self._bundles[bundle.name] = bundle
+            counter = max(
+                self._versions.get(bundle.name, 0),
+                bundle.version,
+                version_counter or 0,
+            )
+            self._versions[bundle.name] = counter
+            self._restored_from_checkpoint += 1
+            return bundle
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Registry observability counters, copied under the lock."""
+        with self._lock:
+            return {
+                "bundles": len(self._bundles),
+                "deployments": sum(self._versions.values()),
+                "restored_from_checkpoint": self._restored_from_checkpoint,
+            }
 
     # ------------------------------------------------------------------
     def names(self) -> List[str]:

@@ -349,6 +349,42 @@ class CostService:
         return batcher.submit((deployed, record, prepared))
 
     # ------------------------------------------------------------------
+    # durability (repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """The service's full persistable state (registry bundles at
+        their exact versions, snapshot store, feature cache, adaptation
+        drift state + feedback windows) as one encodable tree."""
+        from ..persist.service_state import service_state
+
+        return service_state(self)
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Apply a :meth:`state_dict` tree onto this service (restored
+        bundles keep their versions, so caches stay coherent)."""
+        from ..persist.service_state import restore_service
+
+        restore_service(self, state)
+
+    def save(self, directory, retain: int = 3):
+        """Write this service's state as the next retained checkpoint
+        under *directory*; returns the new checkpoint's path."""
+        from ..persist import save_service_checkpoint
+
+        return save_service_checkpoint(self, directory, retain=retain)
+
+    def restore(self, directory) -> bool:
+        """Warm-boot from the newest loadable checkpoint under
+        *directory*; True on success.  Corrupt or version-mismatched
+        checkpoints fail over to older retained ones, then to a cold
+        start (False) — a restart never crash-loops on damaged state.
+        """
+        from ..persist import restore_service_checkpoint
+
+        restored, _ = restore_service_checkpoint(self, directory)
+        return restored
+
+    # ------------------------------------------------------------------
     # adaptation plumbing
     # ------------------------------------------------------------------
     def _stream_to_adaptation(self, bundle_name: str, record: LabeledPlan) -> None:
@@ -465,6 +501,7 @@ class CostService:
         """
         out: Dict[str, object] = {
             "service": self.stats.snapshot(),
+            "registry": self.registry.stats_snapshot(),
             "feature_cache": dict(
                 self.cache.stats_snapshot().as_dict(), size=len(self.cache)
             ),
@@ -513,11 +550,28 @@ class CostService:
         adaptation_rows = (
             self.adaptation.stats.rows() if self.adaptation is not None else ()
         )
+        # Warm vs cold boots are observable: every restored component
+        # reports how much state a checkpoint handed it.
+        registry_stats = self.registry.stats_snapshot()
+        persist_rows: List[Tuple[str, object]] = [
+            (
+                "bundles restored",
+                registry_stats["restored_from_checkpoint"],
+            )
+        ]
+        if self.snapshot_store is not None:
+            persist_rows.append(
+                (
+                    "snapshots restored",
+                    self.snapshot_store.stats_snapshot().restored_from_checkpoint,
+                )
+            )
         return render_serving_report(
             throughput,
             self.stats.stage_rows(),
             cache_rows,
             adaptation=adaptation_rows,
+            persist=persist_rows,
         )
 
     def close(self) -> None:

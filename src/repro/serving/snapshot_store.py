@@ -85,7 +85,10 @@ class StoreStats:
 
     ``coalesced`` counts requests that found an identical knob
     signature already being fitted by another thread and waited for
-    that fit instead of running a duplicate.
+    that fit instead of running a duplicate.  ``restored_from_checkpoint``
+    counts entries installed by a warm boot (they are neither hits nor
+    misses — no lookup happened — but make warm vs cold boots
+    observable in reports and bench metrics).
     """
 
     hits: int = 0
@@ -93,6 +96,7 @@ class StoreStats:
     misses: int = 0
     evictions: int = 0
     coalesced: int = 0
+    restored_from_checkpoint: int = 0
 
     @property
     def requests(self) -> int:
@@ -225,6 +229,43 @@ class SnapshotStore:
         if snapshot.env_name == env.name:
             return snapshot
         return replace(snapshot, env_name=env.name)
+
+    # ------------------------------------------------------------------
+    # checkpoint support (repro.persist)
+    # ------------------------------------------------------------------
+    def export_entries(
+        self,
+    ) -> "list[Tuple[str, str, np.ndarray, FeatureSnapshot]]":
+        """``(namespace, signature, knob vector, snapshot)`` for every
+        cached entry, LRU → MRU order (so a restore replays the exact
+        eviction order)."""
+        with self._lock:
+            return [
+                (ns, sig, vector.copy(), snapshot)
+                for (ns, sig), (vector, snapshot) in self._entries.items()
+            ]
+
+    def restore_entries(
+        self,
+        entries: "list[Tuple[str, str, np.ndarray, FeatureSnapshot]]",
+    ) -> int:
+        """Install checkpoint-restored *entries* (in the given LRU
+        order), respecting capacity; returns how many were installed
+        and counts them under ``restored_from_checkpoint``."""
+        installed = 0
+        with self._lock:
+            for namespace, signature, vector, snapshot in entries:
+                key = (str(namespace), str(signature))
+                self._entries[key] = (
+                    np.asarray(vector, dtype=np.float64),
+                    snapshot,
+                )
+                self._entries.move_to_end(key)
+                installed += 1
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+            self.stats.restored_from_checkpoint += installed
+        return installed
 
     def stats_snapshot(self) -> StoreStats:
         """A consistent copy of the counters (see

@@ -138,7 +138,13 @@ class SqlParser:
                 order_by = self._parse_order_list(stream, tables)
             elif word == "limit":
                 stream.next()
-                limit = int(stream.next())
+                tok = stream.next()
+                try:
+                    limit = int(tok)
+                except ValueError:
+                    raise ParseError(
+                        f"LIMIT expects an integer, found {tok!r}"
+                    ) from None
             else:
                 raise ParseError(f"unexpected token {stream.peek()!r}")
         return SelectQuery(

@@ -37,6 +37,7 @@ def test_registry_has_the_advertised_scenarios():
         "drift-under-load",
         "shard-failover",
         "hot-tenant-isolation",
+        "warm-restart",
     }
     assert set(smoke) <= set(names)
 

@@ -1,0 +1,108 @@
+"""Regenerate the committed golden checkpoint (NOT collected by pytest).
+
+The golden files under ``tests/persist/golden/`` pin the *on-disk
+format*: ``test_golden.py`` restores them with the current code, so a
+PR that silently changes the container framing, the codec's array
+references or the component state shapes breaks loudly instead of
+corrupting every deployed checkpoint.
+
+Run only when the schema version is deliberately bumped::
+
+    PYTHONPATH=src python tests/persist/make_golden.py
+
+and commit the regenerated files together with the schema change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.core import QCFE, QCFEConfig  # noqa: E402
+from repro.engine.environment import random_environments  # noqa: E402
+from repro.models.postgres import PostgresCostEstimator  # noqa: E402
+from repro.persist.checkpoint import SCHEMA_VERSION, save_checkpoint  # noqa: E402
+from repro.persist.service_state import service_state  # noqa: E402
+from repro.serving import CostService, EstimatorBundle, SnapshotStore  # noqa: E402
+from repro.workload.collect import collect_labeled_plans, get_benchmark  # noqa: E402
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+#: Everything the golden build depends on, pinned (also imported by
+#: the test so generation and verification can never drift apart).
+ENV_COUNT = 2
+ENV_SEED = 11
+PLAN_COUNT = 24
+PLAN_SEED = 5
+EXTRA_ENV_SEED = 11  # prefix-stable: envs[:ENV_COUNT] match ENV_SEED's
+
+
+def build_service() -> "tuple[CostService, list, list]":
+    """The deterministic service the golden checkpoint captures."""
+    benchmark = get_benchmark("sysbench")
+    envs = random_environments(ENV_COUNT + 1, seed=ENV_SEED)
+    train_envs, extra_env = envs[:ENV_COUNT], envs[ENV_COUNT]
+    labeled = collect_labeled_plans(
+        benchmark, train_envs, PLAN_COUNT, seed=PLAN_SEED
+    )
+    pipeline = QCFE(
+        benchmark,
+        train_envs,
+        QCFEConfig(
+            model="qppnet",
+            epochs=1,
+            template_scale=2,
+            reduction="diff",
+            hidden=(4,),
+            seed=7,
+        ),
+    )
+    pipeline.fit(labeled)
+    service = CostService(snapshot_store=SnapshotStore(), snapshot_scale=2)
+    service.deploy(pipeline.export_bundle(), name="golden-qppnet")
+    postgres = PostgresCostEstimator(calibrated=True)
+    postgres.fit(labeled)
+    service.deploy(EstimatorBundle(name="golden-pg", estimator=postgres))
+    # One grafted unseen environment: exercises the snapshot store and
+    # a version-2 bundle in the golden state.
+    service.estimate(labeled[0].plan, extra_env, bundle="golden-qppnet")
+    return service, labeled, [*train_envs, extra_env]
+
+
+def main() -> int:
+    """Write golden-v<schema>.qcp + its expected-predictions JSON."""
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    service, labeled, envs = build_service()
+    try:
+        plans = [record.plan for record in labeled]
+        expected = {
+            "schema_version": SCHEMA_VERSION,
+            "bundles": ["golden-pg", "golden-qppnet"],
+            "qppnet": list(
+                service.estimate_many(plans, envs[0], bundle="golden-qppnet")
+            ),
+            "qppnet_extra_env": list(
+                service.estimate_many(plans[:4], envs[-1], bundle="golden-qppnet")
+            ),
+            "postgres": list(
+                service.estimate_many(plans, envs[0], bundle="golden-pg")
+            ),
+        }
+        ckpt = GOLDEN_DIR / f"golden-v{SCHEMA_VERSION}.qcp"
+        save_checkpoint(
+            service_state(service), ckpt, meta={"kind": "cost_service"}
+        )
+        (GOLDEN_DIR / f"golden-v{SCHEMA_VERSION}.expected.json").write_text(
+            json.dumps(expected, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {ckpt} ({ckpt.stat().st_size} bytes)")
+    finally:
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

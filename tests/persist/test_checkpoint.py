@@ -1,0 +1,207 @@
+"""The checkpoint container: framing, integrity, retention, failover."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointCorruptError, CheckpointError
+from repro.persist.checkpoint import (
+    MAGIC,
+    SCHEMA_VERSION,
+    checkpoint_path,
+    list_checkpoints,
+    load_checkpoint,
+    read_manifest,
+    restore_latest,
+    save_checkpoint,
+    write_retained,
+)
+
+STATE = {
+    "weights": np.linspace(0.0, 1.0, 7),
+    "mask": np.array([True, False, True]),
+    "config": {"hidden": [8, 8], "name": "unit"},
+}
+
+
+def _rewrite_manifest(path, mutate):
+    """Patch a checkpoint's manifest in place (payload untouched)."""
+    data = path.read_bytes()
+    head = len(MAGIC) + 8
+    (manifest_len,) = struct.unpack(">Q", data[len(MAGIC):head])
+    manifest = json.loads(data[head:head + manifest_len])
+    mutate(manifest)
+    manifest_bytes = json.dumps(manifest, sort_keys=True).encode()
+    path.write_bytes(
+        MAGIC
+        + struct.pack(">Q", len(manifest_bytes))
+        + manifest_bytes
+        + data[head + manifest_len:]
+    )
+
+
+def test_save_load_roundtrip(tmp_path):
+    path = tmp_path / "one.qcp"
+    manifest = save_checkpoint(STATE, path, meta={"kind": "test"})
+    assert manifest["schema_version"] == SCHEMA_VERSION
+    state, loaded = load_checkpoint(path)
+    assert loaded["meta"] == {"kind": "test"}
+    assert np.array_equal(state["weights"], STATE["weights"])
+    assert state["weights"].tobytes() == STATE["weights"].tobytes()
+    assert np.array_equal(state["mask"], STATE["mask"])
+    assert state["config"] == STATE["config"]
+
+
+def test_no_tmp_file_left_behind(tmp_path):
+    save_checkpoint(STATE, tmp_path / "one.qcp")
+    assert [p.name for p in tmp_path.iterdir()] == ["one.qcp"]
+
+
+def test_not_a_checkpoint_is_corrupt(tmp_path):
+    path = tmp_path / "junk.qcp"
+    path.write_bytes(b"definitely not a checkpoint")
+    with pytest.raises(CheckpointCorruptError, match="bad magic"):
+        load_checkpoint(path)
+
+
+def test_truncated_file_is_corrupt(tmp_path):
+    path = tmp_path / "one.qcp"
+    save_checkpoint(STATE, path)
+    data = path.read_bytes()
+    for cut in (4, len(MAGIC) + 4, len(data) // 2, len(data) - 3):
+        path.write_bytes(data[:cut])
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+
+
+def test_flipped_payload_byte_is_corrupt(tmp_path):
+    path = tmp_path / "one.qcp"
+    save_checkpoint(STATE, path)
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF
+    path.write_bytes(bytes(data))
+    with pytest.raises(CheckpointCorruptError):
+        load_checkpoint(path)
+
+
+def test_garbled_manifest_is_corrupt(tmp_path):
+    path = tmp_path / "one.qcp"
+    save_checkpoint(STATE, path)
+    data = bytearray(path.read_bytes())
+    data[len(MAGIC) + 8 + 2] ^= 0xFF
+    path.write_bytes(bytes(data))
+    with pytest.raises(CheckpointCorruptError):
+        load_checkpoint(path)
+
+
+def test_non_object_manifest_is_corrupt(tmp_path):
+    manifest_bytes = json.dumps([1, 2, 3]).encode()
+    path = tmp_path / "one.qcp"
+    path.write_bytes(
+        MAGIC + struct.pack(">Q", len(manifest_bytes)) + manifest_bytes
+    )
+    with pytest.raises(CheckpointCorruptError, match="not an object"):
+        load_checkpoint(path)
+
+
+def test_malformed_blob_table_entry_is_corrupt(tmp_path):
+    path = tmp_path / "one.qcp"
+    save_checkpoint(STATE, path)
+    _rewrite_manifest(path, lambda m: m["blobs"].__setitem__(0, {"nope": 1}))
+    with pytest.raises(CheckpointCorruptError, match="blob table"):
+        load_checkpoint(path)
+
+
+def test_unknown_schema_version_is_a_clean_error(tmp_path):
+    path = tmp_path / "one.qcp"
+    save_checkpoint(STATE, path)
+    _rewrite_manifest(path, lambda m: m.update(schema_version=999))
+    with pytest.raises(CheckpointError, match="schema_version 999") as info:
+        load_checkpoint(path)
+    # A future format is *unknown*, not *damaged*: callers may want to
+    # distinguish "upgrade me" from "your disk is lying to you".
+    assert not isinstance(info.value, CheckpointCorruptError)
+
+
+def test_blob_escaping_payload_is_corrupt(tmp_path):
+    path = tmp_path / "one.qcp"
+    save_checkpoint(STATE, path)
+
+    def stretch(manifest):
+        manifest["blobs"][0]["length"] += 10_000
+
+    _rewrite_manifest(path, stretch)
+    with pytest.raises(CheckpointCorruptError):
+        load_checkpoint(path)
+
+
+# ----------------------------------------------------------------------
+# retention + newest-loadable restore
+# ----------------------------------------------------------------------
+def test_write_retained_numbers_and_prunes(tmp_path):
+    for index in range(5):
+        write_retained({"index": index}, tmp_path, retain=3)
+    kept = list_checkpoints(tmp_path)
+    assert [seq for seq, _ in kept] == [3, 4, 5]
+    state, _, path = restore_latest(tmp_path)
+    assert state == {"index": 4}
+    assert path == checkpoint_path(tmp_path, 5)
+
+
+def test_restore_latest_skips_a_corrupt_newest(tmp_path):
+    write_retained({"index": 0}, tmp_path, retain=3)
+    newest = write_retained({"index": 1}, tmp_path, retain=3)
+    newest.write_bytes(newest.read_bytes()[: newest.stat().st_size // 2])
+    state, _, path = restore_latest(tmp_path)
+    assert state == {"index": 0}
+    assert path == checkpoint_path(tmp_path, 1)
+
+
+def test_restore_latest_reports_every_failed_file(tmp_path):
+    for index in range(2):
+        path = write_retained({"index": index}, tmp_path, retain=3)
+        path.write_bytes(b"garbage")
+    with pytest.raises(CheckpointError, match="2 tried"):
+        restore_latest(tmp_path)
+
+
+def test_restore_latest_skips_an_unreadable_file(tmp_path):
+    """A checkpoint pruned (or made unreadable) between the directory
+    listing and the read fails over like a corrupt one."""
+    write_retained({"index": 0}, tmp_path, retain=3)
+    # A dangling symlink with a valid checkpoint name: the listing
+    # sees it, the read raises FileNotFoundError.
+    (tmp_path / "ckpt-00000002.qcp").symlink_to(tmp_path / "vanished.qcp")
+    state, _, _ = restore_latest(tmp_path)
+    assert state == {"index": 0}
+
+
+def test_restore_latest_on_missing_directory(tmp_path):
+    with pytest.raises(CheckpointError, match="no checkpoint files"):
+        restore_latest(tmp_path / "never-created")
+
+
+def test_foreign_and_tmp_files_are_ignored(tmp_path):
+    write_retained({"index": 0}, tmp_path, retain=3)
+    (tmp_path / "notes.txt").write_text("hello")
+    (tmp_path / "ckpt-00000002.qcp.tmp").write_bytes(b"partial write")
+    assert len(list_checkpoints(tmp_path)) == 1
+    state, _, _ = restore_latest(tmp_path)
+    assert state == {"index": 0}
+
+
+def test_read_manifest_matches_load(tmp_path):
+    path = tmp_path / "one.qcp"
+    save_checkpoint(STATE, path, meta={"kind": "test"})
+    manifest = read_manifest(path)
+    assert manifest["meta"]["kind"] == "test"
+    assert len(manifest["blobs"]) == 2  # weights + mask
+
+
+def test_retain_must_be_positive(tmp_path):
+    with pytest.raises(CheckpointError):
+        write_retained({}, tmp_path, retain=0)

@@ -1,0 +1,113 @@
+"""The background Checkpointer: dirty-triggered, bounded, shut down."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.persist.checkpoint import list_checkpoints, restore_latest
+from repro.persist.checkpointer import Checkpointer, dirty_token
+from repro.serving import CostService, SnapshotStore
+
+
+@pytest.fixture()
+def service(qppnet_setup):
+    with CostService(snapshot_store=SnapshotStore()) as svc:
+        svc.deploy(qppnet_setup["bundle"])
+        yield svc
+
+
+def test_clean_service_is_skipped_after_first_write(tmp_path, service):
+    checkpointer = Checkpointer(
+        service, tmp_path, interval_s=60.0, background=False
+    )
+    assert checkpointer.checkpoint_now() is not None  # first pass: dirty
+    assert checkpointer.checkpoint_now() is None  # nothing moved
+    stats = checkpointer.stats_snapshot()
+    assert stats["writes"] == 1 and stats["skipped_clean"] == 1
+    checkpointer.close()
+
+
+def test_state_change_makes_the_token_dirty(tmp_path, service, qppnet_setup):
+    checkpointer = Checkpointer(
+        service, tmp_path, interval_s=60.0, background=False
+    )
+    assert checkpointer.checkpoint_now() is not None
+    before = dirty_token(service)
+    service.deploy(qppnet_setup["bundle"], name="second")
+    assert dirty_token(service) != before
+    assert checkpointer.checkpoint_now() is not None
+    assert checkpointer.stats_snapshot()["writes"] == 2
+    checkpointer.close()
+
+
+def test_mark_dirty_forces_a_write(tmp_path, service):
+    checkpointer = Checkpointer(
+        service, tmp_path, interval_s=60.0, background=False
+    )
+    checkpointer.checkpoint_now()
+    checkpointer.mark_dirty()
+    assert checkpointer.checkpoint_now() is not None
+    checkpointer.close()
+
+
+def test_failed_write_keeps_the_dirty_flag(tmp_path, service, monkeypatch):
+    """mark_dirty() covers changes the dirty token cannot see; a
+    transient write failure must not eat that obligation."""
+    import os
+
+    checkpointer = Checkpointer(
+        service, tmp_path, interval_s=60.0, background=False
+    )
+    assert checkpointer.checkpoint_now() is not None  # token recorded
+    checkpointer.mark_dirty()
+
+    def boom(fd):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(os, "fsync", boom)
+    assert checkpointer.checkpoint_now() is None  # swallowed, counted
+    monkeypatch.undo()
+    # Disk healed: the owed write happens on the next ordinary pass,
+    # even though the dirty token never moved.
+    assert checkpointer.checkpoint_now() is not None
+    checkpointer.close()
+
+
+def test_retention_bounds_the_directory(tmp_path, service):
+    checkpointer = Checkpointer(
+        service, tmp_path, interval_s=60.0, retain=2, background=False
+    )
+    for _ in range(4):
+        assert checkpointer.checkpoint_now(force=True) is not None
+    assert len(list_checkpoints(tmp_path)) == 2
+    checkpointer.close()
+
+
+def test_background_thread_writes_and_stops(tmp_path, service):
+    checkpointer = Checkpointer(service, tmp_path, interval_s=0.02)
+    deadline = time.monotonic() + 10.0
+    while not list_checkpoints(tmp_path) and time.monotonic() < deadline:
+        time.sleep(0.01)
+    checkpointer.close()
+    assert list_checkpoints(tmp_path), "background loop never wrote"
+    state, _, _ = restore_latest(tmp_path)
+    assert state["kind"] == "cost_service"
+    writes = checkpointer.stats_snapshot()["writes"]
+    time.sleep(0.08)
+    assert checkpointer.stats_snapshot()["writes"] == writes  # really stopped
+
+
+def test_close_writes_a_final_checkpoint_when_asked(tmp_path, service):
+    checkpointer = Checkpointer(
+        service, tmp_path, interval_s=60.0, background=False
+    )
+    checkpointer.close(final_checkpoint=True)
+    assert list_checkpoints(tmp_path)
+
+
+def test_bad_interval_rejected(tmp_path, service):
+    with pytest.raises(CheckpointError):
+        Checkpointer(service, tmp_path, interval_s=0.0)

@@ -1,0 +1,206 @@
+"""The state-tree codec: exact round trips and strict failure modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.statistics import Predicate
+from repro.engine.executor import LabeledPlan
+from repro.engine.operators import OperatorType, PlanNode
+from repro.errors import CheckpointCorruptError, CheckpointError
+from repro.persist.codec import (
+    BlobStore,
+    decode_prepared,
+    decode_state,
+    encode_prepared,
+    encode_state,
+    labeled_plan_from_state,
+    labeled_plan_to_state,
+)
+
+
+def _roundtrip(value):
+    store = BlobStore()
+    encoded = encode_state(value, store)
+    return decode_state(encoded, BlobStore(store.blobs))
+
+
+def test_scalars_and_containers_roundtrip():
+    value = {
+        "none": None,
+        "flag": True,
+        "count": 7,
+        "ratio": 0.125,
+        "name": "bundle",
+        "nested": {"list": [1, "two", None, [3.5]]},
+    }
+    assert _roundtrip(value) == value
+
+
+def test_tuples_become_lists():
+    assert _roundtrip((1, 2, (3,))) == [1, 2, [3]]
+
+
+def test_arrays_are_byte_exact_through_blobs():
+    rng = np.random.default_rng(0)
+    arrays = {
+        "f64": rng.standard_normal((5, 3)),
+        "bool": rng.standard_normal(9) > 0,
+        "i64": np.arange(4, dtype=np.int64),
+        "empty": np.zeros((0, 2)),
+    }
+    out = _roundtrip(arrays)
+    for key, original in arrays.items():
+        assert out[key].dtype == original.dtype
+        assert out[key].shape == original.shape
+        assert np.array_equal(out[key], original)
+    # Byte-exact, not merely close: the whole bit-identical restore
+    # guarantee rests on this.
+    assert out["f64"].tobytes() == arrays["f64"].tobytes()
+
+
+def test_numpy_scalars_become_python_scalars():
+    out = _roundtrip({"a": np.float64(1.5), "b": np.int32(4), "c": np.bool_(True)})
+    assert out == {"a": 1.5, "b": 4, "c": True}
+    assert isinstance(out["b"], int) and isinstance(out["c"], bool)
+
+
+def test_unknown_type_raises_at_save_time():
+    with pytest.raises(CheckpointError, match="cannot serialize"):
+        encode_state({"bad": object()}, BlobStore())
+
+
+def test_non_string_dict_key_raises():
+    with pytest.raises(CheckpointError, match="keys must be str"):
+        encode_state({OperatorType.SORT: 1}, BlobStore())
+
+
+def test_reserved_array_key_raises():
+    with pytest.raises(CheckpointError, match="reserved"):
+        encode_state({"__ndarray__": 1}, BlobStore())
+
+
+def test_blob_reference_out_of_range_is_corrupt():
+    store = BlobStore()
+    ref = store.add(np.zeros(3))
+    ref["__ndarray__"]["blob"] = 5
+    with pytest.raises(CheckpointCorruptError):
+        BlobStore(store.blobs).get(ref)
+
+
+def test_blob_length_mismatch_is_corrupt():
+    store = BlobStore()
+    ref = store.add(np.zeros(3))
+    truncated = BlobStore([store.blobs[0][:-1]])
+    with pytest.raises(CheckpointCorruptError):
+        truncated.get(ref)
+
+
+# ----------------------------------------------------------------------
+# plan trees
+# ----------------------------------------------------------------------
+def _plan() -> PlanNode:
+    scan = PlanNode(
+        op=OperatorType.SEQ_SCAN,
+        table="sbtest1",
+        predicates=[
+            Predicate("sbtest1", "k", "between", (5, 10)),
+            Predicate("sbtest1", "id", "=", 3),
+        ],
+        est_rows=42.0,
+        est_width=16,
+        est_total_cost=101.5,
+    )
+    scan.actual_ms = 0.7
+    scan.actual_total_ms = 0.7
+    root = PlanNode(
+        op=OperatorType.SORT,
+        children=[scan],
+        sort_keys=("sbtest1.k",),
+        est_rows=42.0,
+        est_total_cost=150.0,
+    )
+    root.actual_ms = 0.3
+    root.actual_total_ms = 1.0
+    return root
+
+
+def test_labeled_plan_roundtrips_exactly():
+    record = LabeledPlan(
+        plan=_plan(),
+        latency_ms=1.25,
+        env_name="cfg-x",
+        query_sql="SELECT * FROM sbtest1",
+        template="point_select",
+    )
+    out = labeled_plan_from_state(_roundtrip(labeled_plan_to_state(record)))
+    assert out.latency_ms == record.latency_ms
+    assert out.env_name == record.env_name
+    assert out.query_sql == record.query_sql
+    assert out.template == record.template
+    original = list(record.plan.walk())
+    restored = list(out.plan.walk())
+    assert len(restored) == len(original)
+    for before, after in zip(original, restored):
+        assert after.op is before.op
+        assert after.table == before.table
+        assert after.sort_keys == before.sort_keys
+        assert after.est_rows == before.est_rows
+        assert after.est_total_cost == before.est_total_cost
+        assert after.actual_ms == before.actual_ms
+        assert after.actual_total_ms == before.actual_total_ms
+        assert [p.key() for p in after.predicates] == [
+            p.key() for p in before.predicates
+        ]
+    # Tuple-valued predicate literals (BETWEEN bounds) keep their type,
+    # so reprs — and plan fingerprints — stay stable across a restore.
+    assert isinstance(restored[1].predicates[0].value, tuple)
+
+
+def test_malformed_plan_state_is_a_clean_error():
+    with pytest.raises(CheckpointError, match="invalid plan state"):
+        labeled_plan_from_state(
+            {"plan": {"op": "No Such Operator"}, "latency_ms": 1, "env_name": "e"}
+        )
+
+
+# ----------------------------------------------------------------------
+# prepared feature-cache values
+# ----------------------------------------------------------------------
+def test_prepared_forms_roundtrip():
+    rows = [np.arange(3.0), np.arange(4.0)]
+    for value in (None, np.arange(5.0), rows):
+        encoded = encode_prepared(value)
+        assert encoded is not None
+        decoded = decode_prepared(_roundtrip(encoded))
+        if value is None:
+            assert decoded is None
+        elif isinstance(value, list):
+            assert all(np.array_equal(a, b) for a, b in zip(decoded, value))
+        else:
+            assert np.array_equal(decoded, value)
+
+
+def test_prepared_mscn_sample_roundtrips():
+    from repro.featurization.mscn_features import MSCNSample
+
+    sample = MSCNSample(
+        tables=np.ones((2, 3)),
+        joins=np.zeros((0, 4)),
+        predicates=np.ones((1, 5)),
+        plan_global=np.arange(6.0),
+    )
+    decoded = decode_prepared(_roundtrip(encode_prepared(sample)))
+    assert np.array_equal(decoded.tables, sample.tables)
+    assert decoded.joins.shape == (0, 4)
+    assert np.array_equal(decoded.plan_global, sample.plan_global)
+
+
+def test_unrecognised_prepared_form_is_skipped_not_fatal():
+    assert encode_prepared(object()) is None
+
+
+def test_unknown_prepared_kind_raises():
+    with pytest.raises(CheckpointError, match="unknown prepared-value kind"):
+        decode_prepared({"kind": "mystery"})

@@ -1,0 +1,142 @@
+"""Property-style fuzzing of the SQL parser: mutate real workload SQL.
+
+The contract under test: for *any* input — however mangled — the
+parser either returns a :class:`SelectQuery` or raises its typed
+:class:`~repro.errors.ParseError`.  No bare ``ValueError``/``KeyError``
+/``IndexError`` escapes, no hang.  The generator seeds from the real
+benchmark workloads (so mutants stay near the grammar, where parser
+bugs live) and applies token drop/dup/swap, literal perturbation, and
+whitespace/case noise.
+
+The repo has no per-test timeout plugin (CI bounds whole jobs at 20
+minutes), so the hang guard here is a wall-clock budget assertion over
+the whole corpus — the parser is single-pass, so anything near the
+budget is a regression.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast import SelectQuery
+from repro.sql.parser import parse_sql, tokenize
+from repro.workload.collect import get_benchmark
+
+CASES_PER_BENCHMARK = 100  # two benchmarks -> ~200 fuzz cases
+#: Whole-corpus wall-clock cap (seconds); a linear parser does ~200
+#: small inputs in well under a second, so this only trips on a hang
+#: or catastrophic backtracking.
+TIME_BUDGET_S = 30.0
+
+
+def _seed_texts(benchmark) -> List[str]:
+    return [query.sql() for _, query in benchmark.generate_queries(24, seed=4)]
+
+
+def _mutate(sql: str, rng: np.random.Generator) -> str:
+    """One randomly chosen structured mutation of *sql*."""
+    try:
+        tokens = tokenize(sql)
+    except ParseError:
+        tokens = sql.split()
+    kind = rng.integers(0, 6)
+    if kind == 0 and len(tokens) > 1:  # token drop
+        victim = int(rng.integers(0, len(tokens)))
+        tokens = tokens[:victim] + tokens[victim + 1:]
+    elif kind == 1 and tokens:  # token duplication
+        victim = int(rng.integers(0, len(tokens)))
+        tokens = tokens[:victim] + [tokens[victim]] + tokens[victim:]
+    elif kind == 2 and len(tokens) > 1:  # adjacent swap
+        victim = int(rng.integers(0, len(tokens) - 1))
+        tokens[victim], tokens[victim + 1] = tokens[victim + 1], tokens[victim]
+    elif kind == 3 and tokens:  # literal perturbation
+        for index, token in enumerate(tokens):
+            if token.lstrip("-").replace(".", "", 1).isdigit():
+                tokens[index] = str(
+                    rng.choice(["-1", "999999999999", "0.0", "1e309", "NaN"])
+                )
+                break
+        else:
+            tokens.append(str(rng.integers(-100, 100)))
+    elif kind == 4 and tokens:  # case noise
+        tokens = [
+            t.upper() if rng.random() < 0.5 else t.lower() for t in tokens
+        ]
+    else:  # garbage splice
+        junk = str(rng.choice([";;", "'", "((", "LIMIT LIMIT", "@", "\x00", "注入"]))
+        cut = int(rng.integers(0, len(sql) + 1))
+        return sql[:cut] + junk + sql[cut:]
+    # Whitespace noise on reassembly.
+    sep = str(rng.choice([" ", "  ", "\n", "\t "]))
+    return sep.join(tokens)
+
+
+@pytest.mark.parametrize("benchmark_name", ["sysbench", "tpch"])
+def test_fuzzed_workload_sql_parses_or_raises_typed(benchmark_name):
+    benchmark = get_benchmark(benchmark_name)
+    seeds = _seed_texts(benchmark)
+    rng = np.random.default_rng(1234)
+    parsed = rejected = 0
+    start = time.monotonic()
+    for case in range(CASES_PER_BENCHMARK):
+        sql = seeds[case % len(seeds)]
+        for _ in range(int(rng.integers(1, 4))):  # stack 1-3 mutations
+            sql = _mutate(sql, rng)
+        try:
+            query = parse_sql(sql, benchmark.catalog)
+        except ParseError:
+            rejected += 1
+        else:
+            # Anything accepted must be a real, re-serializable query.
+            assert isinstance(query, SelectQuery)
+            assert isinstance(query.sql(), str)
+            parsed += 1
+    elapsed = time.monotonic() - start
+    assert parsed + rejected == CASES_PER_BENCHMARK
+    assert elapsed < TIME_BUDGET_S, (
+        f"fuzz corpus took {elapsed:.1f}s — parser hang or blow-up"
+    )
+    # The corpus must actually exercise both outcomes, or the mutations
+    # are too tame/too wild to test anything.
+    assert rejected > 0
+    assert parsed > 0
+
+
+def test_unmutated_seeds_all_parse():
+    for name in ("sysbench", "tpch"):
+        benchmark = get_benchmark(name)
+        for sql in _seed_texts(benchmark):
+            assert isinstance(parse_sql(sql, benchmark.catalog), SelectQuery)
+
+
+def test_known_nasty_inputs_raise_typed_errors(sysbench):
+    nasty = [
+        "",
+        ";",
+        "SELECT",
+        "SELECT * FROM",
+        "SELECT * FROM nowhere",
+        "SELECT * FROM sbtest1 WHERE",
+        "SELECT * FROM sbtest1 WHERE id",
+        "SELECT * FROM sbtest1 WHERE id = ",
+        "SELECT * FROM sbtest1 LIMIT banana",
+        "SELECT * FROM sbtest1 LIMIT",
+        "SELECT * FROM sbtest1 GROUP",
+        "SELECT * FROM sbtest1 ORDER BY",
+        "SELECT * FROM sbtest1 WHERE id NOT LIKE 'x'",
+        "SELECT * FROM sbtest1 WHERE id IN ()",
+        "SELECT * FROM sbtest1 WHERE id BETWEEN 1",
+        "SELECT count( FROM sbtest1",
+        "SELECT * FROM sbtest1 JOIN sbtest2",
+        "SELECT * FROM sbtest1 extra trailing garbage",
+        "'unterminated",
+        "SELECT * FROM sbtest1 WHERE c = 'it''s' AND",
+    ]
+    for sql in nasty:
+        with pytest.raises(ParseError):
+            parse_sql(sql, sysbench.catalog)

@@ -21,6 +21,7 @@ GATED_TREES = [
     str(REPO / "src" / "repro" / "serving"),
     str(REPO / "src" / "repro" / "bench"),
     str(REPO / "src" / "repro" / "cluster"),
+    str(REPO / "src" / "repro" / "persist"),
 ]
 
 
