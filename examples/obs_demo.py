@@ -1,0 +1,153 @@
+"""Demo: observability — traces, unified metrics, structured events.
+
+Reduces a tiny QCFE bundle on point-selects, serves it through a
+2-shard :class:`~repro.cluster.ClusterService` with a full-sampling
+:class:`~repro.obs.Tracer` attached, then makes things interesting:
+sync/batched/async traffic, a shard killed mid-traffic, and a workload
+drift onto range queries that trips the recall watcher.  Afterwards it
+prints what the observability stack saw:
+
+1. trace waterfalls (route → request → parse/plan/featurize/predict,
+   plus the batch span a coalesced async request was served by);
+2. the slow-query log (top-K roots by duration, with plan
+   fingerprints);
+3. the structured event history (the shard kill/ejection, the drift
+   trip);
+4. the Prometheus text exposition of the cluster's metrics registry.
+
+Run with ``PYTHONPATH=src python examples/obs_demo.py``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+from repro.cluster import ClusterService
+from repro.core import QCFE, QCFEConfig, collect_baselines
+from repro.engine import ExecutionSimulator
+from repro.engine.executor import LabeledPlan
+from repro.eval.reporting import render_obs_report
+from repro.obs import Tracer
+from repro.serving import AdaptationConfig, CostService, SnapshotStore
+from repro.workload import get_benchmark, standard_environments
+from repro.workload.sysbench_oltp import sysbench_queries
+
+_RANGE_SHAPES = {"simple_range", "sum_range", "order_range", "distinct_range"}
+
+
+def labeled_subset(benchmark, environments, shapes, total, seed):
+    """Simulator-labeled plans for the sysbench templates in *shapes*."""
+    per_env = max(1, total // len(environments))
+    labeled = []
+    for env_index, env in enumerate(environments):
+        simulator = ExecutionSimulator(benchmark.catalog, benchmark.stats, env)
+        pool = sysbench_queries(
+            benchmark.catalog, per_env * 8, seed=seed + env_index
+        )
+        picked = [(n, q) for n, q in pool if n in shapes][:per_env]
+        for name, query in picked:
+            result = simulator.run_query(query)
+            labeled.append(
+                LabeledPlan(
+                    plan=result.plan, latency_ms=result.latency_ms,
+                    env_name=env.name, query_sql=query.sql(), template=name,
+                )
+            )
+    return labeled
+
+
+def main() -> None:
+    """Trace, count and narrate a small cluster run end to end."""
+    print("== reduce a tiny Sysbench bundle on point-selects ==")
+    benchmark = get_benchmark("sysbench")
+    environments = standard_environments(2, seed=0)
+    env_by_name = {env.name: env for env in environments}
+    point_only = labeled_subset(
+        benchmark, environments, {"point_select"}, 96, seed=1
+    )
+    pipeline = QCFE(
+        benchmark, environments,
+        QCFEConfig(model="qppnet", snapshot_source="template",
+                   reduction="diff", epochs=3),
+    )
+    pipeline.fit(point_only)
+    bundle = pipeline.export_bundle()
+    bundle.metadata["recall_baselines"] = collect_baselines(
+        pipeline.operator_encoder, point_only
+    )
+
+    # Full head sampling for the demo: every trace is retained.  A
+    # production scrape would run nearer the 5% default, relying on the
+    # always-on slow/error tail sampling for the interesting ones.
+    tracer = Tracer(sample_rate=1.0, slow_ms=50.0, seed=7)
+    with ClusterService(
+        shard_count=2,
+        # background=False: the demo pumps the adaptation loop itself
+        # (run_pending) so the drift trip lands deterministically; the
+        # absurd min_refit_records keeps the demo at "trip observed",
+        # short of a full refit.
+        service_factory=lambda sid: CostService(
+            snapshot_store=SnapshotStore(),
+            adaptation=AdaptationConfig(
+                background=False, min_refit_records=10**9
+            ),
+        ),
+        tracer=tracer,
+    ) as cluster:
+        cluster.deploy(bundle)
+        env = environments[0]
+        sql = point_only[0].query_sql
+
+        print("\n== drive traffic (sync + async, through the batcher) ==")
+        for record in point_only[:8]:
+            cluster.estimate(record.query_sql, env_by_name[record.env_name])
+        futures = [cluster.estimate_async(sql, env) for _ in range(8)]
+        concurrent.futures.wait(futures)
+        assert all(f.result() > 0 for f in futures)
+
+        victim = cluster.shard_of(bundle.name)
+        print(f"== kill {victim} mid-traffic (failover, then eject) ==")
+        cluster.kill_shard(victim)
+        for record in point_only[8:16]:
+            cluster.estimate(record.query_sql, env_by_name[record.env_name])
+        survivor = cluster.shard_of(bundle.name)
+
+        print("== drift the workload onto range queries ==")
+        drifted = labeled_subset(
+            benchmark, environments, _RANGE_SHAPES, 48, seed=9
+        )
+        for record in drifted:
+            cluster.estimate(record.plan, env_by_name[record.env_name])
+        cluster.shard(survivor).service.adaptation.run_pending()
+
+        print("\n== trace waterfalls, slow-query log, cluster events ==\n")
+        print(render_obs_report(tracer=tracer, events=cluster.events))
+
+        shard_events = cluster.shard(survivor).service.events
+        trips = shard_events.events(event_type="drift_trip")
+        assert trips, "the drifted workload must trip the recall watcher"
+        print(
+            f"\n{survivor} events: "
+            + ", ".join(e.type for e in shard_events.events())
+        )
+
+        # Every coalesced async request links to the flush that served
+        # it; show the linkage explicitly.
+        batch = tracer.traces(kind="batch")
+        if batch:
+            links = batch[-1]["spans"][-1]["annotations"]["links"]
+            print(
+                f"last batch span served {len(links)} coalesced "
+                "request(s): "
+                + ", ".join(link["trace_id"] for link in links[:4])
+                + ("..." if len(links) > 4 else "")
+            )
+
+        print("\n== Prometheus exposition (head of the dump) ==\n")
+        dump = cluster.metrics.render_prometheus()
+        print("\n".join(dump.splitlines()[:30]))
+        print(f"... ({len(dump.splitlines())} lines total)")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,14 +25,17 @@ import math
 import threading
 from typing import Dict, List, Optional
 
-#: Histogram range: 1 microsecond to 1000 seconds, in milliseconds.
-_LOW_MS = 1e-3
-_HIGH_MS = 1e6
-#: Buckets per decade of latency; 20 gives ~12% relative resolution
-#: (10^(1/20) per bucket), plenty for p50/p95/p99 trend tracking.
-_PER_DECADE = 20
-_DECADES = int(math.log10(_HIGH_MS / _LOW_MS))
-_BUCKETS = _DECADES * _PER_DECADE
+from ..obs import histogram as _buckets
+
+#: The bucketing scheme is shared with the metrics registry's
+#: histograms — one implementation in :mod:`repro.obs.histogram`
+#: (1 microsecond .. 1000 seconds, 20 buckets/decade).  The old
+#: module-private names stay as aliases.
+_LOW_MS = _buckets.LOW_MS
+_HIGH_MS = _buckets.HIGH_MS
+_PER_DECADE = _buckets.PER_DECADE
+_DECADES = _buckets.DECADES
+_BUCKETS = _buckets.BUCKETS
 
 
 class LatencyHistogram:
@@ -53,17 +56,11 @@ class LatencyHistogram:
         self._max = 0.0
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _bucket(value_ms: float) -> int:
-        if value_ms <= _LOW_MS:
-            return 0
-        index = int(math.log10(value_ms / _LOW_MS) * _PER_DECADE)
-        return min(index, _BUCKETS - 1)
-
-    @staticmethod
-    def _bucket_mid_ms(index: int) -> float:
-        # Geometric midpoint of [low * 10^(i/P), low * 10^((i+1)/P)).
-        return _LOW_MS * 10.0 ** ((index + 0.5) / _PER_DECADE)
+    #: Bucket math delegates to the shared scheme so this histogram
+    #: and the registry's (:class:`repro.obs.LogHistogram`) always
+    #: agree on bucket boundaries.
+    _bucket = staticmethod(_buckets.bucket_index)
+    _bucket_mid_ms = staticmethod(_buckets.bucket_mid_ms)
 
     # ------------------------------------------------------------------
     def record(self, value_ms: float) -> None:

@@ -22,6 +22,12 @@ schema-versioned so old trajectories stay comparable::
 ``tolerances`` is the default gate for this result (see
 :mod:`repro.bench.compare`), so promoting a fresh result to baseline
 is exactly ``cp`` — and the bands are sitting in the diff for review.
+
+Unless tracing is disabled (``--no-obs``), the envelope also carries
+an ``obs`` block (tracer counters + worst slow queries) *outside*
+``metrics`` — baselines and tolerance bands never see it — and the
+full observability artifacts (``OBS_<scenario>.prom``,
+``OBS_<scenario>_slow.json``) land next to the trajectory file.
 """
 
 from __future__ import annotations
@@ -34,12 +40,15 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
+from ..obs import DEFAULT_SAMPLE_RATE, MetricsRegistry, Tracer
+from ..obs.trace import install_default_tracer
 from .compare import (
     SCHEMA_VERSION,
     compare_maps,
     default_tolerances,
     load_results,
 )
+from .metrics import flatten_metrics
 from .scenarios import get_scenario, run_scenario, scenario_names
 
 #: Where ``python -m repro.bench`` writes by default (next to the
@@ -81,17 +90,69 @@ def result_envelope(
     }
 
 
+def _obs_summary(
+    tracer: Tracer, sample_rate: float
+) -> Dict[str, object]:
+    """The compact obs block embedded in a trajectory envelope: tracer
+    counters, the sampling knobs, and the worst slow-log entries (sans
+    span trees — the full trees go to ``OBS_<scenario>_slow.json``)."""
+    return {
+        "sample_rate": sample_rate,
+        "slow_ms": tracer.slow_ms,
+        "tracer": tracer.counters(),
+        "slow_queries": [
+            {
+                key: entry.get(key)
+                for key in (
+                    "trace_id",
+                    "root",
+                    "duration_ms",
+                    "status",
+                    "fingerprint",
+                )
+            }
+            for entry in tracer.slow_queries()[:5]
+        ],
+    }
+
+
+def _obs_registry(
+    scenario: str, metrics: Dict[str, object], tracer: Tracer
+) -> MetricsRegistry:
+    """A run-level registry for the Prometheus dump: every numeric
+    scenario metric as a gauge labeled with the scenario, plus the
+    tracer's counters as a collector section."""
+    registry = MetricsRegistry(namespace="repro_bench")
+    for path, value in sorted(flatten_metrics(metrics).items()):
+        registry.gauge(
+            path.replace(".", "_"), labels={"scenario": scenario}
+        ).set(value)
+    registry.register_collector("tracer", tracer.counters)
+    return registry
+
+
 def run_scenarios(
     names: Sequence[str],
     quick: bool = False,
     out_dir: "pathlib.Path | str | None" = DEFAULT_OUT,
     seed: int = 0,
+    sample_rate: Optional[float] = DEFAULT_SAMPLE_RATE,
 ) -> List[Dict[str, object]]:
     """Run *names* in order, writing ``BENCH_<name>.json`` for each.
 
     Returns the envelopes (written verbatim).  ``out_dir=None`` skips
     writing — callers that only want the metrics (the pytest benches)
     pass the directory they manage themselves or nothing at all.
+
+    Unless ``sample_rate=None`` (tracing off), each scenario runs with
+    a fresh process-default :class:`~repro.obs.Tracer` — the services
+    the driver builds pick it up — and its envelope gains an ``obs``
+    block (tracer counters + worst slow queries; outside ``metrics``,
+    so tolerance bands and committed baselines are untouched).  With an
+    out directory, the full observability artifacts land next to the
+    trajectory: ``OBS_<scenario>.prom`` (Prometheus text exposition of
+    the scenario metrics + tracer counters) and
+    ``OBS_<scenario>_slow.json`` (the slow-query log with span trees).
     """
     sha = git_sha()
     envelopes: List[Dict[str, object]] = []
@@ -100,11 +161,32 @@ def run_scenarios(
         directory = pathlib.Path(out_dir)
         directory.mkdir(parents=True, exist_ok=True)
     for name in names:
-        envelope = result_envelope(run_scenario(name, quick=quick, seed=seed), sha)
+        tracer = (
+            Tracer(sample_rate=sample_rate, seed=seed)
+            if sample_rate is not None
+            else None
+        )
+        previous = install_default_tracer(tracer)
+        try:
+            result = run_scenario(name, quick=quick, seed=seed)
+        finally:
+            install_default_tracer(previous)
+        envelope = result_envelope(result, sha)
+        if tracer is not None:
+            envelope["obs"] = _obs_summary(tracer, sample_rate)
         envelopes.append(envelope)
         if directory is not None:
             path = directory / f"BENCH_{name}.json"
             path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+            if tracer is not None:
+                prom = _obs_registry(name, envelope["metrics"], tracer)
+                (directory / f"OBS_{name}.prom").write_text(
+                    prom.render_prometheus()
+                )
+                (directory / f"OBS_{name}_slow.json").write_text(
+                    json.dumps(tracer.slow_queries(), indent=2, sort_keys=True)
+                    + "\n"
+                )
     return envelopes
 
 
@@ -149,6 +231,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--sample-rate",
+        type=float,
+        default=DEFAULT_SAMPLE_RATE,
+        metavar="P",
+        help="trace head-sampling probability for the per-scenario "
+        f"tracer (default: {DEFAULT_SAMPLE_RATE}; slow and errored "
+        "requests are always sampled)",
+    )
+    parser.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable the per-scenario tracer and the OBS_* artifacts "
+        "(the null-tracer hot path)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     args = parser.parse_args(argv)
@@ -165,7 +262,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         get_scenario(name)  # fail fast on typos, before training anything
 
     envelopes = run_scenarios(
-        names, quick=args.quick, out_dir=args.out, seed=args.seed
+        names,
+        quick=args.quick,
+        out_dir=args.out,
+        seed=args.seed,
+        sample_rate=None if args.no_obs else args.sample_rate,
     )
 
     from ..eval.reporting import render_bench_trajectory

@@ -40,6 +40,8 @@ from ..errors import (
     ShardDownError,
     ShardOverloadError,
 )
+from ..obs import EventLog, MetricsRegistry
+from ..obs.trace import Tracer, current_tracer
 from ..serving import CostService, EstimatorBundle
 from .admission import AdmissionController
 from .router import ShardRouter
@@ -116,6 +118,9 @@ class ClusterService:
         service_factory: Optional[ServiceFactory] = None,
         failure_threshold: int = 3,
         max_inflight_per_shard: int = 512,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        events: Optional[EventLog] = None,
         **service_kwargs,
     ):
         """Build the tier.
@@ -127,6 +132,14 @@ class ClusterService:
         every replica.  *failure_threshold* consecutive failures eject
         a shard from routing; *max_inflight_per_shard* bounds each
         replica's concurrent admissions (excess is shed).
+
+        The tier owns one :class:`~repro.obs.MetricsRegistry` (its
+        ``cluster``/``shards`` sections back :meth:`counters` and
+        :meth:`report`), one :class:`~repro.obs.EventLog` (shard
+        kills/ejections/revivals/restarts, admission sheds) and —
+        when tracing — one :class:`~repro.obs.Tracer` shared with every
+        replica, so a routing hop span and the shard-side request span
+        land in the same trace.
         """
         if shard_ids is None:
             if shard_count < 1:
@@ -134,9 +147,22 @@ class ClusterService:
                     f"shard_count must be >= 1, got {shard_count}"
                 )
             shard_ids = [f"shard-{i}" for i in range(shard_count)]
-        factory: ServiceFactory = service_factory or (
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EventLog()
+        self.tracer = tracer if tracer is not None else current_tracer()
+        base_factory: ServiceFactory = service_factory or (
             lambda shard_id: CostService(**service_kwargs)
         )
+
+        def factory(shard_id: str) -> CostService:
+            """Build a replica tracing into the cluster's tracer
+            (unless the custom factory wired one up itself), so
+            routing spans parent the shard-side request spans."""
+            service = base_factory(shard_id)
+            if service.tracer is None and self.tracer is not None:
+                service.tracer = self.tracer
+            return service
+
         self.router = ShardRouter(shard_ids, failure_threshold=failure_threshold)
         #: Kept for replica replacement: :meth:`restart_shard` builds
         #: the replacement service exactly like the original.
@@ -155,6 +181,54 @@ class ClusterService:
         #: re-deploys these when no checkpoint (or a dead one) is
         #: available.
         self._bundle_objects: Dict[str, EstimatorBundle] = {}
+        self._register_collectors()
+
+    def _register_collectors(self) -> None:
+        """Register the tier's sections into :attr:`metrics`:
+        ``cluster`` (routing/health/admission), ``shards`` (each
+        replica's full :meth:`~repro.serving.CostService.counters`),
+        ``events`` and — when tracing — ``tracer``."""
+        register = self.metrics.register_collector
+        register("cluster", self._cluster_section)
+        register(
+            "shards",
+            lambda: {
+                shard_id: shard.service.counters()
+                for shard_id, shard in sorted(self._shards.items())
+            },
+        )
+        register("events", self.events.counters)
+        register(
+            "tracer",
+            lambda: None if self.tracer is None else self.tracer.counters(),
+        )
+
+    def _cluster_section(self) -> Dict[str, object]:
+        """The ``cluster`` collector: routing totals plus per-shard
+        health/admission/liveness (the data :meth:`report` renders)."""
+        health = self.router.health()
+        routing = self.stats.snapshot()
+        routed: Dict[str, int] = routing["routed"]
+        per_shard: Dict[str, object] = {}
+        shed_total = 0
+        for shard_id, shard in sorted(self._shards.items()):
+            admission = shard.admission.counters()
+            shed_total += int(admission["shed"])
+            per_shard[shard_id] = {
+                "admission": admission,
+                "failures": health[shard_id].failures,
+                "ejections": health[shard_id].ejections,
+                "alive": health[shard_id].alive,
+                "routed": routed.get(shard_id, 0),
+            }
+        return {
+            "routed": routed,
+            "reroutes": routing["reroutes"],
+            "exhausted": routing["exhausted"],
+            "shed": shed_total,
+            "ejections": sum(h.ejections for h in health.values()),
+            "per_shard": per_shard,
+        }
 
     # ------------------------------------------------------------------
     # deployment
@@ -253,7 +327,28 @@ class ClusterService:
           over: shedding is deliberate degradation, and spilling a
           saturated tenant onto other tenants' replicas would defeat
           the isolation the shards exist to provide.
+
+        With a tracer attached, the whole attempt chain runs under one
+        ``route`` span (which, via the shared tracer's thread-local
+        stack, parents the shard service's request span) annotated with
+        the tenant, the serving shard and whether failover rerouted it.
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._failover_loop(key, call, release_on_success, None)
+        with tracer.start_span("route", kind="route") as span:
+            span.annotate(tenant=key)
+            return self._failover_loop(key, call, release_on_success, span)
+
+    def _failover_loop(
+        self,
+        key: str,
+        call,
+        release_on_success: bool,
+        span,
+    ):
+        """The retry chain of :meth:`_with_failover` (*span* is the
+        open route span, or None when tracing is off)."""
         excluded: Set[str] = set()
         rerouted = False
         last_error: Optional[Exception] = None
@@ -267,6 +362,7 @@ class ClusterService:
                 ) from last_error
             shard = self._shards[shard_id]
             if not shard.admission.try_acquire():
+                self.events.emit("admission_shed", shard=shard_id, tenant=key)
                 raise ShardOverloadError(
                     f"shard {shard_id!r} is at its admission limit "
                     f"({shard.admission.max_inflight} in flight); request shed"
@@ -276,7 +372,10 @@ class ClusterService:
                 value = call(shard)
             except ShardDownError as exc:
                 shard.admission.release()
-                self.router.record_failure(shard_id)
+                if self.router.record_failure(shard_id):
+                    self.events.emit(
+                        "shard_ejected", shard=shard_id, reason="health"
+                    )
                 last_error = exc
                 excluded.add(shard_id)
                 rerouted = True
@@ -300,6 +399,8 @@ class ClusterService:
             self.stats.count_routed(shard_id)
             if rerouted:
                 self.stats.count_reroute()
+            if span is not None:
+                span.annotate(shard=shard_id, rerouted=rerouted)
             return value
 
     # ------------------------------------------------------------------
@@ -373,7 +474,12 @@ class ClusterService:
                 if exc is None:
                     self.router.record_success(shard.shard_id)
                 elif isinstance(exc, ShardDownError):
-                    self.router.record_failure(shard.shard_id)
+                    if self.router.record_failure(shard.shard_id):
+                        self.events.emit(
+                            "shard_ejected",
+                            shard=shard.shard_id,
+                            reason="health",
+                        )
 
             future.add_done_callback(_record)
             return future
@@ -405,17 +511,20 @@ class ClusterService:
         """Simulate a replica crash: requests reaching *shard_id* fail
         (and fail over) until the router's threshold ejects it."""
         self._shard(shard_id).killed = True
+        self.events.emit("shard_killed", shard=shard_id)
 
     def revive_shard(self, shard_id: str) -> None:
         """Bring a killed/ejected replica back into routing; exactly
         its rendezvous tenants move back to it."""
         self._shard(shard_id).killed = False
         self.router.recover(shard_id)
+        self.events.emit("shard_revived", shard=shard_id)
 
     def eject(self, shard_id: str) -> None:
         """Remove *shard_id* from routing immediately (no failures
         needed — an operator or external health probe decision)."""
         self.router.eject(shard_id)
+        self.events.emit("shard_ejected", shard=shard_id, reason="operator")
 
     def restart_shard(
         self, shard_id: str, checkpoint_dir=None
@@ -447,6 +556,7 @@ class ClusterService:
         shard.killed = False
         self.router.recover(shard_id)
         old.close()
+        self.events.emit("shard_restarted", shard=shard_id, warm=warm)
         return warm
 
     # ------------------------------------------------------------------
@@ -520,62 +630,37 @@ class ClusterService:
     def counters(self) -> Dict[str, object]:
         """Machine-readable counter snapshot for the whole tier.
 
-        ``cluster`` carries routing/admission/health totals;
-        ``shards`` nests each replica's own
-        :meth:`~repro.serving.CostService.counters` snapshot untouched,
-        so existing per-service tooling can point one level down.
+        A thin view over :attr:`metrics`: ``cluster`` carries
+        routing/admission/health totals, ``shards`` nests each
+        replica's own :meth:`~repro.serving.CostService.counters`
+        snapshot untouched (so existing per-service tooling can point
+        one level down), ``events`` and — when tracing — ``tracer``
+        follow.  The same registry renders the Prometheus exposition.
         """
-        health = self.router.health()
-        per_shard: Dict[str, object] = {}
-        shed_total = 0
-        for shard_id, shard in sorted(self._shards.items()):
-            admission = shard.admission.counters()
-            shed_total += int(admission["shed"])
-            per_shard[shard_id] = {
-                "admission": admission,
-                "failures": health[shard_id].failures,
-                "ejections": health[shard_id].ejections,
-            }
-        routing = self.stats.snapshot()
-        return {
-            "cluster": {
-                "routed": routing["routed"],
-                "reroutes": routing["reroutes"],
-                "exhausted": routing["exhausted"],
-                "shed": shed_total,
-                "ejections": sum(h.ejections for h in health.values()),
-                "per_shard": per_shard,
-            },
-            "shards": {
-                shard_id: shard.service.counters()
-                for shard_id, shard in sorted(self._shards.items())
-            },
-        }
+        return self.metrics.sections_snapshot()
 
     def report(self) -> str:
-        """Human-readable per-shard routing/health/admission report."""
+        """Human-readable per-shard routing/health/admission report,
+        rendered from the same registry snapshot :meth:`counters`
+        serves."""
         from ..eval.reporting import render_cluster_report
 
-        health = self.router.health()
-        routing = self.stats.snapshot()
-        routed: Dict[str, int] = routing["routed"]
-        rows = []
-        for shard_id, shard in sorted(self._shards.items()):
-            admission = shard.admission.counters()
-            rows.append(
-                (
-                    shard_id,
-                    "up" if health[shard_id].alive else "down",
-                    routed.get(shard_id, 0),
-                    health[shard_id].failures,
-                    admission["shed"],
-                    admission["peak_inflight"],
-                )
+        cluster = self.metrics.sections_snapshot()["cluster"]
+        rows = [
+            (
+                shard_id,
+                "up" if info["alive"] else "down",
+                info["routed"],
+                info["failures"],
+                info["admission"]["shed"],
+                info["admission"]["peak_inflight"],
             )
+            for shard_id, info in sorted(cluster["per_shard"].items())
+        ]
         totals = {
-            "reroutes": routing["reroutes"],
-            "exhausted": routing["exhausted"],
-            "ejections": sum(h.ejections for h in health.values()),
+            "reroutes": cluster["reroutes"],
+            "exhausted": cluster["exhausted"],
+            "ejections": cluster["ejections"],
         }
         return render_cluster_report(rows, totals)
 

@@ -141,6 +141,98 @@ def render_cluster_report(
     return "\n\n".join(sections)
 
 
+def _waterfall_rows(
+    nodes: Sequence[Dict], depth: int = 0, rows: List[Tuple] = None
+) -> List[Tuple]:
+    """Flatten a :func:`repro.obs.span_tree` forest into indented
+    (span, duration, status, annotations) table rows."""
+    if rows is None:
+        rows = []
+    for node in nodes:
+        annotations = {
+            key: value
+            for key, value in node.get("annotations", {}).items()
+            if key not in ("links",)  # link lists are too wide for a cell
+        }
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(annotations.items()))
+        rows.append(
+            (
+                "  " * depth + str(node.get("name", "?")),
+                f"{node.get('duration_ms', 0.0):.3f}",
+                node.get("status", "?"),
+                rendered,
+            )
+        )
+        _waterfall_rows(node.get("children", []), depth + 1, rows)
+    return rows
+
+
+def render_obs_report(
+    tracer=None,
+    events=None,
+    traces: int = 3,
+    slow: int = 5,
+) -> str:
+    """The observability report: trace waterfalls, the slow-query log
+    and the structured event history, in the repo's table style.
+
+    *tracer* is a :class:`repro.obs.Tracer` (or None to skip the trace
+    sections); *events* an :class:`repro.obs.EventLog` (or None).
+    ``traces`` bounds how many retained traces render as waterfalls
+    (newest first), ``slow`` how many slow-log entries list.
+    """
+    from ..obs import span_tree
+
+    sections: List[str] = []
+    if tracer is not None:
+        for trace in reversed(tracer.traces()[-traces:]):
+            rows = _waterfall_rows(span_tree(trace["spans"]))
+            sections.append(
+                f"trace {trace['trace_id']} "
+                f"(sampled: {trace['sampled_by']}, "
+                f"{trace['duration_ms']:.3f} ms)\n"
+                + format_table(
+                    ["span", "ms", "status", "annotations"], rows
+                )
+            )
+        entries = tracer.slow_queries()[:slow]
+        if entries:
+            sections.append(
+                "slow-query log (slowest first)\n"
+                + format_table(
+                    ["trace", "root", "ms", "status", "fingerprint"],
+                    [
+                        (
+                            entry["trace_id"],
+                            entry["root"],
+                            f"{entry['duration_ms']:.3f}",
+                            entry["status"],
+                            str(entry.get("fingerprint"))[:40],
+                        )
+                        for entry in entries
+                    ],
+                )
+            )
+    if events is not None and len(events):
+        sections.append(
+            "events\n"
+            + format_table(
+                ["type", "unix ts", "fields"],
+                [
+                    (
+                        event.type,
+                        f"{event.unix_ts:.3f}",
+                        ", ".join(
+                            f"{k}={v}" for k, v in sorted(event.data.items())
+                        ),
+                    )
+                    for event in events.events()
+                ],
+            )
+        )
+    return "\n\n".join(sections) if sections else "(no observability data)"
+
+
 def load_bench_trajectory(directory: Union[str, pathlib.Path]) -> List[Dict]:
     """Every ``BENCH_*.json`` perf-trajectory envelope under
     *directory* (see :mod:`repro.bench.runner`), scenario-sorted."""

@@ -95,6 +95,10 @@ class Checkpointer:
         self.errors = 0
         self.last_write_unix = 0.0
         self.last_path: Optional[pathlib.Path] = None
+        # Durability is part of the service's one observable surface:
+        # the write/skip/error counters join its metrics registry (and
+        # leave it again on close), and writes/failures emit events.
+        service.metrics.register_collector("checkpointer", self.stats_snapshot)
         self._thread: Optional[threading.Thread] = None
         if background:
             self._thread = threading.Thread(
@@ -130,7 +134,7 @@ class Checkpointer:
                 retain=self.retain,
                 meta={"kind": "cost_service"},
             )
-        except Exception:
+        except Exception as exc:
             # Keep the write owed: a mark_dirty() whose state change the
             # token cannot see must survive a transient failure (disk
             # full), or the change would never be persisted once the
@@ -140,12 +144,18 @@ class Checkpointer:
                     self._dirty = True
             with self._stats_lock:
                 self.errors += 1
+            self.service.events.emit(
+                "checkpoint_error",
+                directory=str(self.directory),
+                error=repr(exc),
+            )
             return None
         self._last_token = token
         with self._stats_lock:
             self.writes += 1
             self.last_write_unix = time.time()
             self.last_path = path
+        self.service.events.emit("checkpoint_write", path=str(path))
         return path
 
     def stats_snapshot(self) -> Dict[str, object]:
@@ -180,6 +190,7 @@ class Checkpointer:
             self._thread.join(timeout=10.0)
         if final_checkpoint:
             self.checkpoint_now()
+        self.service.metrics.unregister_collector("checkpointer")
 
     def __enter__(self) -> "Checkpointer":
         """Context-manager entry (returns self)."""

@@ -427,6 +427,9 @@ class AdaptationManager:
             self.stats.add("dims_flagged", len(newly))
             self.stats.add("drift_trips")
             watcher.drift_pending = True
+            self.service.events.emit(
+                "drift_trip", bundle=watcher.name, dims_flagged=len(newly)
+            )
 
     def _check_store_miss_rate(self) -> None:
         store = self.service.snapshot_store
@@ -445,6 +448,11 @@ class AdaptationManager:
         self._store_seen_misses = misses
         if delta_misses / delta_requests > self.config.miss_rate_threshold:
             self.stats.add("miss_rate_trips")
+            self.service.events.emit(
+                "miss_rate_trip",
+                miss_rate=delta_misses / delta_requests,
+                requests=delta_requests,
+            )
             # Store misses are not attributable to one bundle: every
             # watched bundle is asked to refresh against recent traffic.
             for watcher in self.watchers():
@@ -543,8 +551,20 @@ class AdaptationManager:
 
             self.service.registry.update(watcher.name, _promote)
             self.stats.add("promotions")
+            self.service.events.emit(
+                "promotion",
+                bundle=watcher.name,
+                live_q=float(live_q.mean()),
+                candidate_q=float(candidate_q.mean()),
+            )
         else:
             self.stats.add("rollbacks")
+            self.service.events.emit(
+                "rollback",
+                bundle=watcher.name,
+                live_q=float(live_q.mean()),
+                candidate_q=float(candidate_q.mean()),
+            )
 
     def _live_bundle(self, name: str) -> EstimatorBundle:
         return self.service.registry.get(name)

@@ -10,7 +10,16 @@ predict — against deployed :class:`EstimatorBundle`\\ s, with:
   the bundle onto the extended snapshot set;
 - a :class:`MicroBatcher` per bundle behind :meth:`estimate_async`,
   coalescing concurrent requests into batched forward passes;
-- per-stage latency and hit-rate counters (:meth:`report`).
+- per-stage latency and hit-rate counters (:meth:`report`), all
+  registered into one :class:`~repro.obs.MetricsRegistry`
+  (``service.metrics``) — :meth:`counters` is a thin view over it;
+- optional request tracing (:class:`~repro.obs.Tracer`): per-stage
+  spans, batch spans linked to coalesced requests, cache hit/miss
+  annotations — tracing off (``tracer is None``) costs one attribute
+  check and zero allocations per request;
+- a structured :class:`~repro.obs.EventLog` (``service.events``)
+  recording deploys, adaptation promotions/rollbacks, drift trips and
+  checkpoint writes/restores.
 
 Estimates are deterministic: the same plan under the same bundle
 version always produces the same number, whether it came through the
@@ -33,6 +42,8 @@ from ..engine.operators import PlanNode
 from ..engine.optimizer import PlanBuilder
 from ..errors import ServingError
 from ..featurization.fingerprint import plan_fingerprint
+from ..obs import EventLog, MetricsRegistry
+from ..obs.trace import Tracer, current_tracer
 from ..sql.ast import SelectQuery
 from ..sql.parser import parse_sql
 from .adaptation import AdaptationConfig, AdaptationManager
@@ -50,10 +61,29 @@ STAGES = ("parse", "plan", "featurize", "predict")
 @dataclass
 class ServiceStats:
     """Request counters and per-stage wall time (thread-safe: callers
-    and the micro-batcher worker record concurrently)."""
+    and the micro-batcher worker record concurrently).
+
+    Request/batch accounting is unified across the three serving
+    paths:
+
+    - ``requests`` counts **every** served request exactly once, at
+      ingress — each ``estimate()`` call, each query of an
+      ``estimate_many()`` call, each ``estimate_async()`` submission.
+    - ``batched_requests`` counts the **subset** of those requests
+      whose forward pass was a fused multi-item predict — the chunks
+      of ``estimate_many`` and the micro-batcher's flushes.  It is
+      never a disjoint column: ``batched_requests <= requests``.
+    - ``predict_batches`` counts the fused predict *invocations*
+      (one per ``estimate_many`` chunk, one per batcher flush), so
+      mean fused-batch occupancy is
+      ``batched_requests / predict_batches``.
+    - stage ``predict`` **calls** count items predicted (rows), not
+      invocations; single-path requests contribute 1 each.
+    """
 
     requests: int = 0
     batched_requests: int = 0
+    predict_batches: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     stage_counts: Dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(
@@ -68,13 +98,17 @@ class ServiceStats:
             )
             self.stage_counts[stage] = self.stage_counts.get(stage, 0) + count
 
-    def count_requests(self, count: int = 1, batched: bool = False) -> None:
-        """Count *count* served requests (batched-path ones separately)."""
+    def count_requests(self, count: int = 1) -> None:
+        """Count *count* served requests at ingress (every path)."""
         with self._lock:
-            if batched:
-                self.batched_requests += count
-            else:
-                self.requests += count
+            self.requests += count
+
+    def count_batched(self, count: int, batches: int = 1) -> None:
+        """Mark *count* already-ingressed requests as served by fused
+        predicts (*batches* invocations) — see the class docstring."""
+        with self._lock:
+            self.batched_requests += count
+            self.predict_batches += batches
 
     def stage_rows(self) -> List[Tuple[str, int, float, float]]:
         """(stage, count, total seconds, mean ms) rows, stage-ordered."""
@@ -94,6 +128,7 @@ class ServiceStats:
             return {
                 "requests": self.requests,
                 "batched_requests": self.batched_requests,
+                "predict_batches": self.predict_batches,
                 "stages": {
                     stage: {
                         "calls": self.stage_counts.get(stage, 0),
@@ -116,11 +151,23 @@ class CostService:
         batch_window_s: float = 0.002,
         snapshot_scale: int = 8,
         adaptation: Optional[AdaptationConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        events: Optional[EventLog] = None,
     ):
         self.registry = registry or EstimatorRegistry()
         self.snapshot_store = snapshot_store
         self.cache = FeatureCache(cache_capacity)
         self.stats = ServiceStats()
+        #: The unified metrics registry every stats source registers
+        #: into; :meth:`counters` and the Prometheus exposition are
+        #: views over it.  Pass a shared one to merge services.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Structured control-plane events (deploys, promotions, ...).
+        self.events = events if events is not None else EventLog()
+        #: Request tracer; None (the default, unless a process default
+        #: is installed) disables tracing with zero per-request cost.
+        self.tracer = tracer if tracer is not None else current_tracer()
         self.batch_max = batch_max
         self.batch_window_s = batch_window_s
         self.snapshot_scale = snapshot_scale
@@ -132,6 +179,54 @@ class CostService:
         #: a background worker refits/hot-swaps off the hot path.
         self.adaptation: Optional[AdaptationManager] = (
             AdaptationManager(self, adaptation) if adaptation is not None else None
+        )
+        self._register_collectors()
+
+    def _register_collectors(self) -> None:
+        """Register every stats source into :attr:`metrics`.
+
+        Sections are registered in the order the old hand-rolled
+        ``counters()`` emitted them, so snapshot key order (and the
+        bench deltas computed from it) is unchanged by the migration.
+        Each collector is the component's existing atomic snapshot;
+        components configured off return None and their section is
+        omitted, exactly as before.
+        """
+        register = self.metrics.register_collector
+        register("service", self.stats.snapshot)
+        register("registry", self.registry.stats_snapshot)
+        register(
+            "feature_cache",
+            lambda: dict(
+                self.cache.stats_snapshot().as_dict(), size=len(self.cache)
+            ),
+        )
+        register(
+            "snapshot_store",
+            lambda: None
+            if self.snapshot_store is None
+            else dict(
+                self.snapshot_store.stats_snapshot().as_dict(),
+                size=len(self.snapshot_store),
+            ),
+        )
+        register(
+            "batchers",
+            lambda: {
+                name: stats.as_dict()
+                for name, stats in self.batcher_stats().items()
+            },
+        )
+        register(
+            "adaptation",
+            lambda: None
+            if self.adaptation is None
+            else self.adaptation.stats.snapshot(),
+        )
+        register("events", self.events.counters)
+        register(
+            "tracer",
+            lambda: None if self.tracer is None else self.tracer.counters(),
         )
 
     # ------------------------------------------------------------------
@@ -148,6 +243,9 @@ class CostService:
         has no pruned dimensions to recall and is served unwatched.
         """
         deployed = self.registry.register(bundle, name=name)
+        self.events.emit(
+            "deploy", bundle=deployed.name, version=deployed.version
+        )
         if self.adaptation is not None:
             self.adaptation.watch(deployed)
         return deployed
@@ -223,7 +321,14 @@ class CostService:
         bundle: EstimatorBundle,
         env: DatabaseEnvironment,
     ) -> Tuple[PlanNode, str]:
-        """Parse/plan as needed; returns (plan, sql text if known)."""
+        """Parse/plan as needed; returns (plan, sql text if known).
+
+        With a tracer attached, the parse and plan stages each open a
+        child span under the caller's active request span (thread-local
+        propagation); with no tracer the path is identical to before —
+        no span objects exist to allocate.
+        """
+        tracer = self.tracer
         sql_text = ""
         if isinstance(query, str):
             start = time.perf_counter()
@@ -233,11 +338,19 @@ class CostService:
                     f"bundle {bundle.name!r} carries no benchmark catalog; "
                     "cannot parse SQL"
                 )
-            query = parse_sql(query, bundle.benchmark.catalog)
+            if tracer is None:
+                query = parse_sql(query, bundle.benchmark.catalog)
+            else:
+                with tracer.start_span("parse"):
+                    query = parse_sql(query, bundle.benchmark.catalog)
             self.stats.record("parse", time.perf_counter() - start)
         if isinstance(query, SelectQuery):
             start = time.perf_counter()
-            plan = self._builder_for(bundle, env).build(query)
+            if tracer is None:
+                plan = self._builder_for(bundle, env).build(query)
+            else:
+                with tracer.start_span("plan"):
+                    plan = self._builder_for(bundle, env).build(query)
             self.stats.record("plan", time.perf_counter() - start)
             sql_text = sql_text or query.sql()
             return plan, sql_text
@@ -258,12 +371,27 @@ class CostService:
         key = plan_fingerprint(
             record.plan, bundle.name, bundle.version, env.name
         )
+        tracer = self.tracer
         # Stampede-safe: concurrent misses on one fingerprint encode
         # once, and a legitimate None ("no cacheable form") is cached
         # rather than recomputed on every request.
-        prepared = self.cache.get_or_compute(
-            key, lambda: bundle.prepare_one(record)
-        )
+        if tracer is None:
+            prepared = self.cache.get_or_compute(
+                key, lambda: bundle.prepare_one(record)
+            )
+        else:
+            with tracer.start_span("featurize") as span:
+                computed = []
+
+                def _compute():
+                    computed.append(True)
+                    return bundle.prepare_one(record)
+
+                prepared = self.cache.get_or_compute(key, _compute)
+                span.annotate(
+                    fingerprint=key,
+                    cache="miss" if computed else "hit",
+                )
         self.stats.record("featurize", time.perf_counter() - start)
         return prepared
 
@@ -283,13 +411,42 @@ class CostService:
         env: DatabaseEnvironment,
         bundle: Optional[str] = None,
     ) -> float:
-        """Estimated latency (ms) of *query* under *env*, synchronously."""
+        """Estimated latency (ms) of *query* under *env*, synchronously.
+
+        With a tracer attached the request runs under a root
+        ``request`` span with ``parse``/``plan``/``featurize``/
+        ``predict`` children; with ``tracer is None`` the path is the
+        pre-tracing code, byte for byte — no span allocation.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return self._estimate_inner(query, env, bundle)
+        with tracer.start_span("request") as span:
+            span.annotate(bundle=bundle or "<default>", env=env.name)
+            return self._estimate_inner(query, env, bundle)
+
+    def _estimate_inner(
+        self,
+        query: QueryLike,
+        env: DatabaseEnvironment,
+        bundle: Optional[str],
+    ) -> float:
+        """The untraced body of :meth:`estimate` (stage spans, if any,
+        parent onto the caller's active span via the tracer's
+        thread-local stack)."""
+        tracer = self.tracer
         deployed = self._ensure_environment(self._bundle(bundle), env)
         plan, sql_text = self._resolve_plan(query, deployed, env)
         record = self._record_for(plan, env, sql_text)
         prepared = self._prepare(deployed, record, env)
         start = time.perf_counter()
-        value = float(deployed.predict_prepared([record], [prepared])[0])
+        if tracer is None:
+            value = float(deployed.predict_prepared([record], [prepared])[0])
+        else:
+            with tracer.start_span("predict", kind="predict"):
+                value = float(
+                    deployed.predict_prepared([record], [prepared])[0]
+                )
         self.stats.record("predict", time.perf_counter() - start)
         self.stats.count_requests()
         self._stream_to_adaptation(deployed.name, record)
@@ -303,9 +460,39 @@ class CostService:
         batch_size: int = 64,
     ) -> np.ndarray:
         """Batched estimates: featurize each query (through the cache),
-        then predict in chunks of *batch_size* fused forward passes."""
+        then predict in chunks of *batch_size* fused forward passes.
+
+        Accounting: every query counts once into ``requests`` *and*
+        once into ``batched_requests`` (they were served by fused
+        predicts); each chunk counts one ``predict_batches``.  With a
+        tracer attached the call runs under one ``estimate_many`` root
+        span with per-query featurize children and one ``predict``
+        child per chunk.
+        """
         if batch_size < 1:
             raise ServingError(f"batch_size must be >= 1, got {batch_size}")
+        tracer = self.tracer
+        if tracer is None:
+            return self._estimate_many_inner(queries, env, bundle, batch_size)
+        with tracer.start_span("estimate_many", kind="request") as span:
+            span.annotate(
+                bundle=bundle or "<default>",
+                env=env.name,
+                n_queries=len(queries),
+                batch_size=batch_size,
+            )
+            return self._estimate_many_inner(queries, env, bundle, batch_size)
+
+    def _estimate_many_inner(
+        self,
+        queries: Sequence[QueryLike],
+        env: DatabaseEnvironment,
+        bundle: Optional[str],
+        batch_size: int,
+    ) -> np.ndarray:
+        """The body of :meth:`estimate_many` (runs under its root span
+        when tracing is on)."""
+        tracer = self.tracer
         deployed = self._ensure_environment(self._bundle(bundle), env)
         records: List[LabeledPlan] = []
         prepared: List[object] = []
@@ -316,15 +503,24 @@ class CostService:
             prepared.append(self._prepare(deployed, record, env))
             self._stream_to_adaptation(deployed.name, record)
         out = np.zeros(len(records))
+        batches = 0
         for lo in range(0, len(records), batch_size):
             hi = min(lo + batch_size, len(records))
             start = time.perf_counter()
-            out[lo:hi] = deployed.predict_prepared(
-                records[lo:hi], prepared[lo:hi]
-            )
+            if tracer is None:
+                out[lo:hi] = deployed.predict_prepared(
+                    records[lo:hi], prepared[lo:hi]
+                )
+            else:
+                with tracer.start_span("predict", kind="predict") as span:
+                    span.annotate(batch_size=hi - lo)
+                    out[lo:hi] = deployed.predict_prepared(
+                        records[lo:hi], prepared[lo:hi]
+                    )
             self.stats.record("predict", time.perf_counter() - start, hi - lo)
+            batches += 1
         self.stats.count_requests(len(records))
-        self.stats.count_requests(len(records), batched=True)
+        self.stats.count_batched(len(records), batches=batches)
         return out
 
     def estimate_async(
@@ -335,7 +531,48 @@ class CostService:
     ):
         """Queue *query* on the bundle's micro-batcher; returns a Future
         resolving to the estimate.  Concurrent callers are coalesced
-        into single batched forward passes."""
+        into single batched forward passes.
+
+        With a tracer attached, the request's root span stays open
+        across the queue hand-off (its :class:`~repro.obs.SpanContext`
+        rides with the queued item so the flush's batch span can link
+        back) and is finished when the Future resolves — so its
+        duration covers queueing + the shared forward pass, and an
+        errored Future marks the trace errored (always retained).
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return self._estimate_async_inner(query, env, bundle, None)
+        span = tracer.start_span("request")
+        span.annotate(bundle=bundle or "<default>", env=env.name, path="async")
+        try:
+            future = self._estimate_async_inner(query, env, bundle, span)
+        except BaseException as exc:
+            span.finish(error=exc)
+            raise
+        # The root now outlives this frame: pop it off the caller
+        # thread's stack and close it from the Future instead.
+        tracer.deactivate(span)
+
+        def _finish_root(resolved, span=span):
+            try:
+                error = resolved.exception()
+            except BaseException as exc:  # cancelled futures
+                error = exc
+            span.finish(error=error)
+
+        future.add_done_callback(_finish_root)
+        return future
+
+    def _estimate_async_inner(
+        self,
+        query: QueryLike,
+        env: DatabaseEnvironment,
+        bundle: Optional[str],
+        span,
+    ):
+        """Featurize and enqueue one async request (*span* is the open
+        root span when tracing, else None; it rides with the item)."""
         deployed = self._ensure_environment(self._bundle(bundle), env)
         plan, sql_text = self._resolve_plan(query, deployed, env)
         record = self._record_for(plan, env, sql_text)
@@ -346,7 +583,7 @@ class CostService:
         # The bundle rides along: prepared features are only valid for
         # the bundle version that encoded them, so a hot-swap must not
         # re-route in-flight requests onto new masks/weights.
-        return batcher.submit((deployed, record, prepared))
+        return batcher.submit((deployed, record, prepared, span))
 
     # ------------------------------------------------------------------
     # durability (repro.persist)
@@ -378,10 +615,23 @@ class CostService:
         *directory*; True on success.  Corrupt or version-mismatched
         checkpoints fail over to older retained ones, then to a cold
         start (False) — a restart never crash-loops on damaged state.
-        """
-        from ..persist import restore_service_checkpoint
 
-        restored, _ = restore_service_checkpoint(self, directory)
+        Emits a ``checkpoint_restore`` event on success, plus a
+        ``checkpoint_failover_older`` event when the checkpoint used
+        was not the newest retained one.
+        """
+        from ..persist import list_checkpoints, restore_service_checkpoint
+
+        restored, path = restore_service_checkpoint(self, directory)
+        if restored:
+            self.events.emit("checkpoint_restore", path=str(path), warm=True)
+            retained = list_checkpoints(directory)
+            if retained and str(retained[-1][1]) != str(path):
+                self.events.emit(
+                    "checkpoint_failover_older",
+                    path=str(path),
+                    newest=str(retained[-1][1]),
+                )
         return restored
 
     # ------------------------------------------------------------------
@@ -459,21 +709,55 @@ class CostService:
             return batcher
 
     def _run_batch(self, bundle_name: str, items: List[object]) -> np.ndarray:
-        # A batch may straddle a hot-swap: group by the bundle captured
-        # at submit time, since each request's prepared features match
-        # only that bundle's masks and snapshot normalisation.
-        groups: Dict[int, Tuple[EstimatorBundle, List[int]]] = {}
-        for index, (bundle, _, _) in enumerate(items):
-            groups.setdefault(id(bundle), (bundle, []))[1].append(index)
-        out = np.zeros(len(items))
-        start = time.perf_counter()
-        for bundle, indices in groups.values():
-            out[indices] = bundle.predict_prepared(
-                [items[i][1] for i in indices],
-                [items[i][2] for i in indices],
+        # One flush == one batch span linking every coalesced request's
+        # root (a flush serves many traces, so it roots its own), and
+        # each request span learns which flush served it.
+        tracer = self.tracer
+        bspan = None
+        if tracer is not None:
+            spans = [item[3] for item in items if item[3] is not None]
+            bspan = tracer.start_batch_span(
+                "batch", [s.context for s in spans]
             )
-        self.stats.record("predict", time.perf_counter() - start, len(items))
-        self.stats.count_requests(len(items), batched=True)
+            bspan.annotate(batcher=bundle_name)
+            for span in spans:
+                span.annotate(
+                    batch_trace=bspan.trace_id, batch_span=bspan.span_id
+                )
+        try:
+            # A batch may straddle a hot-swap: group by the bundle
+            # captured at submit time, since each request's prepared
+            # features match only that bundle's masks and snapshot
+            # normalisation.
+            groups: Dict[int, Tuple[EstimatorBundle, List[int]]] = {}
+            for index, (bundle, _, _, _) in enumerate(items):
+                groups.setdefault(id(bundle), (bundle, []))[1].append(index)
+            out = np.zeros(len(items))
+            start = time.perf_counter()
+            if bspan is None:
+                for bundle, indices in groups.values():
+                    out[indices] = bundle.predict_prepared(
+                        [items[i][1] for i in indices],
+                        [items[i][2] for i in indices],
+                    )
+            else:
+                with tracer.start_span(
+                    "predict", parent=bspan, activate=False, kind="predict"
+                ) as pspan:
+                    pspan.annotate(batch_size=len(items))
+                    for bundle, indices in groups.values():
+                        out[indices] = bundle.predict_prepared(
+                            [items[i][1] for i in indices],
+                            [items[i][2] for i in indices],
+                        )
+            self.stats.record("predict", time.perf_counter() - start, len(items))
+            self.stats.count_batched(len(items))
+        except BaseException as exc:
+            if bspan is not None:
+                bspan.finish(error=exc)
+            raise
+        if bspan is not None:
+            bspan.finish()
         return out
 
     # ------------------------------------------------------------------
@@ -491,33 +775,20 @@ class CostService:
     def counters(self) -> Dict[str, object]:
         """Machine-readable snapshot of every serving counter.
 
-        Each section is copied atomically under the lock that guards
-        its mutation — the feature cache, snapshot store, batchers and
-        adaptation loop all count under their own locks — so a load
-        generator sampling mid-traffic never reads torn totals (e.g. a
-        hit recorded but its request not yet visible).  Sections for
-        absent components (no snapshot store, no adaptation) are
+        A thin view over :attr:`metrics`
+        (:meth:`~repro.obs.MetricsRegistry.sections_snapshot`): every
+        subsystem registers its snapshot function as a collector at
+        construction, so this method, the JSON dump and the Prometheus
+        exposition all read the *same* registry instead of six
+        hand-rolled snapshot paths.  Each section is still copied
+        atomically under the lock that guards its mutation — the
+        feature cache, snapshot store, batchers and adaptation loop all
+        count under their own locks — so a load generator sampling
+        mid-traffic never reads torn totals.  Sections for absent
+        components (no snapshot store, no adaptation, no tracer) are
         omitted.
         """
-        out: Dict[str, object] = {
-            "service": self.stats.snapshot(),
-            "registry": self.registry.stats_snapshot(),
-            "feature_cache": dict(
-                self.cache.stats_snapshot().as_dict(), size=len(self.cache)
-            ),
-        }
-        if self.snapshot_store is not None:
-            out["snapshot_store"] = dict(
-                self.snapshot_store.stats_snapshot().as_dict(),
-                size=len(self.snapshot_store),
-            )
-        out["batchers"] = {
-            name: stats.as_dict()
-            for name, stats in self.batcher_stats().items()
-        }
-        if self.adaptation is not None:
-            out["adaptation"] = self.adaptation.stats.snapshot()
-        return out
+        return self.metrics.sections_snapshot()
 
     def report(self) -> str:
         """Human-readable per-stage latency and cache hit-rate report."""

@@ -328,11 +328,13 @@ def test_counters_and_report_shape(cluster, cluster_bundle, cluster_envs):
     _, labeled = cluster_bundle
     cluster.estimate(labeled[0].query_sql, cluster_envs[0])
     counters = cluster.counters()
-    assert set(counters) == {"cluster", "shards"}
+    # "tracer" joins the set only when a tracer is attached.
+    assert set(counters) == {"cluster", "shards", "events"}
     tier = counters["cluster"]
     assert set(tier) >= {"routed", "reroutes", "shed", "ejections", "per_shard"}
     for shard_id in cluster.router.shard_ids():
         assert "service" in counters["shards"][shard_id]
         assert "admission" in tier["per_shard"][shard_id]
+        assert tier["per_shard"][shard_id]["alive"] is True
     report = cluster.report()
     assert "shard" in report and "routed" in report and "reroutes" in report

@@ -1,0 +1,162 @@
+"""Tracer unit behaviour: nesting, sampling, slow log, batch spans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    SpanContext,
+    Tracer,
+    current_tracer,
+    install_default_tracer,
+    span_tree,
+)
+
+
+def test_same_thread_nesting_via_stack():
+    tracer = Tracer(sample_rate=1.0, seed=1)
+    with tracer.start_span("request") as root:
+        assert tracer.current() is root
+        with tracer.start_span("parse") as child:
+            assert child.trace_id == root.trace_id
+            assert child.parent_id == root.span_id
+    assert tracer.current() is None
+    [trace] = tracer.traces()
+    assert [s["name"] for s in trace["spans"]] == ["parse", "request"]
+    tree = span_tree(trace["spans"])
+    assert tree[0]["name"] == "request"
+    assert tree[0]["children"][0]["name"] == "parse"
+
+
+def test_head_sampling_is_probabilistic_and_seeded():
+    tracer = Tracer(sample_rate=0.5, seed=42)
+    for _ in range(100):
+        tracer.start_span("request").finish()
+    retained = len(tracer.traces())
+    assert 20 < retained < 80
+    counters = tracer.counters()
+    assert counters["traces_started"] == 100
+    assert counters["traces_retained"] == retained
+    assert counters["traces_dropped"] == 100 - retained
+    # Same seed, same decisions.
+    again = Tracer(sample_rate=0.5, seed=42)
+    for _ in range(100):
+        again.start_span("request").finish()
+    assert len(again.traces()) == retained
+
+
+def test_slow_and_error_always_sampled():
+    tracer = Tracer(sample_rate=0.0, slow_ms=0.0, seed=1)
+    tracer.start_span("slow").finish()  # any duration >= 0.0 is slow
+    [trace] = tracer.traces()
+    assert trace["sampled_by"] == "slow"
+
+    tracer = Tracer(sample_rate=0.0, slow_ms=1e9, seed=1)
+    span = tracer.start_span("failing")
+    span.finish(error=ValueError("boom"))
+    [trace] = tracer.traces()
+    assert trace["sampled_by"] == "error"
+    assert trace["spans"][0]["status"] == "error"
+    assert "boom" in trace["spans"][0]["annotations"]["error"]
+
+
+def test_context_manager_marks_errors():
+    tracer = Tracer(sample_rate=0.0, slow_ms=1e9, seed=1)
+    with pytest.raises(RuntimeError):
+        with tracer.start_span("request"):
+            raise RuntimeError("kaput")
+    [trace] = tracer.traces()
+    assert trace["sampled_by"] == "error"
+
+
+def test_retained_ring_is_bounded():
+    tracer = Tracer(sample_rate=1.0, capacity=4, seed=1)
+    for index in range(10):
+        tracer.start_span("request").annotate(seq=index).finish()
+    traces = tracer.traces()
+    assert len(traces) == 4
+    assert [t["spans"][0]["annotations"]["seq"] for t in traces] == [6, 7, 8, 9]
+
+
+def test_slow_query_log_keeps_top_k_by_duration():
+    tracer = Tracer(sample_rate=0.0, slow_ms=1e9, slow_log_size=3, seed=1)
+    for _ in range(8):
+        tracer.start_span("request").finish()
+    entries = tracer.slow_queries()
+    assert len(entries) == 3
+    durations = [e["duration_ms"] for e in entries]
+    assert durations == sorted(durations, reverse=True)
+
+
+def test_slow_log_fingerprint_from_child_span():
+    tracer = Tracer(sample_rate=1.0, seed=1)
+    with tracer.start_span("request"):
+        with tracer.start_span("featurize") as child:
+            child.annotate(fingerprint="abc123")
+    [entry] = tracer.slow_queries()
+    assert entry["fingerprint"] == "abc123"
+
+
+def test_batch_span_roots_its_own_retained_trace():
+    tracer = Tracer(sample_rate=0.0, slow_ms=1e9, seed=1)
+    links = [SpanContext("t1", "s1"), SpanContext("t2", "s2")]
+    span = tracer.start_batch_span("batch", links)
+    assert tracer.current() is None  # not activated
+    span.finish()
+    [trace] = tracer.traces(kind="batch")
+    assert trace["sampled_by"] == "batch"
+    annotations = trace["spans"][0]["annotations"]
+    assert annotations["batch_size"] == 2
+    assert annotations["links"][0]["trace_id"] == "t1"
+    assert tracer.slow_queries() == []  # batch spans stay out of the log
+
+
+def test_explicit_context_parenting_across_threads():
+    tracer = Tracer(sample_rate=1.0, seed=1)
+    root = tracer.start_span("request")
+    context = root.context
+    child = tracer.start_span("predict", parent=context, activate=False)
+    child.finish()
+    root.finish()
+    [trace] = tracer.traces()
+    tree = span_tree(trace["spans"])
+    assert tree[0]["children"][0]["name"] == "predict"
+
+
+def test_deactivate_pops_without_finishing():
+    tracer = Tracer(sample_rate=1.0, seed=1)
+    root = tracer.start_span("request")
+    tracer.deactivate(root)
+    assert tracer.current() is None
+    sibling = tracer.start_span("other")  # a NEW trace, not a child
+    assert sibling.trace_id != root.trace_id
+    sibling.finish()
+    root.finish()
+    assert len(tracer.traces()) == 2
+
+
+def test_reset_drops_traces_keeps_counters():
+    tracer = Tracer(sample_rate=1.0, seed=1)
+    tracer.start_span("request").finish()
+    tracer.reset()
+    assert tracer.traces() == []
+    assert tracer.slow_queries() == []
+    assert tracer.counters()["traces_started"] == 1
+
+
+def test_install_default_tracer_round_trip():
+    tracer = Tracer(seed=1)
+    previous = install_default_tracer(tracer)
+    try:
+        assert current_tracer() is tracer
+    finally:
+        install_default_tracer(previous)
+    assert current_tracer() is previous
+
+
+def test_bad_construction_rejected():
+    with pytest.raises(ReproError):
+        Tracer(sample_rate=1.5)
+    with pytest.raises(ReproError):
+        Tracer(capacity=0)

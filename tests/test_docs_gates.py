@@ -22,6 +22,7 @@ GATED_TREES = [
     str(REPO / "src" / "repro" / "bench"),
     str(REPO / "src" / "repro" / "cluster"),
     str(REPO / "src" / "repro" / "persist"),
+    str(REPO / "src" / "repro" / "obs"),
 ]
 
 

@@ -98,7 +98,13 @@ def check_trees(roots: List[str]) -> List[str]:
 
 def main(argv: List[str]) -> int:
     """CLI entry point: check the trees given as arguments."""
-    roots = argv or ["src/repro/serving", "src/repro/bench", "src/repro/cluster"]
+    roots = argv or [
+        "src/repro/serving",
+        "src/repro/bench",
+        "src/repro/cluster",
+        "src/repro/persist",
+        "src/repro/obs",
+    ]
     problems = check_trees(roots)
     if problems:
         print(f"DOCSTRING GATE: {len(problems)} undocumented definition(s)")
