@@ -32,6 +32,7 @@ from typing import Dict, Iterator, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ReproError
+from ..obs.lockwatch import make_lock
 from ..rng import rng_for
 from .metrics import LatencyHistogram
 
@@ -151,7 +152,7 @@ class _SharedState:
     """Counters shared across load workers."""
 
     def __init__(self, total_requests: Optional[int]) -> None:
-        self.lock = threading.Lock()
+        self.lock = make_lock("bench.loadgen")
         self.total = total_requests
         self.issued = 0
         self.errors = 0

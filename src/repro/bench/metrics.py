@@ -22,10 +22,10 @@ dicts.
 from __future__ import annotations
 
 import math
-import threading
 from typing import Dict, List, Optional
 
 from ..obs import histogram as _buckets
+from ..obs.lockwatch import make_lock
 
 #: The bucketing scheme is shared with the metrics registry's
 #: histograms — one implementation in :mod:`repro.obs.histogram`
@@ -48,7 +48,7 @@ class LatencyHistogram:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("bench.histogram")
         self._counts = [0] * _BUCKETS
         self._count = 0
         self._sum = 0.0

@@ -41,6 +41,7 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from ..obs import DEFAULT_SAMPLE_RATE, MetricsRegistry, Tracer
+from ..obs import lockwatch as _lockwatch
 from ..obs.trace import install_default_tracer
 from .compare import (
     SCHEMA_VERSION,
@@ -137,6 +138,7 @@ def run_scenarios(
     out_dir: "pathlib.Path | str | None" = DEFAULT_OUT,
     seed: int = 0,
     sample_rate: Optional[float] = DEFAULT_SAMPLE_RATE,
+    lockwatch: bool = False,
 ) -> List[Dict[str, object]]:
     """Run *names* in order, writing ``BENCH_<name>.json`` for each.
 
@@ -153,6 +155,14 @@ def run_scenarios(
     trajectory: ``OBS_<scenario>.prom`` (Prometheus text exposition of
     the scenario metrics + tracer counters) and
     ``OBS_<scenario>_slow.json`` (the slow-query log with span trees).
+
+    ``lockwatch=True`` runs each scenario with a fresh
+    :class:`~repro.obs.lockwatch.LockGraph` installed, embeds the
+    lock-order report under ``envelope["lockwatch"]`` (outside
+    ``metrics``, invisible to tolerance bands) and writes the full
+    report to ``LOCKWATCH_<scenario>.json``.  Run it as a *separate*
+    smoke pass — the instrumentation overhead is small but nonzero, so
+    a watched run must never be gated against throughput baselines.
     """
     sha = git_sha()
     envelopes: List[Dict[str, object]] = []
@@ -167,17 +177,27 @@ def run_scenarios(
             else None
         )
         previous = install_default_tracer(tracer)
+        graph = _lockwatch.enable() if lockwatch else None
         try:
             result = run_scenario(name, quick=quick, seed=seed)
         finally:
+            if lockwatch:
+                _lockwatch.disable()
             install_default_tracer(previous)
         envelope = result_envelope(result, sha)
         if tracer is not None:
             envelope["obs"] = _obs_summary(tracer, sample_rate)
+        if graph is not None:
+            envelope["lockwatch"] = graph.report()
         envelopes.append(envelope)
         if directory is not None:
             path = directory / f"BENCH_{name}.json"
             path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+            if graph is not None:
+                (directory / f"LOCKWATCH_{name}.json").write_text(
+                    json.dumps(envelope["lockwatch"], indent=2, sort_keys=True)
+                    + "\n"
+                )
             if tracer is not None:
                 prom = _obs_registry(name, envelope["metrics"], tracer)
                 (directory / f"OBS_{name}.prom").write_text(
@@ -246,6 +266,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(the null-tracer hot path)",
     )
     parser.add_argument(
+        "--lockwatch",
+        action="store_true",
+        help="run each scenario under the lock-order race detector, "
+        "write LOCKWATCH_<scenario>.json reports and exit nonzero on "
+        "any observed lock-order inversion (run separately from "
+        "--baseline gating: watched runs carry instrumentation "
+        "overhead)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     args = parser.parse_args(argv)
@@ -267,12 +296,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         out_dir=args.out,
         seed=args.seed,
         sample_rate=None if args.no_obs else args.sample_rate,
+        lockwatch=args.lockwatch,
     )
 
     from ..eval.reporting import render_bench_trajectory
 
     print(render_bench_trajectory(envelopes))
     print(f"\nwrote {len(envelopes)} BENCH_*.json file(s) to {args.out}")
+
+    if args.lockwatch:
+        inversions = 0
+        for envelope in envelopes:
+            report = envelope["lockwatch"]
+            inversions += report["cycle_count"]
+            for cycle in report["cycles"]:
+                print(
+                    f"LOCKWATCH: inversion in {envelope['scenario']}: "
+                    f"{' -> '.join(cycle)} -> {cycle[0]}"
+                )
+        if inversions:
+            print(f"\nLOCKWATCH: {inversions} lock-order inversion(s)")
+            return 1
+        print("\nLOCKWATCH: no lock-order inversions observed")
 
     if args.baseline is not None:
         # Gate exactly what this invocation ran — the out directory may

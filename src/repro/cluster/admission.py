@@ -16,10 +16,10 @@ in the cluster report as a number instead of as a latency cliff.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict
 
 from ..errors import ClusterError
+from ..obs.lockwatch import make_lock
 
 
 class AdmissionController:
@@ -37,7 +37,7 @@ class AdmissionController:
                 f"max_inflight must be >= 1, got {max_inflight}"
             )
         self.max_inflight = max_inflight
-        self._lock = threading.Lock()
+        self._lock = make_lock("cluster.admission")
         self._inflight = 0
         self._admitted = 0
         self._shed = 0

@@ -24,11 +24,11 @@ traffic, so recovery is an operator/probe decision, never implicit.
 from __future__ import annotations
 
 import hashlib
-import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..errors import ClusterError
+from ..obs.lockwatch import make_lock
 
 
 def rendezvous_score(tenant: str, shard_id: str) -> int:
@@ -77,7 +77,7 @@ class ShardRouter:
                 f"failure_threshold must be >= 1, got {failure_threshold}"
             )
         self.failure_threshold = failure_threshold
-        self._lock = threading.Lock()
+        self._lock = make_lock("cluster.router")
         self._health: Dict[str, ShardHealth] = {
             shard_id: ShardHealth(shard_id) for shard_id in ids
         }

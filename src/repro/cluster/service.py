@@ -29,7 +29,6 @@ code cannot tell one replica from eight.  What they *can* observe:
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -41,6 +40,7 @@ from ..errors import (
     ShardOverloadError,
 )
 from ..obs import EventLog, MetricsRegistry
+from ..obs.lockwatch import make_lock
 from ..obs.trace import Tracer, current_tracer
 from ..serving import CostService, EstimatorBundle
 from .admission import AdmissionController
@@ -76,7 +76,7 @@ class ClusterStats:
 
     def __init__(self, shard_ids: Sequence[str]):
         """Zeroed counters over *shard_ids*."""
-        self._lock = threading.Lock()
+        self._lock = make_lock("cluster.stats")
         self._routed: Dict[str, int] = {shard_id: 0 for shard_id in shard_ids}
         self.reroutes = 0
         self.exhausted = 0
@@ -175,7 +175,7 @@ class ClusterService:
             for shard_id in self.router.shard_ids()
         }
         self.stats = ClusterStats(self.router.shard_ids())
-        self._lock = threading.Lock()
+        self._lock = make_lock("cluster.service")
         self._deployed: List[str] = []
         #: Last-deployed bundle object per name: a cold replica restart
         #: re-deploys these when no checkpoint (or a dead one) is
@@ -595,12 +595,12 @@ class ClusterService:
             for shard_id, shard in sorted(self._shards.items())
         }
         donors: Dict[str, EstimatorBundle] = {}
-        for shard_id, shard in sorted(self._shards.items()):
+        for _shard_id, shard in sorted(self._shards.items()):
             for bundle in shard.service.registry.export_bundles():
                 best = donors.get(bundle.name)
                 if best is None or bundle.version > best.version:
                     donors[bundle.name] = bundle
-        for shard_id, shard in sorted(self._shards.items()):
+        for _shard_id, shard in sorted(self._shards.items()):
             for name, bundle in donors.items():
                 if name not in shard.service.registry:
                     shard.service.deploy(bundle, name=name)

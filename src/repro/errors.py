@@ -41,6 +41,11 @@ class ServingError(ReproError):
     """The online estimation service was misused or misconfigured."""
 
 
+class ObservabilityError(ReproError):
+    """An observability component (metrics, tracing, events) was
+    misused: bad quantile, unknown event type, malformed series."""
+
+
 class CheckpointError(ReproError):
     """A checkpoint could not be written, read or applied (including
     unknown schema versions and state the running build cannot

@@ -21,7 +21,7 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
     lines = []
     for index, row in enumerate(cells):
-        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths, strict=True)))
         if index == 0:
             lines.append("  ".join("-" * width for width in widths))
     return "\n".join(lines)

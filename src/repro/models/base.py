@@ -164,5 +164,5 @@ def warm_start_remap(
             bias = bias + fold_mean[dim] * old_first.weight.data[source]
     new_first.weight.data = weight
     new_first.bias.data = bias
-    for old_layer, new_layer in zip(old.modules[1:], new.modules[1:]):
+    for old_layer, new_layer in zip(old.modules[1:], new.modules[1:], strict=True):
         new_layer.load_state_dict(old_layer.state_dict())

@@ -312,7 +312,7 @@ class MSCN(CostEstimator):
             prepared = [None] * len(labeled)
         samples = [
             self._encode(record, snapshot_set) if sample is None else sample
-            for record, sample in zip(labeled, prepared)
+            for record, sample in zip(labeled, prepared, strict=True)
         ]
         out = np.zeros(len(labeled))
         step = 512

@@ -410,7 +410,7 @@ class QPPNet(CostEstimator):
             self._encode_record(record, snapshot_set)
             if rows is None
             else self._feature_map_from_rows(record, rows)
-            for record, rows in zip(labeled, prepared)
+            for record, rows in zip(labeled, prepared, strict=True)
         ]
         out = np.zeros(len(labeled))
         step = 256
@@ -490,7 +490,7 @@ class QPPNet(CostEstimator):
         feature reduction runs on."""
         feature_maps = [self._encode_record(r, snapshot_set) for r in labeled]
         collected: Dict[OperatorType, List[np.ndarray]] = {}
-        for record, feats in zip(labeled, feature_maps):
+        for record, feats in zip(labeled, feature_maps, strict=True):
             self._collect_unit_inputs(record.plan, feats, collected)
         return {
             op: np.stack(rows) for op, rows in collected.items() if len(rows) >= 2

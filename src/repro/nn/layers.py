@@ -55,7 +55,7 @@ class Module:
             raise ValueError(
                 f"state has {len(state)} arrays, model has {len(params)} parameters"
             )
-        for p, array in zip(params, state):
+        for p, array in zip(params, state, strict=True):
             if p.data.shape != array.shape:
                 raise ValueError(f"shape mismatch: {p.data.shape} vs {array.shape}")
             p.data = array.copy()

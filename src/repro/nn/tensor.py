@@ -368,7 +368,7 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     offsets = np.cumsum([0] + sizes)
 
     def backward(grad: np.ndarray) -> None:
-        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:], strict=True):
             if tensor.requires_grad:
                 index = [slice(None)] * grad.ndim
                 index[axis] = slice(start, stop)
@@ -388,7 +388,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         parts = np.split(grad, len(tensors), axis=axis)
-        for tensor, part in zip(tensors, parts):
+        for tensor, part in zip(tensors, parts, strict=True):
             if tensor.requires_grad:
                 tensor._accumulate(part.reshape(tensor.shape))
 

@@ -18,12 +18,12 @@ loudly at the source instead of silently creating a new type.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
+from .lockwatch import make_lock
 
 #: The event vocabulary.  Emitters must use one of these; see
 #: ``docs/OBSERVABILITY.md`` for who emits what and with which fields.
@@ -72,7 +72,7 @@ class EventLog:
         if capacity < 1:
             raise ReproError(f"event log capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.events")
         self._events: List[Event] = []
         self._subscribers: List[Callable[[Event], None]] = []
         self._emitted = 0

@@ -18,8 +18,10 @@ regardless of how many observations stream through it.
 from __future__ import annotations
 
 import math
-import threading
 from typing import Dict, List
+
+from ..errors import ObservabilityError
+from .lockwatch import make_lock
 
 #: Histogram range: 1 microsecond to 1000 seconds, in milliseconds.
 LOW_MS = 1e-3
@@ -60,7 +62,7 @@ class LogHistogram:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.histogram")
         self._counts = [0] * BUCKETS
         self._count = 0
         self._sum = 0.0
@@ -88,7 +90,7 @@ class LogHistogram:
     def quantile(self, q: float) -> float:
         """The value (ms) at quantile ``q`` in [0, 1]; 0.0 if empty."""
         if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
             if self._count == 0:
                 return 0.0

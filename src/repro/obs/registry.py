@@ -35,11 +35,11 @@ from __future__ import annotations
 
 import json
 import re
-import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
 from .histogram import LogHistogram
+from .lockwatch import make_lock
 
 #: A collector: zero-arg callable returning a (nested) counter dict.
 #: Returning ``None`` omits the section from the snapshot.
@@ -96,7 +96,7 @@ class Counter:
     """A monotonically increasing direct instrument."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.counter")
         self._value = 0.0
 
     def inc(self, amount: float = 1) -> None:
@@ -117,7 +117,7 @@ class Gauge:
     """A direct instrument that can go up and down (or be set)."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.gauge")
         self._value = 0.0
 
     def set(self, value: float) -> None:
@@ -151,7 +151,7 @@ class MetricsRegistry:
         if not _NAME_OK.match(namespace):
             raise ReproError(f"bad metrics namespace {namespace!r}")
         self.namespace = namespace
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.metrics_registry")
         self._collectors: Dict[str, Collector] = {}
         #: (name, sorted label items) -> instrument.
         self._instruments: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], object] = {}
@@ -286,7 +286,7 @@ class MetricsRegistry:
             self._flatten(
                 [self.namespace, _sanitize(section)], value, {}, series
             )
-        for name, labels, value in series:
+        for name, _labels, _value in series:
             typed.setdefault(name, "untyped")
         instruments, kinds = self._instruments_snapshot()
         for (name, labels), instrument in instruments:

@@ -44,6 +44,7 @@ import uuid
 from typing import Dict, List, NamedTuple, Optional, Sequence, Union
 
 from ..errors import ReproError
+from .lockwatch import make_lock
 
 #: Head-sampling probability a bench run / demo uses unless told
 #: otherwise, and the rate the perf gate's scenarios run with.
@@ -196,7 +197,7 @@ class Tracer:
         self.capacity = capacity
         self.slow_log_size = slow_log_size
         self._rng = random.Random(seed)
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.tracer")
         self._open: Dict[str, _TraceState] = {}
         self._retained: List[Dict[str, object]] = []
         self._slow: List[tuple] = []
@@ -380,6 +381,7 @@ class Tracer:
                 "fingerprint": fingerprint,
                 "spans": list(state.spans),
             }
+            # analyze: ignore[lock-discipline] _finalize's only caller holds self._lock
             self._seq += 1
             heapq.heappush(self._slow, (span.duration_ms, self._seq, entry))
             if len(self._slow) > self.slow_log_size:

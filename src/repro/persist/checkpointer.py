@@ -26,6 +26,7 @@ from typing import Dict, Optional
 import pathlib
 
 from ..errors import CheckpointError
+from ..obs.lockwatch import make_condition, make_lock
 from .checkpoint import write_retained
 
 from typing import TYPE_CHECKING
@@ -85,11 +86,11 @@ class Checkpointer:
         self.directory = pathlib.Path(directory)
         self.interval_s = float(interval_s)
         self.retain = int(retain)
-        self._cond = threading.Condition()
+        self._cond = make_condition("persist.checkpointer")
         self._closed = False
         self._dirty = False
         self._last_token: Optional[tuple] = None
-        self._stats_lock = threading.Lock()
+        self._stats_lock = make_lock("persist.checkpointer_stats")
         self.writes = 0
         self.skipped_clean = 0
         self.errors = 0

@@ -45,6 +45,7 @@ from ..core.recall import FeatureRecall
 from ..engine.executor import LabeledPlan
 from ..engine.operators import OperatorType
 from ..nn.loss import numpy_q_error
+from ..obs.lockwatch import make_condition, make_lock
 from .registry import EstimatorBundle
 
 from typing import TYPE_CHECKING
@@ -126,7 +127,9 @@ class AdaptationStats:
     #: keeps running; a non-zero count in the report is the signal).
     errors: int = 0
     _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+        default_factory=lambda: make_lock("serving.adaptation_stats"),
+        repr=False,
+        compare=False,
     )
 
     def add(self, counter: str, amount: float = 1) -> None:
@@ -182,7 +185,7 @@ class BundleWatcher:
         self.recall = recall
         self.config = config
         self.global_mode = global_mode
-        self._lock = threading.Lock()
+        self._lock = make_lock("serving.adaptation_watcher")
         #: Records awaiting (off-hot-path) encoding + observation.
         self._pending: Deque[LabeledPlan] = deque(maxlen=config.observe_buffer)
         #: Labelled feedback records — the refit training window.
@@ -240,9 +243,9 @@ class AdaptationManager:
         self.config = config or AdaptationConfig()
         self.stats = AdaptationStats()
         self._watchers: Dict[str, BundleWatcher] = {}
-        self._lock = threading.Lock()
-        self._process_lock = threading.Lock()
-        self._cond = threading.Condition()
+        self._lock = make_lock("serving.adaptation")
+        self._process_lock = make_lock("serving.adaptation_process")
+        self._cond = make_condition("serving.adaptation_cond")
         self._closed = False
         self._store_seen_requests = 0
         self._store_seen_misses = 0

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 import numpy as np
 
 from ..errors import ServingError
+from ..obs.lockwatch import make_condition
 
 #: predict_fn: a list of queued items -> one value per item.
 BatchPredictor = Callable[[List[object]], Sequence[float]]
@@ -75,7 +76,7 @@ class MicroBatcher:
         self.flush_window_s = flush_window_s
         self.name = name
         self.stats = BatcherStats()
-        self._cond = threading.Condition()
+        self._cond = make_condition("serving.batcher")
         #: (item, future, arrival time): per-item arrivals anchor the
         #: flush deadline to the oldest *remaining* item, so leftovers
         #: from a size flush keep their original wait budget instead of
@@ -170,7 +171,7 @@ class MicroBatcher:
                 if not future.cancelled():
                     future.set_exception(exc)
             return
-        for (_, future), value in zip(batch, values):
+        for (_, future), value in zip(batch, values, strict=True):
             if not future.cancelled():
                 future.set_result(float(value))
 

@@ -19,13 +19,13 @@ from __future__ import annotations
 
 import copy
 import dataclasses
-import threading
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Tuple
 
 from ..errors import ServingError
+from ..obs.lockwatch import make_lock
 
 #: Internal marker distinguishing "key absent" from "None was cached".
 _MISSING = object()
@@ -78,7 +78,7 @@ class FeatureCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, object]" = OrderedDict()
         self._inflight: Dict[str, "Future[object]"] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("serving.feature_cache")
 
     # ------------------------------------------------------------------
     def get(self, key: str):

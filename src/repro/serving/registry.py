@@ -12,7 +12,6 @@ version) invalidate lazily instead of being flushed.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -22,6 +21,7 @@ from ..engine.executor import LabeledPlan
 from ..engine.operators import OperatorType
 from ..errors import ServingError
 from ..models.base import CostEstimator
+from ..obs.lockwatch import make_lock
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -81,7 +81,7 @@ class EstimatorRegistry:
     """Named, versioned bundles with atomic hot-swap semantics."""
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
+        self._lock = make_lock("serving.registry", reentrant=True)
         self._bundles: Dict[str, EstimatorBundle] = {}
         self._versions: Dict[str, int] = {}
         #: Bundles installed by a checkpoint restore (observability:

@@ -43,6 +43,7 @@ from ..engine.optimizer import PlanBuilder
 from ..errors import ServingError
 from ..featurization.fingerprint import plan_fingerprint
 from ..obs import EventLog, MetricsRegistry
+from ..obs.lockwatch import make_lock
 from ..obs.trace import Tracer, current_tracer
 from ..sql.ast import SelectQuery
 from ..sql.parser import parse_sql
@@ -87,7 +88,9 @@ class ServiceStats:
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     stage_counts: Dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+        default_factory=lambda: make_lock("serving.service_stats"),
+        repr=False,
+        compare=False,
     )
 
     def record(self, stage: str, seconds: float, count: int = 1) -> None:
@@ -171,7 +174,7 @@ class CostService:
         self.batch_max = batch_max
         self.batch_window_s = batch_window_s
         self.snapshot_scale = snapshot_scale
-        self._lock = threading.Lock()
+        self._lock = make_lock("serving.service")
         self._builders: Dict[Tuple[str, str], PlanBuilder] = {}
         self._batchers: Dict[str, MicroBatcher] = {}
         #: Drift-aware adaptation loop (None unless configured): deploy
@@ -303,17 +306,21 @@ class CostService:
         key = (bundle.name, env.name)
         with self._lock:
             builder = self._builders.get(key)
-            if builder is None:
-                if bundle.benchmark is None:
-                    raise ServingError(
-                        f"bundle {bundle.name!r} carries no benchmark; "
-                        "pass an already-built plan instead of SQL"
-                    )
-                builder = PlanBuilder(
-                    bundle.benchmark.catalog, bundle.benchmark.stats, env
-                )
-                self._builders[key] = builder
+        if builder is not None:
             return builder
+        if bundle.benchmark is None:
+            raise ServingError(
+                f"bundle {bundle.name!r} carries no benchmark; "
+                "pass an already-built plan instead of SQL"
+            )
+        # Construct outside the lock (cross-module work has no business
+        # in the critical section); racing builders are identical and
+        # setdefault keeps the first, so the memo stays one-per-key.
+        builder = PlanBuilder(
+            bundle.benchmark.catalog, bundle.benchmark.stats, env
+        )
+        with self._lock:
+            return self._builders.setdefault(key, builder)
 
     def _resolve_plan(
         self,
@@ -698,15 +705,22 @@ class CostService:
     def _batcher_for(self, bundle_name: str) -> MicroBatcher:
         with self._lock:
             batcher = self._batchers.get(bundle_name)
-            if batcher is None:
-                batcher = MicroBatcher(
-                    lambda items: self._run_batch(bundle_name, items),
-                    max_batch=self.batch_max,
-                    flush_window_s=self.batch_window_s,
-                    name=bundle_name,
-                )
-                self._batchers[bundle_name] = batcher
+        if batcher is not None:
             return batcher
+        # A MicroBatcher starts its worker thread in __init__ — thread
+        # lifecycle must not run under the service lock.  On a race the
+        # loser's batcher (empty, unpublished) is closed again.
+        batcher = MicroBatcher(
+            lambda items: self._run_batch(bundle_name, items),
+            max_batch=self.batch_max,
+            flush_window_s=self.batch_window_s,
+            name=bundle_name,
+        )
+        with self._lock:
+            winner = self._batchers.setdefault(bundle_name, batcher)
+        if winner is not batcher:
+            batcher.close()
+        return winner
 
     def _run_batch(self, bundle_name: str, items: List[object]) -> np.ndarray:
         # One flush == one batch span linking every coalesced request's

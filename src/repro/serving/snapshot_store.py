@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import copy
 import dataclasses
-import threading
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, replace
@@ -31,6 +30,7 @@ from ..engine.environment import DatabaseEnvironment
 from ..engine.executor import ExecutionSimulator
 from ..engine.knobs import KNOB_SPECS
 from ..errors import ServingError
+from ..obs.lockwatch import make_lock
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -138,7 +138,7 @@ class SnapshotStore:
         self.capacity = capacity
         self.reuse_tolerance = reuse_tolerance
         self.stats = StoreStats()
-        self._lock = threading.Lock()
+        self._lock = make_lock("serving.snapshot_store")
         self._entries: "OrderedDict[Tuple[str, str], Tuple[np.ndarray, FeatureSnapshot]]"
         self._entries = OrderedDict()
         self._inflight: Dict[Tuple[str, str], "Future[FeatureSnapshot]"] = {}

@@ -1,0 +1,1 @@
+"""Tests for the ``tools.analyze`` static-analysis suite."""

@@ -1,0 +1,17 @@
+"""Deliberate clock-discipline violations (analyzer test fixture)."""
+
+import time
+from datetime import datetime
+
+
+def measure(work_fn):
+    """Duration computed from the steppable wall clock."""
+    start = time.time()
+    work_fn()
+    return time.time() - start
+
+
+def stamp():
+    """Wall clock into a field whose name does not say wall clock."""
+    started = datetime.now()
+    return started

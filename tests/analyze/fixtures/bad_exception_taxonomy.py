@@ -1,0 +1,16 @@
+"""Deliberate exception-taxonomy violations (analyzer test fixture)."""
+
+
+def parse_limit(value):
+    """Raises a builtin instead of a typed repro.errors class."""
+    if not value.isdigit():
+        raise ValueError(f"bad limit: {value}")
+    return int(value)
+
+
+def swallow(work_fn):
+    """Broad handler that silently drops the failure."""
+    try:
+        return work_fn()
+    except Exception:
+        return None

@@ -1,0 +1,16 @@
+"""Deliberate hot-path violations (analyzer test fixture)."""
+
+import logging
+import time
+
+logger = logging.getLogger(__name__)
+
+
+def estimate(plan, tracer):
+    """Wall clock, unguarded span, logging — all on the estimate path."""
+    start = time.time()
+    span = tracer.start_span("estimate")
+    logger.info("estimating %s", plan)
+    print(plan)
+    span.finish()
+    return time.time() - start

@@ -1,0 +1,32 @@
+"""Deliberate lock-discipline violations (analyzer test fixture).
+
+Every construct in here is a known-bad corpus entry: the tests assert
+rule ``lock-discipline`` fires on each.  Never imported by the suite.
+"""
+
+import threading
+import time
+
+
+class BadStats:
+    """A lock-owning class making every mistake the rule knows."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests = 0
+
+    def count(self):
+        """Counter read-modify-write outside the lock (torn counter)."""
+        self.requests += 1
+
+    def snapshot(self):
+        """Reads state outside the lock (torn snapshot)."""
+        return {"requests": self.requests}
+
+    def dwell(self, path, work_fn):
+        """I/O, sleeping, printing and callbacks inside the section."""
+        with self._lock:
+            print("holding the lock")
+            time.sleep(0.01)
+            path.write_text("data")
+            work_fn()

@@ -1,0 +1,18 @@
+"""Clock-discipline clean twin: wall clock only into record fields."""
+
+import time
+
+
+def envelope(payload):
+    """Wall clock stamped into record fields; monotonic for durations."""
+    start = time.monotonic()
+    record = {"created_unix": time.time(), "payload": payload}
+    record["elapsed_s"] = time.monotonic() - start
+    return record
+
+
+class Event:
+    """A record carrying a wall-clock timestamp field."""
+
+    def __init__(self):
+        self.start_unix = time.time()

@@ -1,0 +1,29 @@
+"""Exception-taxonomy clean twin: typed raises, accounted swallows."""
+
+
+class FixtureError(Exception):
+    """The typed error this fixture's taxonomy raises."""
+
+
+def parse_limit(value):
+    """Raises the typed error."""
+    if not value.isdigit():
+        raise FixtureError(f"bad limit: {value}")
+    return int(value)
+
+
+def swallow_counted(work_fn, stats):
+    """Broad handler that counts what it swallows."""
+    try:
+        return work_fn()
+    except Exception:
+        stats["errors"] = stats.get("errors", 0) + 1
+        return None
+
+
+def rewrap(work_fn):
+    """Broad handler that re-raises typed."""
+    try:
+        return work_fn()
+    except Exception as exc:
+        raise FixtureError(str(exc)) from exc

@@ -1,0 +1,15 @@
+"""Hot-path clean twin: monotonic timing, guarded spans, no logging."""
+
+import time
+
+
+def estimate(plan, tracer):
+    """Monotonic duration; span only when a tracer is attached."""
+    start = time.perf_counter()
+    span = None
+    if tracer is not None:
+        span = tracer.start_span("estimate")
+    result = len(str(plan))
+    if span is not None:
+        span.finish()
+    return result, time.perf_counter() - start

@@ -1,0 +1,29 @@
+"""Lock-discipline clean twin: the same shapes, done correctly."""
+
+import threading
+
+
+class GoodStats:
+    """A lock-owning class that follows the protocol."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests = 0
+
+    def count(self):
+        """Counter read-modify-write under the lock."""
+        with self._lock:
+            self.requests += 1
+
+    def snapshot(self):
+        """Copies state under the lock."""
+        with self._lock:
+            return {"requests": self.requests}
+
+    def persist(self, path, work_fn):
+        """Copies under the lock; I/O and callbacks after releasing."""
+        with self._lock:
+            requests = self.requests
+        path.write_text(str(requests))
+        work_fn()
+        return requests

@@ -53,7 +53,7 @@ class TestIMDB:
             assert catalog.table(name).column("movie_id").skew > 0
 
     def test_join_edges_star_shape(self):
-        for (fact, fc), (dim, dc) in IMDB_JOIN_EDGES:
+        for (_fact, fc), (dim, dc) in IMDB_JOIN_EDGES:
             assert dim == "title"
             assert fc == "movie_id"
             assert dc == "id"

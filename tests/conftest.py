@@ -11,6 +11,7 @@ from hypothesis import HealthCheck, settings
 from repro.engine.environment import default_environment, random_environments
 from repro.engine.executor import ExecutionSimulator
 from repro.models.training import train_test_split
+from repro.obs import lockwatch
 from repro.workload.collect import collect_labeled_plans, get_benchmark
 
 # derandomize: property tests draw the same examples every run, so the
@@ -26,6 +27,23 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.filter_too_much],
 )
 settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lockwatch_graph():
+    """Run the whole suite under the lock-order race detector.
+
+    Every lock the stack creates during the session is watched; at
+    teardown the acquisition graph must contain no cycles — a cycle is
+    a lock-order inversion some unlucky schedule could deadlock on,
+    even if this run never did.  Tests that exercise lockwatch itself
+    use private :class:`~repro.obs.lockwatch.LockGraph` instances so
+    deliberate inversions never pollute this graph.
+    """
+    graph = lockwatch.enable()
+    yield graph
+    lockwatch.disable()
+    graph.assert_no_cycles()
 
 
 @pytest.fixture(scope="session")

@@ -34,7 +34,7 @@ class TestFitting:
 
     def test_fine_keys_are_operator_table_pairs(self, fitted):
         snapshot, _ = fitted
-        for op, table in snapshot.fine_coefficients:
+        for op, _table in snapshot.fine_coefficients:
             assert isinstance(op, OperatorType)
 
     def test_collection_cost_recorded(self, fitted):

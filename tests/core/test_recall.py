@@ -191,6 +191,6 @@ def test_collect_baselines_means_unmasked_rows():
     encoder = OperatorEncoder(benchmark.catalog)
     baselines = collect_baselines(encoder, labeled)
     assert baselines
-    for op, mean in baselines.items():
+    for _op, mean in baselines.items():
         assert mean.shape == (encoder.dim,)
         assert np.isfinite(mean).all()

@@ -30,7 +30,7 @@ class TestSpecs:
     def test_sampling_respects_ranges(self):
         rng = np.random.default_rng(0)
         for _ in range(50):
-            for name, spec in KNOB_SPECS.items():
+            for _name, spec in KNOB_SPECS.items():
                 value = spec.sample(rng)
                 if spec.is_bool:
                     assert isinstance(value, bool)

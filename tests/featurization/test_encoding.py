@@ -40,7 +40,7 @@ class TestLayout:
         blocks = ["op", "table", "column", "index", "numeric", "snapshot"]
         stops = [encoder.block_slice(b) for b in blocks]
         assert stops[0].start == 0
-        for previous, current in zip(stops, stops[1:]):
+        for previous, current in zip(stops, stops[1:], strict=False):
             assert previous.stop == current.start
         assert stops[-1].stop == encoder.dim
 

@@ -127,7 +127,7 @@ class TestOperatorDataset:
         train, _ = tpch_split
         model = QPPNet(encoder, epochs=1)
         datasets = model.operator_dataset(train)
-        for op, data in datasets.items():
+        for _op, data in datasets.items():
             assert data.shape[1] == encoder.dim + 2 * model.data_size
 
     def test_counts_match_plans(self, encoder, tpch_split):

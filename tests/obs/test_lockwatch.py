@@ -1,0 +1,238 @@
+"""The lock-order race detector: inversions, stats, the process switch.
+
+Every test that records acquisitions uses a **private**
+:class:`LockGraph` — the session-wide graph installed by the tier-1
+conftest asserts zero cycles at teardown, and a deliberate inversion
+must never leak into it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import lockwatch
+from repro.obs.lockwatch import LockGraph, WatchedLock
+
+
+def _locks(graph, *names, reentrant=False):
+    return [WatchedLock(name, graph, reentrant=reentrant) for name in names]
+
+
+# ----------------------------------------------------------------------
+# cycle detection
+# ----------------------------------------------------------------------
+def test_deliberate_inversion_is_detected():
+    """The acceptance case: A->B in one place, B->A in another."""
+    graph = LockGraph()
+    a, b = _locks(graph, "comp.a", "comp.b")
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    assert graph.cycles() == [["comp.a", "comp.b"]]
+    with pytest.raises(AssertionError, match="inversion"):
+        graph.assert_no_cycles()
+
+
+def test_consistent_order_has_no_cycles():
+    graph = LockGraph()
+    a, b, c = _locks(graph, "comp.a", "comp.b", "comp.c")
+    for _ in range(3):
+        with a:
+            with b:
+                with c:
+                    pass
+    assert graph.cycles() == []
+    graph.assert_no_cycles()
+    edges = {(e["held"], e["acquired"]) for e in graph.edges()}
+    assert ("comp.a", "comp.b") in edges
+    assert ("comp.a", "comp.c") in edges
+    assert ("comp.b", "comp.c") in edges
+
+
+def test_three_lock_cycle():
+    graph = LockGraph()
+    a, b, c = _locks(graph, "comp.a", "comp.b", "comp.c")
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with c:
+        with a:
+            pass
+    assert graph.cycles() == [["comp.a", "comp.b", "comp.c"]]
+
+
+def test_reentrancy_is_not_an_inversion():
+    graph = LockGraph()
+    (lock,) = _locks(graph, "comp.rlock", reentrant=True)
+    with lock:
+        with lock:
+            pass
+    assert graph.cycles() == []
+    assert graph.edges() == []
+    assert graph.stats()["comp.rlock"]["reentrant"] == 1
+
+
+def test_two_instances_of_one_lock_class_share_identity():
+    """Nesting two instances of the same component is not an edge:
+    ordering discipline is a property of the lock class."""
+    graph = LockGraph()
+    first = WatchedLock("serving.shard", graph)
+    second = WatchedLock("serving.shard", graph)
+    with first:
+        with second:
+            pass
+    assert graph.edges() == []
+    assert graph.cycles() == []
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def test_hold_time_and_acquisition_counts():
+    graph = LockGraph()
+    (lock,) = _locks(graph, "comp.held")
+    with lock:
+        time.sleep(0.02)
+    with lock:
+        pass
+    stats = graph.stats()["comp.held"]
+    assert stats["acquisitions"] == 2
+    assert stats["max_hold_s"] >= 0.015
+
+
+def test_contended_acquisition_records_wait():
+    graph = LockGraph()
+    (lock,) = _locks(graph, "comp.contended")
+    ready = threading.Event()
+
+    def holder():
+        with lock:
+            ready.set()
+            time.sleep(0.03)
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    ready.wait(timeout=5)
+    with lock:
+        pass
+    thread.join(timeout=5)
+    stats = graph.stats()["comp.contended"]
+    assert stats["contended"] >= 1
+    assert stats["max_wait_s"] > 0.0
+
+
+def test_report_schema():
+    graph = LockGraph()
+    a, b = _locks(graph, "comp.a", "comp.b")
+    with a:
+        with b:
+            pass
+    report = graph.report()
+    assert report["schema_version"] == 1
+    assert report["cycle_count"] == 0
+    assert report["cycles"] == []
+    assert report["edges"] == [
+        {"held": "comp.a", "acquired": "comp.b", "count": 1}
+    ]
+    assert set(report["locks"]) == {"comp.a", "comp.b"}
+
+
+def test_reset_clears_edges_and_stats():
+    graph = LockGraph()
+    a, b = _locks(graph, "comp.a", "comp.b")
+    with a:
+        with b:
+            pass
+    graph.reset()
+    assert graph.edges() == []
+    assert graph.stats() == {}
+
+
+# ----------------------------------------------------------------------
+# condition-variable integration
+# ----------------------------------------------------------------------
+def test_condition_over_watched_lock():
+    """threading.Condition drives our acquire/release/_is_owned."""
+    graph = LockGraph()
+    cond = threading.Condition(WatchedLock("comp.cond", graph))
+    fired = []
+
+    def waiter():
+        with cond:
+            while not fired:
+                cond.wait(timeout=5)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    time.sleep(0.01)
+    with cond:
+        fired.append(True)
+        cond.notify()
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+    assert graph.stats()["comp.cond"]["acquisitions"] >= 2
+    assert graph.cycles() == []
+
+
+def test_nonblocking_acquire_failure_records_nothing():
+    graph = LockGraph()
+    (lock,) = _locks(graph, "comp.try")
+    hold = threading.Event()
+    release = threading.Event()
+
+    def holder():
+        with lock:
+            hold.set()
+            release.wait(timeout=5)
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    hold.wait(timeout=5)
+    assert lock.acquire(blocking=False) is False
+    release.set()
+    thread.join(timeout=5)
+    # Only the holder's acquisition is on the books.
+    assert graph.stats()["comp.try"]["acquisitions"] == 1
+
+
+# ----------------------------------------------------------------------
+# the process-wide switch
+# ----------------------------------------------------------------------
+def test_make_lock_honours_the_switch():
+    previous = lockwatch.installed()
+    try:
+        lockwatch.disable()
+        plain = lockwatch.make_lock("comp.plain")
+        assert not isinstance(plain, WatchedLock)
+        private = LockGraph()
+        assert lockwatch.enable(private) is private
+        assert lockwatch.installed() is private
+        watched = lockwatch.make_lock("comp.watched")
+        assert isinstance(watched, WatchedLock)
+        assert watched.graph is private
+        cond = lockwatch.make_condition("comp.cond")
+        assert isinstance(cond, threading.Condition)
+    finally:
+        lockwatch.disable()
+        if previous is not None:
+            lockwatch.enable(previous)
+
+
+def test_session_graph_watches_the_real_stack(lockwatch_graph):
+    """The conftest-installed graph sees locks the serving stack takes."""
+    from repro.serving.service import CostService
+
+    service = CostService()
+    service.stats.count_requests()
+    stats = lockwatch_graph.stats()
+    assert "serving.service_stats" in stats
+    assert stats["serving.service_stats"]["acquisitions"] >= 1

@@ -16,6 +16,7 @@ from unittest import mock
 import pytest
 
 from repro.core import QCFE, QCFEConfig
+from repro.errors import ReproError
 from repro.engine.environment import random_environments
 from repro.obs import Tracer
 from repro.obs import trace as trace_mod
@@ -133,7 +134,7 @@ def test_error_requests_always_sampled(trained_bundle, serving_envs):
     tracer = Tracer(sample_rate=0.0, slow_ms=1e9, seed=5)
     service = _traced_service(trained_bundle, tracer)
     try:
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             service.estimate("THIS IS NOT SQL !!", serving_envs[0])
     finally:
         service.close()

@@ -142,7 +142,7 @@ def test_labeled_plan_roundtrips_exactly():
     original = list(record.plan.walk())
     restored = list(out.plan.walk())
     assert len(restored) == len(original)
-    for before, after in zip(original, restored):
+    for before, after in zip(original, restored, strict=True):
         assert after.op is before.op
         assert after.table == before.table
         assert after.sort_keys == before.sort_keys
@@ -177,7 +177,7 @@ def test_prepared_forms_roundtrip():
         if value is None:
             assert decoded is None
         elif isinstance(value, list):
-            assert all(np.array_equal(a, b) for a, b in zip(decoded, value))
+            assert all(np.array_equal(a, b) for a, b in zip(decoded, value, strict=True))
         else:
             assert np.array_equal(decoded, value)
 

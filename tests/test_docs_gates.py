@@ -23,6 +23,7 @@ GATED_TREES = [
     str(REPO / "src" / "repro" / "cluster"),
     str(REPO / "src" / "repro" / "persist"),
     str(REPO / "src" / "repro" / "obs"),
+    str(REPO / "tools" / "analyze"),
 ]
 
 
@@ -43,6 +44,7 @@ def test_docs_links_and_paths_resolve():
 def test_link_gate_catches_a_broken_link(tmp_path):
     doc = tmp_path / "doc.md"
     doc.write_text(
+        "# Fine\n\n"
         "see [the map](missing/file.md) and `src/nowhere/gone.py`\n"
         "but [this anchor](#fine) and [this](https://example.com) pass\n"
     )

@@ -1,0 +1,1 @@
+"""Tests for the stdlib gate scripts under ``tools/``."""

@@ -1,0 +1,98 @@
+"""The docstring gate on malformed inputs and exemption edges."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_docstrings  # noqa: E402
+
+
+def _check(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    if isinstance(source, bytes):
+        path.write_bytes(source)
+    else:
+        path.write_text(source)
+    return check_docstrings.check_file(path)
+
+
+def test_documented_module_passes(tmp_path):
+    problems = _check(
+        tmp_path,
+        '"""Module."""\n\n\ndef public():\n    """Doc."""\n',
+    )
+    assert problems == []
+
+
+def test_undocumented_definitions_flagged(tmp_path):
+    problems = _check(
+        tmp_path,
+        "class Thing:\n"
+        "    def method(self):\n"
+        "        pass\n"
+        "\n"
+        "\n"
+        "def func():\n"
+        "    pass\n",
+    )
+    kinds = [p.split("undocumented public ")[1].split()[0] for p in problems]
+    assert kinds == ["module", "class", "method", "function"]
+
+
+def test_private_and_magic_exempt(tmp_path):
+    problems = _check(
+        tmp_path,
+        '"""Module."""\n\n\n'
+        "class Thing:\n"
+        '    """Doc."""\n\n'
+        "    def __init__(self):\n"
+        "        pass\n\n"
+        "    def __repr__(self):\n"
+        "        pass\n\n"
+        "    def _private(self):\n"
+        "        pass\n",
+    )
+    assert problems == []
+
+
+def test_nested_public_function_flagged(tmp_path):
+    problems = _check(
+        tmp_path,
+        '"""Module."""\n\n\n'
+        "def outer():\n"
+        '    """Doc."""\n'
+        "    def inner():\n"
+        "        pass\n"
+        "    return inner\n",
+    )
+    assert len(problems) == 1
+    assert "'inner'" in problems[0]
+
+
+def test_package_init_reported_as_package(tmp_path):
+    problems = _check(tmp_path, "x = 1\n", name="__init__.py")
+    assert len(problems) == 1
+    assert "undocumented public package" in problems[0]
+
+
+def test_non_utf8_file_reported_not_raised(tmp_path):
+    problems = _check(tmp_path, b'"""Doc."""\n\xff\xfe = 1\n')
+    assert len(problems) == 1
+    assert "not valid UTF-8" in problems[0]
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    problems = _check(tmp_path, '"""Doc."""\ndef broken(:\n    pass\n')
+    assert len(problems) == 1
+    assert "does not parse" in problems[0]
+    assert ":2:" in problems[0]
+
+
+def test_gated_trees_include_tools_analyze():
+    """The repo gate covers the analyzer package itself."""
+    problems = check_docstrings.check_trees([str(REPO / "tools" / "analyze")])
+    assert problems == [], "\n".join(problems)

@@ -1,0 +1,7 @@
+"""Repo tooling: doc gates, Prometheus lint, and the analyzer suite.
+
+Making ``tools`` a package lets the static-analysis CLI run as
+``python -m tools.analyze`` from the repo root; the standalone gate
+scripts (``check_links.py``, ``check_docstrings.py``,
+``check_prom.py``) remain directly runnable as before.
+"""

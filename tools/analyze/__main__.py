@@ -1,0 +1,228 @@
+"""CLI for the analyzer suite: ``python -m tools.analyze``.
+
+Runs every registered rule over the target trees (default:
+``src/repro``), applies inline ``# analyze: ignore[rule]``
+suppressions and the committed baseline, and exits nonzero on any
+fresh finding — or any *stale* baseline entry, which is the ratchet:
+once a grandfathered violation is fixed, its entry must be deleted.
+
+Usage::
+
+    python -m tools.analyze                      # text report, gate
+    python -m tools.analyze --format json        # machine-readable
+    python -m tools.analyze --format json --out analyze-report.json
+    python -m tools.analyze --rule hot-path src/repro/serving
+    python -m tools.analyze --update-baseline    # grandfather current
+    python -m tools.analyze --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from . import RULES, rule_applies
+from .core import Baseline, BaselineError, Finding, analyze_paths
+
+#: Repo root: two levels above this file (tools/analyze/__main__.py).
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: The committed ratchet file.
+DEFAULT_BASELINE = REPO_ROOT / "tools" / "analyze" / "baseline.json"
+
+#: What the gate covers when no paths are given.
+DEFAULT_PATHS = ("src/repro",)
+
+
+def _report_dict(
+    findings: Sequence[Finding],
+    baselined: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    stale: Sequence[Dict[str, str]],
+    errors: Sequence[str],
+) -> Dict[str, object]:
+    """The JSON report envelope (schema-versioned like BENCH files)."""
+    return {
+        "schema_version": 1,
+        "rules": [
+            {"name": rule.name, "summary": rule.summary} for rule in RULES
+        ],
+        "counts": {
+            "findings": len(findings),
+            "baselined": len(baselined),
+            "suppressed": len(suppressed),
+            "stale_baseline_entries": len(stale),
+            "parse_errors": len(errors),
+        },
+        "findings": [f.as_dict() for f in findings],
+        "baselined": [f.as_dict() for f in baselined],
+        "suppressed": [f.as_dict() for f in suppressed],
+        "stale_baseline_entries": list(stale),
+        "parse_errors": list(errors),
+    }
+
+
+def run(
+    paths: Sequence[pathlib.Path],
+    baseline_path: Optional[pathlib.Path],
+    only_rules: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Analyze *paths*, returning the report dict (see _report_dict)."""
+    rules = [
+        rule
+        for rule in RULES
+        if only_rules is None or rule.name in only_rules
+    ]
+    findings, suppressed, errors = analyze_paths(
+        paths, rules, REPO_ROOT, applies=rule_applies
+    )
+    baselined: List[Finding] = []
+    stale: List[Dict[str, str]] = []
+    if baseline_path is not None and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+        findings, baselined, stale = baseline.split(findings)
+    return _report_dict(findings, baselined, suppressed, stale, errors)
+
+
+def _render_text(report: Dict[str, object]) -> str:
+    """Human-readable rendering of a report dict."""
+    lines: List[str] = []
+    counts = report["counts"]
+    for finding in report["findings"]:
+        lines.append(
+            f"{finding['path']}:{finding['line']}: [{finding['rule']}] "
+            f"{finding['qualname']}: {finding['message']}"
+        )
+    for entry in report["stale_baseline_entries"]:
+        lines.append(
+            f"STALE BASELINE: {entry['rule']} / {entry['path']} / "
+            f"{entry['qualname']} no longer fires — delete its entry "
+            "(the ratchet only tightens)"
+        )
+    for error in report["parse_errors"]:
+        lines.append(f"PARSE ERROR: {error}")
+    lines.append(
+        f"analyze: {counts['findings']} finding(s), "
+        f"{counts['baselined']} baselined, "
+        f"{counts['suppressed']} suppressed, "
+        f"{counts['stale_baseline_entries']} stale baseline entr(ies), "
+        f"{counts['parse_errors']} parse error(s)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyze",
+        description="Repo-specific invariant analyzers (see "
+        "docs/STATIC_ANALYSIS.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files/trees to analyze (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE (any --format)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        metavar="FILE",
+        help="baseline file (default: tools/analyze/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as fresh",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file with "
+        "TODO reasons (each must be justified before commit) and exit 0",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only NAME (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.name}: {rule.summary}")
+        return 0
+
+    known = {rule.name for rule in RULES}
+    if args.rule:
+        unknown = set(args.rule) - known
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}")
+            return 2
+
+    paths = [
+        pathlib.Path(p) for p in (args.paths or list(DEFAULT_PATHS))
+    ]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}")
+        return 2
+
+    baseline_path = None if args.no_baseline else pathlib.Path(args.baseline)
+    try:
+        report = run(paths, baseline_path, only_rules=args.rule)
+    except BaselineError as exc:
+        print(f"BASELINE ERROR: {exc}")
+        return 2
+
+    if args.update_baseline:
+        findings = [
+            Finding(**f) for f in report["findings"]  # type: ignore[arg-type]
+        ]
+        doc = Baseline.render_entries(findings)
+        pathlib.Path(args.baseline).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(
+            f"wrote {len(findings)} entr(ies) to {args.baseline} — "
+            "justify each reason before committing"
+        )
+        return 0
+
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(_render_text(report))
+
+    counts = report["counts"]
+    failed = (
+        counts["findings"]
+        or counts["stale_baseline_entries"]
+        or counts["parse_errors"]
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

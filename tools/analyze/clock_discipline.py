@@ -1,0 +1,118 @@
+"""Rule ``clock-discipline``: wall clock for records, monotonic for math.
+
+``time.time()`` is steppable — NTP corrections move it, VM migrations
+jump it — so any duration or deadline computed from it can go
+negative or stall.  The repo's contract (docs/OBSERVABILITY.md):
+
+- ``time.monotonic()`` / ``time.perf_counter()`` for every duration,
+  deadline and hold-time computation;
+- ``time.time()`` **only** to stamp wall-clock *record* fields —
+  attributes, dict keys or keyword arguments whose names say so
+  (``*_unix``, ``unix_*``, ``*_ts``, ``*wall*``), where a human or a
+  cross-process consumer needs calendar time.
+
+Every other ``time.time()`` call is a finding, as is any
+``datetime.now()``/``utcnow()`` (same steppability, plus timezone
+ambiguity) outside those record positions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List
+
+from .core import Finding, ModuleSource, Rule, call_name, qualname_of
+
+#: Names that mark a wall-clock *record* destination.
+_WALL_FIELD = re.compile(r"(^|_)(unix|wall)(_|$)|(^|_)ts$")
+
+_WALL_CALLS = {"time.time", "datetime.now", "datetime.utcnow"}
+
+
+def _parent_map(tree: ast.AST) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _names_wall_record(node: ast.AST) -> bool:
+    """True when *node* (a target/keyword/key) names a wall-clock field."""
+    if isinstance(node, ast.Attribute):
+        return bool(_WALL_FIELD.search(node.attr))
+    if isinstance(node, ast.Name):
+        return bool(_WALL_FIELD.search(node.id))
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return bool(_WALL_FIELD.search(node.value))
+    return False
+
+
+def _is_record_position(
+    call: ast.Call, parents: Dict[int, ast.AST]
+) -> bool:
+    """True when the call's value lands directly in a wall-named field.
+
+    Recognised shapes (the call must be the *whole* value — arithmetic
+    on top of ``time.time()`` is duration math, never a record):
+
+    - ``self.start_unix = time.time()`` / ``created_unix = time.time()``
+    - ``Event(unix_ts=time.time())`` (keyword argument)
+    - ``{"created_unix": time.time()}`` (dict literal value)
+    """
+    parent = parents.get(id(call))
+    if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+        targets = (
+            parent.targets
+            if isinstance(parent, ast.Assign)
+            else [parent.target]
+        )
+        return any(_names_wall_record(t) for t in targets)
+    if isinstance(parent, ast.keyword):
+        return bool(parent.arg and _WALL_FIELD.search(parent.arg))
+    if isinstance(parent, ast.Dict):
+        for key, value in zip(parent.keys, parent.values, strict=True):
+            if value is call and key is not None:
+                return _names_wall_record(key)
+    return False
+
+
+def _check(module: ModuleSource) -> List[Finding]:
+    """All clock-discipline findings in *module*."""
+    findings: List[Finding] = []
+    parents = _parent_map(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if name not in _WALL_CALLS and not any(
+            name.endswith("." + wall) for wall in _WALL_CALLS
+        ):
+            continue
+        if _is_record_position(node, parents):
+            continue
+        findings.append(
+            Finding(
+                rule="clock-discipline",
+                path=module.path,
+                line=node.lineno,
+                qualname=qualname_of(node),
+                message=(
+                    f"{name}() outside a wall-clock record field "
+                    "(*_unix/*_ts/*wall*) — durations and deadlines "
+                    "use time.monotonic()/time.perf_counter()"
+                ),
+            )
+        )
+    return findings
+
+
+RULE = Rule(
+    name="clock-discipline",
+    summary=(
+        "time.time()/datetime.now() only into *_unix/*_ts/*wall* record "
+        "fields; monotonic clocks for every duration and deadline"
+    ),
+    check=_check,
+)

@@ -1,0 +1,374 @@
+"""The analyzer framework: findings, rules, suppressions, baseline.
+
+Everything here is stdlib-only (``ast`` + ``json``) so the suite runs
+wherever the tests run — no pinned toolchain required.  The moving
+parts:
+
+- :class:`Finding` — one violation: rule, file, line, the enclosing
+  definition's qualified name, and a message.  Its :meth:`Finding.key`
+  (rule, path, qualname, message) deliberately excludes the line
+  number, so baselines survive unrelated edits to the same file.
+- :class:`Rule` — a named check over one parsed module.  Rules are
+  registered in :data:`tools.analyze.RULES` and receive a
+  :class:`ModuleSource` (tree + text + repo-relative path).
+- **Suppressions** — ``# analyze: ignore[rule]`` (optionally
+  ``ignore[rule1,rule2]``, optionally followed by a reason) on the
+  flagged line, or on its own line directly above, silences that line
+  for those rules.  ``ignore[*]`` silences every rule.
+- **Baseline** — a committed JSON file grandfathering pre-existing
+  findings by key, each with a written reason.  Baselined findings
+  don't fail the run; a baseline entry matching *nothing* is stale and
+  **fails the run** (the ratchet: fixes must delete their entry).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    qualname: str  # enclosing Class.method / function, or "<module>"
+    message: str
+
+    def key(self) -> Tuple[str, str, str, str]:
+        """Line-number-free identity used for baseline matching."""
+        return (self.rule, self.path, self.qualname, self.message)
+
+    def render(self) -> str:
+        """``path:line: [rule] qualname: message`` for human output."""
+        return (
+            f"{self.path}:{self.line}: [{self.rule}] "
+            f"{self.qualname}: {self.message}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for the JSON report."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "qualname": self.qualname,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleSource:
+    """A parsed module handed to every rule: tree, text, lines, path."""
+
+    path: str  # repo-relative, posix separators
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, file_path: pathlib.Path, root: pathlib.Path) -> "ModuleSource":
+        """Parse *file_path* (UTF-8) relative to repo *root*."""
+        text = file_path.read_text(encoding="utf-8")
+        try:
+            rel = file_path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            # Outside the repo root (temp dirs in tests): keep the
+            # path as given rather than refusing to analyze.
+            rel = file_path.as_posix()
+        tree = ast.parse(text, filename=rel)
+        return cls(path=rel, text=text, tree=tree, lines=text.splitlines())
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named analyzer: a check function over one module."""
+
+    name: str
+    summary: str
+    check: Callable[[ModuleSource], List[Finding]]
+
+    def run(self, module: ModuleSource) -> List[Finding]:
+        """All of this rule's findings in *module*."""
+        return self.check(module)
+
+
+# ----------------------------------------------------------------------
+# qualified names
+# ----------------------------------------------------------------------
+def attach_qualnames(tree: ast.Module) -> None:
+    """Annotate every node with ``_qualname`` (``Class.method`` etc.).
+
+    Rules report the enclosing definition so baseline keys stay stable
+    under line churn; ``<module>`` marks top-level code.
+    """
+
+    def visit(node: ast.AST, stack: List[str]) -> None:
+        """Tag *node*'s children, extending *stack* at definitions."""
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                child_stack = stack + [child.name]
+            else:
+                child_stack = stack
+            child._qualname = ".".join(child_stack) or "<module>"
+            visit(child, child_stack)
+
+    tree._qualname = "<module>"
+    visit(tree, [])
+
+
+def qualname_of(node: ast.AST) -> str:
+    """The ``_qualname`` attached by :func:`attach_qualnames`."""
+    return getattr(node, "_qualname", "<module>")
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+#: ``# analyze: ignore[rule-a,rule-b]`` with an optional trailing reason.
+_SUPPRESS = re.compile(r"#\s*analyze:\s*ignore\[([^\]]+)\]")
+
+
+def suppressed_lines(module: ModuleSource) -> Dict[int, set]:
+    """{line number: set of rule names silenced there}.
+
+    A suppression comment covers its own line; a line holding *only*
+    the comment also covers the next line (so long signatures can put
+    the pragma above).  ``*`` silences all rules.
+    """
+    out: Dict[int, set] = {}
+    for index, line in enumerate(module.lines, start=1):
+        match = _SUPPRESS.search(line)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        out.setdefault(index, set()).update(rules)
+        if line.strip().startswith("#"):  # standalone: covers the next line
+            out.setdefault(index + 1, set()).update(rules)
+    return out
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], module: ModuleSource
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split *findings* into (kept, suppressed) using inline pragmas."""
+    lines = suppressed_lines(module)
+    kept: List[Finding] = []
+    dropped: List[Finding] = []
+    for finding in findings:
+        rules = lines.get(finding.line, set())
+        if finding.rule in rules or "*" in rules:
+            dropped.append(finding)
+        else:
+            kept.append(finding)
+    return kept, dropped
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad JSON, missing fields)."""
+
+
+@dataclass
+class Baseline:
+    """The committed ratchet: grandfathered findings with reasons."""
+
+    entries: List[Dict[str, str]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        """Read and validate a baseline JSON file."""
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+        entries = raw.get("entries") if isinstance(raw, dict) else None
+        if not isinstance(entries, list):
+            raise BaselineError(f"{path}: expected {{'entries': [...]}}")
+        for entry in entries:
+            missing = {"rule", "path", "qualname", "reason"} - set(entry)
+            if missing:
+                raise BaselineError(
+                    f"{path}: entry {entry!r} missing {sorted(missing)}"
+                )
+            if not str(entry["reason"]).strip():
+                raise BaselineError(
+                    f"{path}: entry for {entry['qualname']!r} has an empty "
+                    "reason — baselines must be justified"
+                )
+        return cls(entries=list(entries))
+
+    def _matches(self, entry: Dict[str, str], finding: Finding) -> bool:
+        if entry["rule"] != finding.rule or entry["path"] != finding.path:
+            return False
+        if entry["qualname"] != finding.qualname:
+            return False
+        # An entry may pin an exact message; without one it covers every
+        # finding of its rule inside the named definition.
+        message = entry.get("message")
+        return message is None or message == finding.message
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Dict[str, str]]]:
+        """(non-baselined, baselined, stale entries) for *findings*."""
+        used = [False] * len(self.entries)
+        fresh: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding in findings:
+            hit = None
+            for index, entry in enumerate(self.entries):
+                if self._matches(entry, finding):
+                    hit = index
+                    break
+            if hit is None:
+                fresh.append(finding)
+            else:
+                used[hit] = True
+                grandfathered.append(finding)
+        stale = [
+            entry
+            for entry, was_used in zip(self.entries, used, strict=True)
+            if not was_used
+        ]
+        return fresh, grandfathered, stale
+
+    @staticmethod
+    def render_entries(findings: Sequence[Finding]) -> Dict[str, object]:
+        """A baseline document covering *findings* (reasons left TODO)."""
+        return {
+            "version": 1,
+            "entries": [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "qualname": finding.qualname,
+                    "message": finding.message,
+                    "reason": "TODO: justify or fix",
+                }
+                for finding in findings
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# running
+# ----------------------------------------------------------------------
+def iter_python_files(
+    paths: Sequence[pathlib.Path],
+) -> List[pathlib.Path]:
+    """Every ``*.py`` under *paths* (files pass through), sorted."""
+    files: List[pathlib.Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def analyze_paths(
+    paths: Sequence[pathlib.Path],
+    rules: Sequence[Rule],
+    root: pathlib.Path,
+    applies: Optional[Callable[[Rule, str], bool]] = None,
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Run *rules* over the python files under *paths*.
+
+    *applies* (rule, repo-relative path) -> bool scopes rules to
+    subtrees (default: every rule everywhere).  Returns ``(findings,
+    suppressed, errors)`` where *errors* are files that failed to
+    parse (reported, never silently skipped).
+    """
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    errors: List[str] = []
+    for file_path in iter_python_files(paths):
+        try:
+            module = ModuleSource.load(file_path, root)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            errors.append(f"{file_path}: {exc}")
+            continue
+        attach_qualnames(module.tree)
+        raw: List[Finding] = []
+        for rule in rules:
+            if applies is not None and not applies(rule, module.path):
+                continue
+            raw.extend(rule.run(module))
+        kept, dropped = apply_suppressions(raw, module)
+        findings.extend(kept)
+        suppressed.extend(dropped)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    suppressed.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, suppressed, errors
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers used by the rules
+# ----------------------------------------------------------------------
+def call_name(node: ast.Call) -> str:
+    """Dotted name of a call target: ``time.time``, ``print``, ``a.b.c``.
+
+    Unresolvable shapes (subscripts, calls-of-calls) come back as ``""``.
+    """
+    parts: List[str] = []
+    target = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def attribute_chain(node: ast.AST) -> str:
+    """Dotted form of an attribute expression (``self.stats.errors``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def is_self_attribute(node: ast.AST) -> bool:
+    """True for expressions rooted at ``self`` (``self.x``, ``self.a.b``)."""
+    chain = attribute_chain(node)
+    return chain.startswith("self.")
+
+
+def enclosing_function(
+    tree: ast.AST, target: ast.AST
+) -> Optional[ast.AST]:
+    """The innermost FunctionDef/AsyncFunctionDef containing *target*."""
+    best: Optional[ast.AST] = None
+
+    def visit(node: ast.AST, current: Optional[ast.AST]) -> None:
+        """Descend tracking the innermost enclosing function."""
+        nonlocal best
+        if node is target:
+            best = current
+            return
+        for child in ast.iter_child_nodes(node):
+            next_fn = (
+                node
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                else current
+            )
+            visit(child, next_fn)
+
+    visit(tree, None)
+    return best

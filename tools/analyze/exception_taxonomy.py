@@ -1,0 +1,172 @@
+"""Rule ``exception-taxonomy``: serving code raises typed errors only.
+
+The ``repro.errors`` hierarchy exists so callers can catch library
+failures with one ``except ReproError`` while genuine bugs
+(``TypeError`` and friends) propagate.  That contract dies the moment
+a serving-path module raises a bare builtin — PR 5 found exactly this
+(``LIMIT <non-int>`` leaking a ``ValueError`` past the ``ParseError``
+taxonomy).  Two checks over ``src/repro/{serving,cluster,persist,sql,
+obs}``:
+
+1. ``raise <builtin>(...)`` is a finding for every builtin exception
+   class.  Bare re-raises (``raise``), raises of caught variables and
+   raises of non-builtin (typed) classes pass.
+2. ``except Exception`` handlers must either contain a ``raise``
+   (re-wrap typed) or visibly account for the swallow — increment an
+   ``error``-named counter, call an ``error``-named hook, or emit an
+   ``error`` event.  A handler that silently drops exceptions turns
+   corrupted estimates into numbers that look fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    attribute_chain,
+    call_name,
+    qualname_of,
+)
+
+#: Builtin exception classes that must never be raised from the
+#: serving stack (``repro.errors`` covers every intentional failure).
+#: ``NotImplementedError`` is exempt: it marks abstract methods, not
+#: error paths.
+BUILTIN_EXCEPTIONS = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "BufferError",
+        "EOFError",
+        "Exception",
+        "FileExistsError",
+        "FileNotFoundError",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "NameError",
+        "OSError",
+        "OverflowError",
+        "PermissionError",
+        "RecursionError",
+        "ReferenceError",
+        "RuntimeError",
+        "StopAsyncIteration",
+        "StopIteration",
+        "SystemError",
+        "TimeoutError",
+        "TypeError",
+        "UnicodeDecodeError",
+        "UnicodeEncodeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+#: ``except <these>`` handlers must re-raise or count.
+_BROAD_HANDLERS = {"Exception", "BaseException"}
+
+
+def _raised_class(node: ast.Raise) -> str:
+    """The dotted name of the raised class ("" when unresolvable)."""
+    exc = node.exc
+    if exc is None:
+        return ""
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    return attribute_chain(exc) if not isinstance(exc, ast.Name) else exc.id
+
+
+def _handler_accounts(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or visibly counts the error.
+
+    "Counting" is any error-named touch: an attribute or local whose
+    name contains ``error`` (``self.stats.errors += 1``), an
+    error-named call, a string constant naming an error counter or
+    event (``stats.add("errors")``, ``events.emit("error", ...)``), or
+    handing the exception to a waiter (``future.set_exception(exc)``
+    propagates, it does not swallow).
+    """
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Attribute) and "error" in node.attr.lower():
+            return True  # ``self.stats.errors += 1``, ``.write_errors``…
+        if isinstance(node, ast.Name) and "error" in node.id.lower():
+            return True  # a local errors counter / error hook
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and "error" in node.value.lower()
+        ):
+            return True  # ``stats.add("errors")`` / ``emit("error")``
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if "error" in name.lower() or name.endswith(".set_exception"):
+                return True
+    return False
+
+
+def _check(module: ModuleSource) -> List[Finding]:
+    """All exception-taxonomy findings in *module*."""
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Raise):
+            raised = _raised_class(node)
+            base = raised.rsplit(".", 1)[-1]
+            if raised and base in BUILTIN_EXCEPTIONS:
+                findings.append(
+                    Finding(
+                        rule="exception-taxonomy",
+                        path=module.path,
+                        line=node.lineno,
+                        qualname=qualname_of(node),
+                        message=(
+                            f"raises builtin {base!r}; serving code must "
+                            "raise repro.errors classes (or typed "
+                            "subclasses) so callers can catch ReproError"
+                        ),
+                    )
+                )
+        elif isinstance(node, ast.ExceptHandler) and node.type is not None:
+            types = (
+                node.type.elts
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            names = {
+                t.id for t in types if isinstance(t, ast.Name)
+            }
+            if names & _BROAD_HANDLERS and not _handler_accounts(node):
+                findings.append(
+                    Finding(
+                        rule="exception-taxonomy",
+                        path=module.path,
+                        line=node.lineno,
+                        qualname=qualname_of(node),
+                        message=(
+                            "'except Exception' swallows errors without "
+                            "re-raising typed or incrementing an errors "
+                            "counter — failures become invisible"
+                        ),
+                    )
+                )
+    return findings
+
+
+RULE = Rule(
+    name="exception-taxonomy",
+    summary=(
+        "serving packages raise repro.errors classes only; broad handlers "
+        "re-raise or count what they swallow"
+    ),
+    check=_check,
+)

@@ -1,0 +1,316 @@
+"""Rule ``lock-discipline``: stats mutate and snapshot under their lock,
+and nothing slow or reentrant runs while a lock is held.
+
+The serving stack's concurrency contract (docs/ARCHITECTURE.md) has
+two halves, both enforced here:
+
+1. **Counter read-modify-writes and snapshot reads happen inside
+   ``with self._lock``.**  In any class that creates a lock attribute
+   (``threading.Lock/RLock/Condition`` or the
+   :mod:`repro.obs.lockwatch` factories), an augmented assignment to a
+   ``self``-rooted attribute outside a with-lock block is a torn
+   counter waiting for a load generator; a ``self`` attribute *read*
+   in a ``snapshot``/``stats_snapshot`` method outside the lock is a
+   torn snapshot.
+2. **No I/O, logging, sleeping, callback invocation, event emission,
+   span allocation or thread lifecycle calls while a lock is held.**
+   Those dwell (or re-enter: an event subscriber may call back into
+   the locked component) and turn a microsecond critical section into
+   a convoy.
+
+``__init__`` is exempt from (1): no other thread can hold a reference
+yet.  Cross-function analysis is out of scope — a helper that does I/O
+called from inside a lock region is not caught; keep critical sections
+inline and tiny.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set
+
+from .core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    attribute_chain,
+    call_name,
+    qualname_of,
+)
+
+#: Calls that create a lock object (value-based lock-attr detection).
+_LOCK_FACTORIES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "make_lock",
+    "make_condition",
+}
+
+#: Attribute names treated as locks when annotated at class level
+#: (dataclass ``field(default_factory=...)`` shapes).
+_LOCK_NAME = re.compile(r"(^|_)(lock|cond)$")
+
+#: Methods whose job is building a consistent snapshot.
+_SNAPSHOT_METHODS = re.compile(r"^(snapshot|stats_snapshot|\w+_snapshot)$")
+
+#: Exact call names forbidden while a lock is held.
+_FORBIDDEN_NAMES = {"print", "input"}
+
+#: Dotted-suffix call patterns forbidden while a lock is held.
+_FORBIDDEN_SUFFIXES = (
+    ".sleep",
+    ".emit",
+    ".start_span",
+    ".start_batch_span",
+    ".write_text",
+    ".read_text",
+    ".write_bytes",
+    ".read_bytes",
+)
+
+#: ``os.``-rooted calls forbidden under a lock (filesystem syscalls).
+_OS_CALLS = re.compile(r"^os\.(\w+\.)*\w+$")
+
+#: Cross-subsystem components that must never be invoked while the
+#: caller holds its own lock: event emission runs subscribers, tracer
+#: calls allocate and lock, adaptation calls can refit.  All three can
+#: re-enter the calling component.
+_CROSS_SUBSYSTEM_PREFIXES = (
+    "self.events.",
+    "self.tracer.",
+    "self.adaptation.",
+)
+
+#: Model work (fitting, fused predicts, featurization) is milliseconds
+#: of compute — never inside a lock's critical section.
+_HEAVY_SUFFIXES = (".fit", ".predict_prepared", ".prepare_one", ".predict")
+
+#: Logging roots: ``logging.info(...)``, ``logger.warning(...)``.
+_LOG_ROOTS = {"logging", "logger", "log"}
+
+
+def _lock_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attribute names of the locks *cls* creates (empty: not lock-owning)."""
+    attrs: Set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = call_name(node.value).rsplit(".", 1)[-1]
+            if callee in _LOCK_FACTORIES:
+                for target in node.targets:
+                    chain = attribute_chain(target)
+                    if chain.startswith("self."):
+                        attrs.add(chain[len("self.") :])
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            # Dataclass-style: ``_lock: threading.Lock = field(...)``.
+            if _LOCK_NAME.search(node.target.id):
+                attrs.add(node.target.id)
+    return attrs
+
+
+def _is_lock_expr(expr: ast.AST, lock_attrs: Set[str]) -> bool:
+    chain = attribute_chain(expr)
+    return chain.startswith("self.") and chain[len("self.") :] in lock_attrs
+
+
+class _FunctionChecker(ast.NodeVisitor):
+    """Walk one method tracking with-lock nesting depth."""
+
+    def __init__(
+        self,
+        module: ModuleSource,
+        lock_attrs: Set[str],
+        in_init: bool,
+        snapshot_method: bool,
+    ):
+        self.module = module
+        self.lock_attrs = lock_attrs
+        self.in_init = in_init
+        self.snapshot_method = snapshot_method
+        self.depth = 0
+        self.findings: List[Finding] = []
+        #: Attribute nodes that are the ``func`` of a call — reading
+        #: ``self.metrics`` to *call through it* is delegation, not a
+        #: snapshot read.
+        self._call_funcs: Set[int] = set()
+
+    def _finding(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule="lock-discipline",
+                path=self.module.path,
+                line=node.lineno,
+                qualname=qualname_of(node),
+                message=message,
+            )
+        )
+
+    # -- with-lock tracking -------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        """Track entry/exit of 'with self.<lock>' blocks."""
+        held = any(
+            _is_lock_expr(item.context_expr, self.lock_attrs)
+            for item in node.items
+        )
+        for item in node.items:
+            self.visit(item.context_expr)
+        if held:
+            self.depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if held:
+            self.depth -= 1
+
+    # -- nested defs keep their own context ---------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Check nested defs with their own (empty) lock context."""
+        # A nested function's body runs later (callback); its lock
+        # context is not this one's.  Check it with depth 0.
+        inner = _FunctionChecker(
+            self.module, self.lock_attrs, in_init=False, snapshot_method=False
+        )
+        for stmt in node.body:
+            inner.visit(stmt)
+        self.findings.extend(inner.findings)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    # -- check 1: counter RMW under lock ------------------------------
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        """Flag counter read-modify-writes outside the lock."""
+        chain = attribute_chain(node.target)
+        if (
+            chain.startswith("self.")
+            and self.depth == 0
+            and not self.in_init
+        ):
+            self._finding(
+                node,
+                f"read-modify-write of {chain!r} outside "
+                "'with self.<lock>' in a lock-owning class",
+            )
+        self.generic_visit(node)
+
+    # -- check 1b: snapshot reads under lock --------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        """Flag snapshot-method state reads outside the lock."""
+        if (
+            self.snapshot_method
+            and self.depth == 0
+            and isinstance(node.ctx, ast.Load)
+            and id(node) not in self._call_funcs
+        ):
+            chain = attribute_chain(node)
+            if (
+                chain.startswith("self.")
+                and chain[len("self.") :] not in self.lock_attrs
+            ):
+                self._finding(
+                    node,
+                    f"snapshot method reads {chain!r} outside "
+                    "'with self.<lock>' — the copy can tear",
+                )
+        self.generic_visit(node)
+
+    # -- check 2: forbidden calls while a lock is held ----------------
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag forbidden calls made while a lock is held."""
+        if isinstance(node.func, ast.Attribute):
+            self._call_funcs.add(id(node.func))
+            # Delegated-call reads (``self.a.b()``'s read of ``self.a``)
+            # are not snapshot reads either.
+            inner = node.func.value
+            while isinstance(inner, ast.Attribute):
+                self._call_funcs.add(id(inner))
+                inner = inner.value
+        if self.depth > 0:
+            name = call_name(node)
+            reason = self._forbidden(name)
+            if reason is not None:
+                self._finding(
+                    node,
+                    f"call to {name or '<dynamic>'}() while holding a "
+                    f"lock: {reason}",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _forbidden(name: str) -> Optional[str]:
+        if not name:
+            return None
+        if name in _FORBIDDEN_NAMES or name == "open":
+            return "blocking I/O / console work dwells in the critical section"
+        root = name.split(".", 1)[0]
+        if root in _LOG_ROOTS and "." in name:
+            return "logging under a lock serialises every thread on the handler"
+        if _OS_CALLS.match(name):
+            return "filesystem syscalls do not belong in a critical section"
+        for suffix in _FORBIDDEN_SUFFIXES:
+            if name.endswith(suffix):
+                if suffix == ".emit":
+                    return (
+                        "event emission runs subscribers, which may "
+                        "re-enter the locked component (deadlock)"
+                    )
+                if suffix in (".start_span", ".start_batch_span"):
+                    return "span allocation/recording dwells under the lock"
+                return "blocking I/O / sleeping dwells in the critical section"
+        for prefix in _CROSS_SUBSYSTEM_PREFIXES:
+            if name.startswith(prefix):
+                return (
+                    "cross-subsystem call while holding this component's "
+                    "lock — the callee may lock, allocate, or re-enter"
+                )
+        for suffix in _HEAVY_SUFFIXES:
+            if name.endswith(suffix):
+                return "model compute (fit/predict/featurize) under a lock"
+        if name.endswith("_fn") or name.endswith("_callback") or name.endswith(
+            ".callback"
+        ):
+            return (
+                "caller-supplied callbacks must run outside the lock "
+                "(unknown code, unknown duration, possible re-entry)"
+            )
+        last = name.rsplit(".", 1)[-1]
+        if last in ("start", "join") and (
+            "thread" in name.lower() or "worker" in name.lower()
+        ):
+            return "thread lifecycle (start/join) must not run under a lock"
+        return None
+
+
+def _check(module: ModuleSource) -> List[Finding]:
+    """All lock-discipline findings in *module*."""
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        lock_attrs = _lock_attrs(node)
+        if not lock_attrs:
+            continue
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            checker = _FunctionChecker(
+                module,
+                lock_attrs,
+                in_init=item.name in ("__init__", "__new__", "__post_init__"),
+                snapshot_method=bool(_SNAPSHOT_METHODS.match(item.name)),
+            )
+            for stmt in item.body:
+                checker.visit(stmt)
+            findings.extend(checker.findings)
+    return findings
+
+
+RULE = Rule(
+    name="lock-discipline",
+    summary=(
+        "stats RMW/snapshots inside 'with self._lock'; no I/O, logging, "
+        "callbacks, event emission or thread lifecycle while a lock is held"
+    ),
+    check=_check,
+)

@@ -72,8 +72,18 @@ def _walk_definitions(
 
 
 def check_file(path: pathlib.Path) -> List[str]:
-    """Every docstring violation in *path*, rendered one per line."""
-    tree = ast.parse(path.read_text(), filename=str(path))
+    """Every docstring violation in *path*, rendered one per line.
+
+    A file the gate cannot read or parse (non-UTF8 bytes, syntax
+    error) is itself a violation — reported cleanly, never a
+    traceback: an unparsable file in a gated tree must fail the gate.
+    """
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except UnicodeDecodeError as exc:
+        return [f"{path}:1: not valid UTF-8: {exc}"]
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno or 1}: does not parse: {exc.msg}"]
     problems: List[str] = []
     if not _has_docstring(tree):
         kind = "package" if path.name == "__init__.py" else "module"
@@ -104,6 +114,7 @@ def main(argv: List[str]) -> int:
         "src/repro/cluster",
         "src/repro/persist",
         "src/repro/obs",
+        "tools/analyze",
     ]
     problems = check_trees(roots)
     if problems:

@@ -9,8 +9,12 @@ fails on:
 
 - **Markdown links** ``[text](target)`` whose target is relative and
   does not exist (resolved against the linking file's directory;
-  ``http(s)://``, ``mailto:`` and ``#anchor`` targets are skipped,
-  fragments are stripped).
+  ``http(s)://`` and ``mailto:`` targets are skipped).
+- **Anchors**: a ``#fragment`` (same-file or on a ``.md`` target) must
+  match a heading in the addressed file, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to hyphens).
+- **Unreadable files**: a gated file that is not UTF-8 is reported as
+  a problem, never a traceback.
 - **Backticked path references** like ``src/repro/bench/scenarios.py``
   — a token with a directory separator and a known file extension —
   that do not exist relative to the repo root.  Tokens with glob or
@@ -44,6 +48,25 @@ _BACKTICK_PATH = re.compile(
 
 _EXTERNAL = ("http://", "https://", "mailto:")
 
+#: ATX headings (``# Title`` ... ``###### Title``) for anchor slugs.
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+
+
+def _slug(title: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation
+    (backticks, colons, parens...), spaces become hyphens."""
+    cleaned = re.sub(r"[^\w\- ]", "", title.strip().lower())
+    return cleaned.replace(" ", "-")
+
+
+def _heading_anchors(path: pathlib.Path) -> set:
+    """Every heading anchor *path* defines (empty for unreadable files)."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return set()
+    return {_slug(match.group(1)) for match in _HEADING.finditer(text)}
+
 
 def _default_files(root: pathlib.Path) -> List[pathlib.Path]:
     """The committed markdown the gate covers by default."""
@@ -53,24 +76,36 @@ def _default_files(root: pathlib.Path) -> List[pathlib.Path]:
 
 
 def check_file(path: pathlib.Path, root: pathlib.Path) -> List[str]:
-    """Every broken link/path in *path*, rendered one per line."""
-    text = path.read_text()
+    """Every broken link/path/anchor in *path*, rendered one per line."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        return [f"{path.relative_to(root)}:1: not valid UTF-8: {exc}"]
     problems: List[str] = []
     for match in _LINK.finditer(text):
         target = match.group(1)
-        if target.startswith(_EXTERNAL) or target.startswith("#"):
+        if target.startswith(_EXTERNAL):
             continue
-        relative = target.split("#", 1)[0]
-        if not relative:
-            continue
-        base = root if relative.startswith("/") else path.parent
-        resolved = (base / relative.lstrip("/")).resolve()
-        if not resolved.exists():
-            line = text[: match.start()].count("\n") + 1
-            problems.append(
-                f"{path.relative_to(root)}:{line}: broken link "
-                f"[{target}] -> {relative} does not exist"
-            )
+        line = text[: match.start()].count("\n") + 1
+        relative, _, fragment = target.partition("#")
+        if relative:
+            base = root if relative.startswith("/") else path.parent
+            resolved = (base / relative.lstrip("/")).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}:{line}: broken link "
+                    f"[{target}] -> {relative} does not exist"
+                )
+                continue
+        else:
+            resolved = path  # pure ``#anchor``: addresses this file
+        if fragment and resolved.suffix == ".md":
+            if fragment.lower() not in _heading_anchors(resolved):
+                problems.append(
+                    f"{path.relative_to(root)}:{line}: broken anchor "
+                    f"[{target}] -> no heading #{fragment} in "
+                    f"{resolved.name}"
+                )
     for match in _BACKTICK_PATH.finditer(text):
         reference = match.group(1)
         if not (root / reference).exists():
