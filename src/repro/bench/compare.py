@@ -147,6 +147,7 @@ _DEFAULT_BANDS: Sequence = (
     ("metrics.throughput_rps", Tolerance("higher", rel=0.9)),
     ("metrics.errors", Tolerance("lower", rel=0.0, abs=0.0)),
     ("counters.feature_cache.hit_rate", Tolerance("higher", rel=0.5, abs=0.05)),
+    ("counters.template_cache.hit_rate", Tolerance("higher", rel=0.5, abs=0.05)),
     ("counters.snapshot_store.hit_rate", Tolerance("higher", rel=0.5, abs=0.05)),
     ("counters.adaptation.errors", Tolerance("lower", rel=0.0, abs=0.0)),
     ("extra.batch_speedup", Tolerance("higher", rel=0.5)),

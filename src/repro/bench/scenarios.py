@@ -316,6 +316,22 @@ def _steady_state(params: Dict[str, object], seed: int) -> Dict[str, object]:
         batch_sizes = sorted(rates)
         batch_speedup = rates[batch_sizes[-1]] / max(rates[batch_sizes[0]], 1e-9)
 
+        # Bit-identity across the three serving paths (the fused-batch
+        # contract): single estimates, fused estimate_many chunks and
+        # micro-batcher flushes must agree exactly — not approximately
+        # — on the same plans.  Gated at 1 by the tolerance bands.
+        probe = plan_inputs[: min(32, len(plan_inputs))]
+        singles = np.array(
+            [service.estimate(plan, envs[0]) for plan in probe]
+        )
+        fused = service.estimate_many(probe, envs[0], batch_size=64)
+        futures = [service.estimate_async(plan, envs[0]) for plan in probe]
+        coalesced = np.array([f.result(timeout=30.0) for f in futures])
+        bit_identical = int(
+            np.array_equal(singles, fused)
+            and np.array_equal(singles, coalesced)
+        )
+
         before = service.counters()
         result = run_load(
             service,
@@ -323,7 +339,7 @@ def _steady_state(params: Dict[str, object], seed: int) -> Dict[str, object]:
             threads=int(params.get("threads", 4)),
             arrival=ArrivalSpec(
                 kind=str(params.get("arrival", "poisson")),
-                rate_rps=float(params.get("rate_rps", 400.0)),
+                rate_rps=float(params.get("rate_rps", 4000.0)),
             ),
             duration_s=float(params.get("duration_s", 3.0)),
             seed=seed,
@@ -340,6 +356,7 @@ def _steady_state(params: Dict[str, object], seed: int) -> Dict[str, object]:
             f"batch{batch_sizes[0]}_rps": rates[batch_sizes[0]],
             f"batch{batch_sizes[-1]}_rps": rates[batch_sizes[-1]],
             "behind_schedule": result.behind_schedule,
+            "bit_identical": bit_identical,
         },
     )
 
@@ -1072,10 +1089,10 @@ register(Scenario(
     smoke=True,
     params=dict(
         benchmark="sysbench", model="qppnet", env_count=2, plans=128,
-        epochs=4, threads=4, arrival="poisson", rate_rps=400.0,
+        epochs=4, threads=4, arrival="poisson", rate_rps=4000.0,
         duration_s=3.0, batch_max=64,
     ),
-    quick_overrides=dict(plans=48, epochs=2, duration_s=1.0, rate_rps=250.0),
+    quick_overrides=dict(plans=48, epochs=2, duration_s=1.0, rate_rps=2000.0),
 ))
 
 register(Scenario(

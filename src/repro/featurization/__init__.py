@@ -1,8 +1,8 @@
 """Featurization: operator-level and MSCN set-based encodings."""
 
 from .encoding import SNAPSHOT_SLOTS, OperatorEncoder, apply_mask
-from .fingerprint import plan_fingerprint
-from .mscn_features import MSCNEncoder, MSCNSample
+from .fingerprint import plan_fingerprint, template_fingerprint
+from .mscn_features import MSCNEncoder, MSCNSample, MSCNTemplate
 
 __all__ = [
     "OperatorEncoder",
@@ -10,5 +10,7 @@ __all__ = [
     "SNAPSHOT_SLOTS",
     "MSCNEncoder",
     "MSCNSample",
+    "MSCNTemplate",
     "plan_fingerprint",
+    "template_fingerprint",
 ]

@@ -125,6 +125,44 @@ class OperatorEncoder:
         return np.stack([self.encode_node(n, snapshot) for n in plan.walk()])
 
     # ------------------------------------------------------------------
+    # template memoization
+    # ------------------------------------------------------------------
+    def encode_plan_skeleton(
+        self,
+        plan: PlanNode,
+        snapshot: Optional[Mapping[OperatorType, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Encode the plan with the literal-derived block zeroed.
+
+        The numeric block is the only part of a node vector that
+        changes between executions of the same statement template with
+        different literals (one-hot blocks depend on predicate
+        *columns*, never values); zeroing it yields a matrix shared by
+        every instantiation, cacheable under
+        :func:`~repro.featurization.fingerprint.template_fingerprint`.
+        :meth:`fill_numerics` patches a copy back to exactly what
+        :meth:`encode_plan` would have produced.
+        """
+        matrix = self.encode_plan(plan, snapshot)
+        matrix[:, self.block_slice("numeric")] = 0.0
+        return matrix
+
+    def fill_numerics(self, matrix: np.ndarray, plan: PlanNode) -> np.ndarray:
+        """Write this plan's numeric block into a skeleton copy, in place.
+
+        Row *i* of *matrix* must correspond to the *i*-th pre-order
+        node of *plan* (the :meth:`encode_plan_skeleton` layout).  The
+        values written are computed by the same code path the scalar
+        encoder uses, so the patched matrix is bit-identical to a fresh
+        :meth:`encode_plan` — the memoized and unmemoized serving paths
+        cannot disagree.  Returns *matrix* for chaining.
+        """
+        block = self.block_slice("numeric")
+        for i, node in enumerate(plan.walk()):
+            matrix[i, block] = self._numerics(node)
+        return matrix
+
+    # ------------------------------------------------------------------
     def _numerics(self, node: PlanNode) -> np.ndarray:
         child_rows = 1.0
         for child in node.children:

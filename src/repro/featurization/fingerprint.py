@@ -12,6 +12,13 @@ unknown at estimation time and unused by featurization.
 Extra context (environment name, bundle version, mask revision) is
 mixed in via ``*context`` so one cache can serve many configurations
 without collisions.
+
+:func:`template_fingerprint` is the coarser sibling used by
+template-level memoization: it drops every *literal-derived* field
+(predicate values, LIMIT counts, optimizer estimates) so all
+instantiations of one prepared-statement template share a digest.  The
+cached skeleton is then patched with just those per-request values —
+see ``OperatorEncoder.encode_plan_skeleton``.
 """
 
 from __future__ import annotations
@@ -50,6 +57,42 @@ def plan_fingerprint(plan: PlanNode, *context: object) -> str:
             str(node.est_width),
             f"{node.est_startup_cost:.8g}",
             f"{node.est_total_cost:.8g}",
+            str(len(node.children)),
+        )
+        digest.update("|".join(fields).encode("utf-8"))
+        digest.update(_NODE_SEP)
+    return digest.hexdigest()
+
+
+def template_fingerprint(plan: PlanNode, *context: object) -> str:
+    """Hex digest of *plan*'s shape with literal-derived fields dropped.
+
+    Covers exactly the featurization inputs that survive in an encoded
+    *skeleton*: operator, table/index, predicate columns and operators
+    (but not their values), sort/join/group keys and child count.
+    Predicate values, LIMIT counts and the optimizer estimates — every
+    dimension :meth:`OperatorEncoder.fill_numerics` or the MSCN value
+    column rewrites per request — are excluded, so two executions of
+    the same prepared statement with different literals collide here
+    on purpose.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(b"template")
+    digest.update(_FIELD_SEP)
+    for part in context:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(_FIELD_SEP)
+    for node in plan.walk():
+        fields = (
+            node.op.value,
+            node.table or "",
+            node.index or "",
+            ";".join(
+                f"{p.table}.{p.column}{p.op}" for p in node.predicates
+            ),
+            ",".join(node.sort_keys),
+            ",".join(node.join_columns),
+            ",".join(node.group_keys),
             str(len(node.children)),
         )
         digest.update("|".join(fields).encode("utf-8"))

@@ -33,6 +33,25 @@ class MSCNSample:
     plan_global: np.ndarray  # (op_dim,)
 
 
+@dataclass
+class MSCNTemplate:
+    """A literal-independent :class:`MSCNSample` skeleton.
+
+    Shared by every instantiation of one statement template (same
+    ``template_fingerprint``): the predicate value column and the plan
+    matrix's numeric block are zeroed, everything else is final.
+    :meth:`MSCNEncoder.encode_from_skeleton` patches those per request.
+    The full plan *matrix* (not its mean) is kept so the pooled global
+    vector can be recomputed by the exact reduction the scalar encoder
+    uses — a precomputed partial mean would round differently.
+    """
+
+    tables: np.ndarray  # (n_tables, table_dim)
+    joins: np.ndarray  # (n_joins, join_dim), may be empty
+    predicates: np.ndarray  # (n_preds, pred_dim), value column zeroed
+    plan_matrix: np.ndarray  # (n_nodes, op_dim), numeric block zeroed
+
+
 class MSCNEncoder:
     """Builds :class:`MSCNSample` feature sets from plans."""
 
@@ -104,6 +123,58 @@ class MSCNEncoder:
             tables=table_rows,
             joins=joins,
             predicates=preds,
+            plan_global=plan_matrix.mean(axis=0),
+        )
+
+    # -- template memoization -------------------------------------------
+    def encode_skeleton(
+        self,
+        plan: PlanNode,
+        snapshot: Optional[Mapping[OperatorType, np.ndarray]] = None,
+    ) -> MSCNTemplate:
+        """Encode the literal-independent parts of *plan* once.
+
+        The result is cacheable under ``template_fingerprint``:
+        predicate value cells and the plan matrix's numeric block are
+        zeroed, everything else (one-hots, snapshot coefficients) is
+        exactly what :meth:`encode` produces.
+        """
+        sample = self.encode(plan, snapshot)
+        predicates = sample.predicates.copy()
+        if predicates.size:
+            predicates[:, -1] = 0.0
+        plan_matrix = self.op_encoder.encode_plan_skeleton(plan, snapshot)
+        return MSCNTemplate(
+            tables=sample.tables,
+            joins=sample.joins,
+            predicates=predicates,
+            plan_matrix=plan_matrix,
+        )
+
+    def encode_from_skeleton(
+        self, template: MSCNTemplate, plan: PlanNode
+    ) -> MSCNSample:
+        """Instantiate a cached *template* with this plan's literals.
+
+        Patches only the predicate value column (walk order, matching
+        :meth:`encode`'s row order) and the plan matrix's numeric
+        block, then pools the global vector with the same full-matrix
+        ``mean`` the scalar path uses — so the result is bit-identical
+        to a fresh :meth:`encode` of *plan*.
+        """
+        predicates = template.predicates.copy()
+        row = 0
+        for node in plan.walk():
+            for pred in node.predicates:
+                predicates[row, -1] = self._normalized_value(pred)
+                row += 1
+        plan_matrix = self.op_encoder.fill_numerics(
+            template.plan_matrix.copy(), plan
+        )
+        return MSCNSample(
+            tables=template.tables,
+            joins=template.joins,
+            predicates=predicates,
             plan_global=plan_matrix.mean(axis=0),
         )
 

@@ -3,6 +3,7 @@
 from .base import CostEstimator, TrainStats, snapshot_mapping_for
 from .mscn import MSCN
 from .postgres import PostgresCostEstimator
+from .prepared import PreparedPlan, fused_forward, plan_topology
 from .qppnet import QPPNet
 from .training import (
     EvaluationReport,
@@ -17,6 +18,9 @@ __all__ = [
     "snapshot_mapping_for",
     "QPPNet",
     "MSCN",
+    "PreparedPlan",
+    "fused_forward",
+    "plan_topology",
     "PostgresCostEstimator",
     "train_test_split",
     "evaluate_estimator",

@@ -87,6 +87,51 @@ class CostEstimator:
         """
         return self.predict_many(labeled, snapshot_set=snapshot_set)
 
+    def predict_prepared_batch(
+        self,
+        labeled: Sequence[LabeledPlan],
+        prepared: Optional[Sequence] = None,
+        snapshot_set: Optional["SnapshotSet"] = None,
+    ) -> np.ndarray:
+        """Fused whole-flush prediction: the MicroBatcher entry point.
+
+        Implementations that support it make one vectorized forward
+        pass over all records (grouped, zero per-item dispatch) and
+        must return results *bit-identical* to calling
+        :meth:`predict_prepared` per record — the batched path may
+        never perturb a prediction.  The default simply delegates.
+        """
+        return self.predict_prepared(labeled, prepared, snapshot_set=snapshot_set)
+
+    def prepare_template(
+        self, record: LabeledPlan, snapshot_set: Optional["SnapshotSet"] = None
+    ):
+        """Literal-independent featurized skeleton for template memoization.
+
+        Cached under
+        :func:`~repro.featurization.fingerprint.template_fingerprint`,
+        so every instantiation of one statement template shares it;
+        :meth:`prepare_from_template` patches the literal-derived
+        dimensions per request.  The default returns None ("no
+        template form"), which the serving layer treats as
+        prepare-from-scratch.
+        """
+        return None
+
+    def prepare_from_template(
+        self,
+        record: LabeledPlan,
+        template,
+        snapshot_set: Optional["SnapshotSet"] = None,
+    ):
+        """Instantiate a cached template with *record*'s literals.
+
+        Must return exactly what :meth:`prepare_one` would — template
+        memoization is a cost optimization, never an approximation.
+        The default ignores the template and prepares from scratch.
+        """
+        return self.prepare_one(record, snapshot_set=snapshot_set)
+
     def warm_retrain(
         self,
         train: Sequence[LabeledPlan],

@@ -22,7 +22,7 @@ import numpy as np
 from ..engine.executor import LabeledPlan
 from ..errors import TrainingError
 from ..featurization.encoding import apply_mask
-from ..featurization.mscn_features import MSCNEncoder, MSCNSample
+from ..featurization.mscn_features import MSCNEncoder, MSCNSample, MSCNTemplate
 from ..nn import Adam, Tensor, clip_grad_norm, concat, mlp, stack
 from typing import TYPE_CHECKING
 
@@ -300,12 +300,59 @@ class MSCN(CostEstimator):
         cache by plan fingerprint and share across requests."""
         return self._encode(record, snapshot_set)
 
+    def prepare_template(
+        self, record: LabeledPlan, snapshot_set: Optional["SnapshotSet"] = None
+    ) -> MSCNTemplate:
+        """Literal-independent skeleton sample, cacheable under
+        ``template_fingerprint``.  Masks are applied per request in
+        :meth:`prepare_from_template`, not baked into the template."""
+        mapping = snapshot_mapping_for(record, snapshot_set)
+        return self.encoder.encode_skeleton(record.plan, mapping)
+
+    def prepare_from_template(
+        self,
+        record: LabeledPlan,
+        template: MSCNTemplate,
+        snapshot_set: Optional["SnapshotSet"] = None,
+    ) -> MSCNSample:
+        """Instantiate a cached *template* with this record's literals
+        and apply the masks — bit-identical to :meth:`prepare_one`
+        (the pooled global vector is recomputed with the scalar path's
+        exact full-matrix mean)."""
+        sample = self.encoder.encode_from_skeleton(template, record.plan)
+        plan_global = sample.plan_global
+        if self.zero_mask is not None:
+            plan_global = plan_global * self.zero_mask
+        if self.global_mask is not None:
+            plan_global = apply_mask(plan_global, self.global_mask)
+        return MSCNSample(
+            tables=sample.tables,
+            joins=sample.joins,
+            predicates=sample.predicates,
+            plan_global=plan_global,
+        )
+
     def predict_prepared(
         self,
         labeled: Sequence[LabeledPlan],
         prepared: Optional[Sequence] = None,
         snapshot_set: Optional["SnapshotSet"] = None,
     ) -> np.ndarray:
+        return self.predict_prepared_batch(
+            labeled, prepared, snapshot_set=snapshot_set
+        )
+
+    def predict_prepared_batch(
+        self,
+        labeled: Sequence[LabeledPlan],
+        prepared: Optional[Sequence] = None,
+        snapshot_set: Optional["SnapshotSet"] = None,
+    ) -> np.ndarray:
+        """Fused forward over the flush: each set network and the final
+        MLP run once per chunk via the fixed-block GEMM
+        (``forward_batched``), so each sample's prediction is
+        independent of its neighbours — scalar requests are the
+        batch-size-1 case of the same code."""
         if not labeled:
             return np.zeros(0)
         if prepared is None:
@@ -323,12 +370,16 @@ class MSCN(CostEstimator):
         return out
 
     def _pool_numpy(self, net, rows_list: List[np.ndarray]) -> np.ndarray:
-        """Inference-only mirror of :meth:`_pool` on raw arrays."""
+        """Inference-only mirror of :meth:`_pool` on raw arrays.
+
+        Uses the fixed-block GEMM and a per-sample slice mean — both
+        row/slice-local — so a sample's pooled vector is independent of
+        the other samples fused into the call."""
         sizes = [rows.shape[0] for rows in rows_list]
         nonempty = [rows for rows in rows_list if rows.shape[0] > 0]
         hidden: Optional[np.ndarray] = None
         if nonempty:
-            hidden = net.forward_numpy(np.concatenate(nonempty, axis=0))
+            hidden = net.forward_batched(np.concatenate(nonempty, axis=0))
             hidden = hidden * (hidden > 0)
         pooled = np.zeros((len(sizes), self.hidden))
         offset = 0
@@ -346,7 +397,7 @@ class MSCN(CostEstimator):
         preds = self._pool_numpy(self.pred_net, [s.predicates for s in samples])
         global_vec = np.stack([s.plan_global for s in samples])
         features = np.concatenate([tables, joins, preds, global_vec], axis=1)
-        return self.out_net.forward_numpy(features)
+        return self.out_net.forward_batched(features)
 
     # ------------------------------------------------------------------
     def final_input_dataset(

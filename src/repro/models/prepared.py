@@ -1,0 +1,217 @@
+"""Prepared-plan exchange format and the fused batch forward.
+
+This is the vectorized spine of the serving hot path.  A
+:class:`PreparedPlan` is a plan featurized *and grouped*: nodes are
+bucketed by ``(height, operator)`` with one feature matrix per bucket,
+so inference never assembles per-node dicts or stacks Python lists of
+rows.  :func:`fused_forward` merges any number of prepared plans and
+runs one unit forward per ``(height, operator)`` group across the whole
+flush — zero per-item dispatch, which is what lets the MicroBatcher's
+coalescing actually pay off.
+
+Bit-identity contract: every matmul goes through
+:meth:`repro.nn.layers.Module.forward_batched` (fixed-block GEMM, see
+:mod:`repro.nn.batched`), so a row's result is independent of how many
+other rows share the call.  A plan therefore predicts identically
+whether fused alone or with a thousand neighbours — the scalar and
+batched serving paths are the *same* code at different batch sizes,
+and the equivalence suite asserts exact equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.operators import OperatorType, PlanNode
+from ..featurization.encoding import apply_mask
+
+#: Child-data slots per node (QPPNet's binary-plan assumption).
+MAX_CHILDREN = 2
+
+
+@dataclass
+class PreparedPlan:
+    """One plan, featurized and grouped for the fused forward.
+
+    Parallel lists, one entry per ``(height, operator)`` group, sorted
+    by ``(height, operator value)``:
+
+    - ``levels``: the group's node height (leaves are 0)
+    - ``ops``: the group's operator type
+    - ``feats``: ``(n_i, masked_dim)`` feature matrix, rows in walk order
+    - ``nodes``: ``(n_i,)`` pre-order walk indices of the group's nodes
+    - ``children``: ``(n_i, MAX_CHILDREN)`` walk indices of each node's
+      children, ``-1`` for absent slots
+
+    Walk indices (not node ids) are the exchange format, so a prepared
+    plan cached for one plan object replays onto any plan sharing its
+    fingerprint.  The form round-trips through the ``repro.persist``
+    codec (kind ``"qppnet_plan"``).
+    """
+
+    levels: List[int]
+    ops: List[OperatorType]
+    feats: List[np.ndarray]
+    nodes: List[np.ndarray]
+    children: List[np.ndarray]
+    n_nodes: int
+
+
+def plan_topology(
+    plan: PlanNode,
+) -> Tuple[List[Tuple[int, OperatorType, np.ndarray, np.ndarray]], int]:
+    """Group *plan*'s nodes by ``(height, operator)``.
+
+    Returns ``(groups, n_nodes)`` where each group is ``(level, op,
+    node_indices, child_indices)`` over pre-order walk indices, sorted
+    by ``(level, op value)`` so iterating groups in order always
+    computes children before parents.
+    """
+    heights: Dict[int, int] = {}
+
+    def height_of(node: PlanNode) -> int:
+        h = 1 + max((height_of(c) for c in node.children), default=-1)
+        heights[id(node)] = h
+        return h
+
+    height_of(plan)
+    walk = list(plan.walk())
+    index = {id(node): i for i, node in enumerate(walk)}
+    groups: Dict[Tuple[int, str], Tuple[OperatorType, List[int], List[List[int]]]] = {}
+    for i, node in enumerate(walk):
+        key = (heights[id(node)], node.op.value)
+        op, nodes, children = groups.setdefault(key, (node.op, [], []))
+        nodes.append(i)
+        children.append(
+            [
+                index[id(node.children[slot])]
+                if slot < len(node.children)
+                else -1
+                for slot in range(MAX_CHILDREN)
+            ]
+        )
+    result = []
+    for (level, _), (op, nodes, children) in sorted(groups.items()):
+        result.append(
+            (
+                level,
+                op,
+                np.asarray(nodes, dtype=np.int64),
+                np.asarray(children, dtype=np.int64).reshape(
+                    len(nodes), MAX_CHILDREN
+                ),
+            )
+        )
+    return result, len(walk)
+
+
+def prepared_from_matrix(
+    plan: PlanNode,
+    matrix: np.ndarray,
+    masks: Optional[Mapping[OperatorType, np.ndarray]] = None,
+) -> PreparedPlan:
+    """Build a :class:`PreparedPlan` from a full ``(n_nodes, dim)``
+    feature matrix (pre-order rows), applying per-operator keep-masks
+    group-wise — identical values to masking each row individually."""
+    groups, n_nodes = plan_topology(plan)
+    levels: List[int] = []
+    ops: List[OperatorType] = []
+    feats: List[np.ndarray] = []
+    nodes: List[np.ndarray] = []
+    children: List[np.ndarray] = []
+    for level, op, node_idx, child_idx in groups:
+        levels.append(level)
+        ops.append(op)
+        feats.append(
+            apply_mask(matrix[node_idx], masks.get(op) if masks else None)
+        )
+        nodes.append(node_idx)
+        children.append(child_idx)
+    return PreparedPlan(levels, ops, feats, nodes, children, n_nodes)
+
+
+def prepared_from_rows(
+    plan: PlanNode, rows: Sequence[np.ndarray]
+) -> PreparedPlan:
+    """Regroup legacy per-node feature rows (pre-order, already masked)
+    into the grouped form — the upgrade path for prepared values
+    restored from pre-``PreparedPlan`` checkpoints."""
+    groups, n_nodes = plan_topology(plan)
+    levels: List[int] = []
+    ops: List[OperatorType] = []
+    feats: List[np.ndarray] = []
+    nodes: List[np.ndarray] = []
+    children: List[np.ndarray] = []
+    for level, op, node_idx, child_idx in groups:
+        levels.append(level)
+        ops.append(op)
+        feats.append(
+            np.stack([np.asarray(rows[i], dtype=np.float64) for i in node_idx])
+        )
+        nodes.append(node_idx)
+        children.append(child_idx)
+    return PreparedPlan(levels, ops, feats, nodes, children, n_nodes)
+
+
+def fused_forward(
+    prepared_seq: Sequence[PreparedPlan],
+    units: Mapping[OperatorType, object],
+    data_size: int,
+) -> np.ndarray:
+    """One forward pass over *all* plans in the flush.
+
+    Groups are merged across plans by ``(height, operator)`` and each
+    merged group makes a single :meth:`forward_batched` call; node
+    outputs land in one shared ``(total_nodes + 1, 1 + data_size)``
+    buffer whose final all-zeros row is the target of every absent
+    child slot (so leaf child-data gathers read zeros, exactly like the
+    per-node zero vector the scalar encoder used).  Returns the root
+    log-latency per plan, in input order.
+    """
+    if not prepared_seq:
+        return np.zeros(0)
+    counts = np.array([p.n_nodes for p in prepared_seq], dtype=np.int64)
+    offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+    total = int(offsets[-1])
+    merged: Dict[
+        Tuple[int, str],
+        Tuple[OperatorType, List[np.ndarray], List[np.ndarray], List[np.ndarray]],
+    ] = {}
+    for prepared, off in zip(prepared_seq, offsets[:-1], strict=True):
+        for level, op, feats, nodes, children in zip(
+            prepared.levels,
+            prepared.ops,
+            prepared.feats,
+            prepared.nodes,
+            prepared.children,
+            strict=True,
+        ):
+            key = (level, op.value)
+            _, feat_parts, node_parts, child_parts = merged.setdefault(
+                key, (op, [], [], [])
+            )
+            feat_parts.append(feats)
+            node_parts.append(nodes + off)
+            # Absent children (-1) point at the sentinel zeros row.
+            child_parts.append(np.where(children >= 0, children + off, total))
+    out = np.zeros((total + 1, 1 + data_size))
+    for _key, (op, feat_parts, node_parts, child_parts) in sorted(
+        merged.items()
+    ):
+        feats = (
+            feat_parts[0]
+            if len(feat_parts) == 1
+            else np.concatenate(feat_parts, axis=0)
+        )
+        nodes = np.concatenate(node_parts)
+        children = np.concatenate(child_parts, axis=0)
+        child_data = out[children.reshape(-1), 1:].reshape(
+            nodes.shape[0], MAX_CHILDREN * data_size
+        )
+        out[nodes] = units[op].forward_batched(
+            np.concatenate([feats, child_data], axis=1)
+        )
+    return out[offsets[:-1], 0]

@@ -36,8 +36,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.snapshot import SnapshotSet
 from ..rng import rng_for
 from .base import CostEstimator, TrainStats, snapshot_mapping_for, warm_start_remap
+from .prepared import (
+    MAX_CHILDREN,
+    PreparedPlan,
+    fused_forward,
+    prepared_from_matrix,
+    prepared_from_rows,
+)
 
-_MAX_CHILDREN = 2
+_MAX_CHILDREN = MAX_CHILDREN
 
 #: Latency floor: targets are natural logs of ms clamped here, so
 #: sub-millisecond queries (Sysbench point selects) stay resolvable.
@@ -379,22 +386,72 @@ class QPPNet(CostEstimator):
     # ------------------------------------------------------------------
     # serving hooks
     # ------------------------------------------------------------------
+    def _masked_matrix(
+        self, record: LabeledPlan, snapshot_set: Optional["SnapshotSet"]
+    ) -> np.ndarray:
+        """The full encoded plan matrix with the soft zero-mask applied
+        (per-operator keep-masks are applied at grouping time)."""
+        mapping = snapshot_mapping_for(record, snapshot_set)
+        matrix = self.encoder.encode_plan(record.plan, mapping)
+        if self.zero_mask is not None:
+            matrix = matrix * self.zero_mask
+        return matrix
+
     def prepare_one(
         self, record: LabeledPlan, snapshot_set: Optional["SnapshotSet"] = None
-    ) -> List[np.ndarray]:
-        """Masked node feature rows in pre-order walk order.
+    ) -> PreparedPlan:
+        """Featurize and group one plan for the fused batch forward.
 
-        Walk order (not node ids) is the exchange format so a row list
-        cached for one plan object can be replayed onto any plan with
-        the same fingerprint.
+        The value is keyed by plan fingerprint downstream, so it is
+        walk-order based and safe to replay onto any plan object with
+        the same fingerprint (see :class:`~repro.models.prepared.PreparedPlan`).
         """
-        feature_map = self._encode_record(record, snapshot_set)
-        return [feature_map[id(node)] for node in record.plan.walk()]
+        return prepared_from_matrix(
+            record.plan, self._masked_matrix(record, snapshot_set), self.masks
+        )
 
-    def _feature_map_from_rows(
-        self, record: LabeledPlan, rows: Sequence[np.ndarray]
-    ) -> Dict[int, np.ndarray]:
-        return {id(node): rows[i] for i, node in enumerate(record.plan.walk())}
+    def prepare_template(
+        self, record: LabeledPlan, snapshot_set: Optional["SnapshotSet"] = None
+    ) -> np.ndarray:
+        """The literal-independent encoded skeleton, shared by every
+        instantiation of one statement template (cache under
+        ``template_fingerprint``).  Masks are deliberately *not* baked
+        in: they are applied per request in
+        :meth:`prepare_from_template`, so mask updates need no
+        template-cache flush."""
+        mapping = snapshot_mapping_for(record, snapshot_set)
+        return self.encoder.encode_plan_skeleton(record.plan, mapping)
+
+    def prepare_from_template(
+        self,
+        record: LabeledPlan,
+        template: np.ndarray,
+        snapshot_set: Optional["SnapshotSet"] = None,
+    ) -> PreparedPlan:
+        """Instantiate a cached skeleton with this plan's literals.
+
+        Patches only the numeric block, then masks and groups exactly
+        as :meth:`prepare_one` would — bit-identical output, minus the
+        one-hot assembly cost."""
+        matrix = self.encoder.fill_numerics(template.copy(), record.plan)
+        if self.zero_mask is not None:
+            matrix = matrix * self.zero_mask
+        return prepared_from_matrix(record.plan, matrix, self.masks)
+
+    def _as_prepared(
+        self,
+        record: LabeledPlan,
+        value: object,
+        snapshot_set: Optional["SnapshotSet"],
+    ) -> PreparedPlan:
+        """Normalize a cached prepared value: None means encode now;
+        a legacy row list (pre-``PreparedPlan`` checkpoints) is
+        regrouped; a :class:`PreparedPlan` passes through."""
+        if value is None:
+            return self.prepare_one(record, snapshot_set=snapshot_set)
+        if isinstance(value, PreparedPlan):
+            return value
+        return prepared_from_rows(record.plan, value)
 
     def predict_prepared(
         self,
@@ -402,80 +459,37 @@ class QPPNet(CostEstimator):
         prepared: Optional[Sequence] = None,
         snapshot_set: Optional["SnapshotSet"] = None,
     ) -> np.ndarray:
+        return self.predict_prepared_batch(
+            labeled, prepared, snapshot_set=snapshot_set
+        )
+
+    def predict_prepared_batch(
+        self,
+        labeled: Sequence[LabeledPlan],
+        prepared: Optional[Sequence] = None,
+        snapshot_set: Optional["SnapshotSet"] = None,
+    ) -> np.ndarray:
+        """Fused forward over the whole flush (see
+        :func:`~repro.models.prepared.fused_forward`): one
+        ``forward_batched`` call per (height, operator) group across
+        all plans.  Scalar requests are the batch-size-1 special case
+        of the same code, which is what makes the bit-identity
+        guarantee structural rather than aspirational."""
         if not labeled:
             return np.zeros(0)
         if prepared is None:
             prepared = [None] * len(labeled)
-        feature_maps = [
-            self._encode_record(record, snapshot_set)
-            if rows is None
-            else self._feature_map_from_rows(record, rows)
-            for record, rows in zip(labeled, prepared, strict=True)
+        plans = [
+            self._as_prepared(record, value, snapshot_set)
+            for record, value in zip(labeled, prepared, strict=True)
         ]
         out = np.zeros(len(labeled))
-        step = 256
+        step = 512
         for lo in range(0, len(labeled), step):
-            chunk = list(range(lo, min(lo + step, len(labeled))))
-            roots = self._forward_batch_numpy(
-                [labeled[i] for i in chunk], [feature_maps[i] for i in chunk]
-            )
-            out[chunk] = from_log(roots)
+            chunk = plans[lo:lo + step]
+            roots = fused_forward(chunk, self.units, self.data_size)
+            out[lo:lo + len(chunk)] = from_log(roots)
         return out
-
-    def _forward_batch_numpy(
-        self,
-        records: Sequence[LabeledPlan],
-        feature_maps: Sequence[Dict[int, np.ndarray]],
-    ) -> np.ndarray:
-        """Inference-only mirror of :meth:`_forward_batch` on raw
-        arrays (no autodiff graph): the serving hot path.  Returns the
-        root log-latency prediction per record."""
-        node_info: List[Tuple[PlanNode, int, int]] = []
-        heights: Dict[int, int] = {}
-
-        def height_of(node: PlanNode) -> int:
-            h = 1 + max((height_of(c) for c in node.children), default=-1)
-            heights[id(node)] = h
-            return h
-
-        for plan_index, record in enumerate(records):
-            height_of(record.plan)
-            for node in record.plan.walk():
-                node_info.append((node, plan_index, heights[id(node)]))
-
-        zero_child = np.zeros(self.data_size)
-        outputs: Dict[int, np.ndarray] = {}  # node id -> unit output row
-        max_height = max(h for _, _, h in node_info)
-        for level in range(max_height + 1):
-            groups: Dict[OperatorType, List[Tuple[PlanNode, int]]] = {}
-            for node, plan_index, h in node_info:
-                if h == level:
-                    groups.setdefault(node.op, []).append((node, plan_index))
-            for op, members in groups.items():
-                rows = np.stack(
-                    [feature_maps[pi][id(node)] for node, pi in members]
-                )
-                children = np.stack(
-                    [
-                        np.concatenate(
-                            [
-                                outputs[id(node.children[slot])][1:]
-                                if slot < len(node.children)
-                                else zero_child
-                                for slot in range(_MAX_CHILDREN)
-                            ]
-                        )
-                        for node, _ in members
-                    ]
-                )
-                unit_out = self.units[op].forward_numpy(
-                    np.concatenate([rows, children], axis=1)
-                )
-                for row, (node, _) in enumerate(members):
-                    outputs[id(node)] = unit_out[row]
-        return np.array(
-            [float(outputs[id(record.plan)][0]) for record in records]
-        )
 
     # ------------------------------------------------------------------
     # feature-reduction support

@@ -4,12 +4,15 @@ Replaces the paper's PyTorch dependency; see DESIGN.md for why a
 dynamic-graph autodiff is required by QPPNet's per-plan structure.
 """
 
+from .batched import BLOCK_ROWS, blocked_matmul
 from .tensor import Tensor, as_tensor, concat, stack
 from .layers import Linear, Module, ReLU, Sequential, Sigmoid, Tanh, mlp
 from .loss import log_mse, mae, mse, numpy_q_error, q_error_loss
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 
 __all__ = [
+    "BLOCK_ROWS",
+    "blocked_matmul",
     "Tensor",
     "as_tensor",
     "concat",

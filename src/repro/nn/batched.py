@@ -1,0 +1,54 @@
+"""Deterministic fixed-block GEMM: the fused-batch inference kernel.
+
+The serving stack promises *bit-identical* predictions whether a plan
+is estimated alone or inside a micro-batch flush.  A plain
+``x @ W`` cannot keep that promise: BLAS picks its reduction blocking
+from the full matrix shape, so the same row produces last-ulp
+different results depending on how many other rows share the call
+(observed on OpenBLAS: ``X[i] @ W != (X @ W)[i]`` by ~1e-14).
+
+The fix is to take the shape out of BLAS's hands: pad the row count to
+a multiple of :data:`BLOCK_ROWS` and issue only constant-shape
+``(BLOCK_ROWS, k) @ (k, m)`` multiplies.  With the block shape fixed,
+a row's result depends on nothing but its own contents — not its
+position, not its neighbours, not the batch size — so zero-padding is
+safe and scalar/batched paths agree bit for bit by construction.
+Elementwise activations and the bias add are row-local already and
+need no blocking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Rows per fixed-shape GEMM call.  Small enough that a single-plan
+#: request pads little, large enough that big flushes still amortise
+#: the Python loop (a 512-row batch is 16 calls).
+BLOCK_ROWS = 32
+
+
+def blocked_matmul(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray
+) -> np.ndarray:
+    """``x @ weight + bias`` with batch-size-independent rounding.
+
+    Every GEMM issued has the constant shape ``(BLOCK_ROWS, k) @
+    (k, m)`` (rows are zero-padded up to the block), so row ``i`` of
+    the result is a pure function of ``x[i]`` — see the module
+    docstring.  Used by every inference entry point that must stay
+    bit-identical between the scalar and fused-batch serving paths.
+    """
+    rows = x.shape[0]
+    if rows == 0:
+        return np.zeros((0, weight.shape[1]))
+    x = np.ascontiguousarray(x)
+    pad = (-rows) % BLOCK_ROWS
+    if pad:
+        padded = np.zeros((rows + pad, x.shape[1]), dtype=x.dtype)
+        padded[:rows] = x
+        x = padded
+    out = np.empty((x.shape[0], weight.shape[1]), dtype=np.float64)
+    for lo in range(0, x.shape[0], BLOCK_ROWS):
+        out[lo:lo + BLOCK_ROWS] = x[lo:lo + BLOCK_ROWS] @ weight
+    out += bias
+    return out[:rows]

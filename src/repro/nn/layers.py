@@ -13,6 +13,7 @@ from typing import Iterable, Iterator, List, Sequence
 import numpy as np
 
 from . import init as _init
+from .batched import blocked_matmul
 from .tensor import Tensor
 
 
@@ -37,6 +38,19 @@ class Module:
         never should.
         """
         raise NotImplementedError
+
+    def forward_batched(self, x: np.ndarray) -> np.ndarray:
+        """Batch-size-invariant inference forward.
+
+        Like :meth:`forward_numpy`, but additionally guarantees that
+        row ``i`` of the output depends only on row ``i`` of the input
+        — so fusing many requests into one call cannot perturb any
+        single request's result (see :mod:`repro.nn.batched`).
+        Elementwise layers are row-local already, so the default simply
+        delegates; layers that reduce across the feature axis (dense
+        matmuls) must override.
+        """
+        return self.forward_numpy(x)
 
     def zero_grad(self) -> None:
         for p in self.parameters():
@@ -84,6 +98,10 @@ class Linear(Module):
 
     def forward_numpy(self, x: np.ndarray) -> np.ndarray:
         return x @ self.weight.data + self.bias.data
+
+    def forward_batched(self, x: np.ndarray) -> np.ndarray:
+        """Fixed-block GEMM so the result is batch-size-invariant."""
+        return blocked_matmul(x, self.weight.data, self.bias.data)
 
     def __repr__(self) -> str:
         return f"Linear({self.in_features} -> {self.out_features})"
@@ -149,6 +167,12 @@ class Sequential(Module):
     def forward_numpy(self, x: np.ndarray) -> np.ndarray:
         for module in self.modules:
             x = module.forward_numpy(x)
+        return x
+
+    def forward_batched(self, x: np.ndarray) -> np.ndarray:
+        """Chain each layer's batch-size-invariant forward."""
+        for module in self.modules:
+            x = module.forward_batched(x)
         return x
 
     def __iter__(self) -> Iterator[Module]:

@@ -250,8 +250,16 @@ def labeled_plan_from_state(state: Mapping[str, object]) -> LabeledPlan:
 def encode_prepared(value: object) -> Optional[Dict[str, object]]:
     """A feature-cache prepared value as plain data, or None when the
     form is not one the codec recognises (such entries are skipped —
-    cache warmth is an optimisation, not an obligation)."""
-    from ..featurization.mscn_features import MSCNSample
+    cache warmth is an optimisation, not an obligation).
+
+    Recognised forms: None, a bare array (template skeletons), a list
+    of per-node row arrays (pre-``PreparedPlan`` checkpoints), a
+    grouped :class:`~repro.models.prepared.PreparedPlan`
+    (``"qppnet_plan"``), an MSCN sample, and an MSCN template skeleton
+    (``"mscn_template"``).
+    """
+    from ..featurization.mscn_features import MSCNSample, MSCNTemplate
+    from ..models.prepared import PreparedPlan
 
     if value is None:
         return {"kind": "none"}
@@ -261,6 +269,16 @@ def encode_prepared(value: object) -> Optional[Dict[str, object]]:
         isinstance(item, np.ndarray) for item in value
     ):
         return {"kind": "array_list", "values": list(value)}
+    if isinstance(value, PreparedPlan):
+        return {
+            "kind": "qppnet_plan",
+            "levels": [int(level) for level in value.levels],
+            "ops": [op.value for op in value.ops],
+            "feats": list(value.feats),
+            "nodes": list(value.nodes),
+            "children": list(value.children),
+            "n_nodes": int(value.n_nodes),
+        }
     if isinstance(value, MSCNSample):
         return {
             "kind": "mscn_sample",
@@ -269,12 +287,22 @@ def encode_prepared(value: object) -> Optional[Dict[str, object]]:
             "predicates": value.predicates,
             "plan_global": value.plan_global,
         }
+    if isinstance(value, MSCNTemplate):
+        return {
+            "kind": "mscn_template",
+            "tables": value.tables,
+            "joins": value.joins,
+            "predicates": value.predicates,
+            "plan_matrix": value.plan_matrix,
+        }
     return None
 
 
 def decode_prepared(state: Mapping[str, object]) -> object:
     """Inverse of :func:`encode_prepared` (arrays already decoded)."""
-    from ..featurization.mscn_features import MSCNSample
+    from ..engine.operators import OperatorType
+    from ..featurization.mscn_features import MSCNSample, MSCNTemplate
+    from ..models.prepared import PreparedPlan
 
     kind = state.get("kind")
     if kind == "none":
@@ -283,12 +311,33 @@ def decode_prepared(state: Mapping[str, object]) -> object:
         return state["value"]
     if kind == "array_list":
         return list(state["values"])
+    if kind == "qppnet_plan":
+        try:
+            return PreparedPlan(
+                levels=[int(level) for level in state["levels"]],
+                ops=[OperatorType(str(op)) for op in state["ops"]],
+                feats=list(state["feats"]),
+                nodes=list(state["nodes"]),
+                children=list(state["children"]),
+                n_nodes=int(state["n_nodes"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"invalid qppnet_plan prepared value: {exc}"
+            ) from exc
     if kind == "mscn_sample":
         return MSCNSample(
             tables=state["tables"],
             joins=state["joins"],
             predicates=state["predicates"],
             plan_global=state["plan_global"],
+        )
+    if kind == "mscn_template":
+        return MSCNTemplate(
+            tables=state["tables"],
+            joins=state["joins"],
+            predicates=state["predicates"],
+            plan_matrix=state["plan_matrix"],
         )
     raise CheckpointError(f"unknown prepared-value kind {kind!r}")
 

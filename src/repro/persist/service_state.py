@@ -17,7 +17,9 @@ tree (and back):
   and fitted snapshots in LRU order.
 - :class:`~repro.serving.FeatureCache` — prepared encodings whose form
   the codec recognises (unknown forms are skipped, counted in the
-  state's ``skipped`` field: warmth is best-effort).
+  state's ``skipped`` field: warmth is best-effort).  The service's
+  template-skeleton cache is exported the same way (``template_cache``
+  section; absent in pre-template checkpoints, which restore fine).
 - the adaptation loop — per-bundle recall state and the labelled
   feedback windows that drive refits.
 
@@ -264,6 +266,18 @@ def service_state(service: "CostService") -> Dict[str, object]:
             continue
         cache_entries.append({"key": key, "prepared": encoded})
     state["feature_cache"] = {"entries": cache_entries, "skipped": skipped}
+    template_entries: List[Dict[str, object]] = []
+    template_skipped = 0
+    for key, value in service.template_cache.export_entries():
+        encoded = encode_prepared(value)
+        if encoded is None:
+            template_skipped += 1
+            continue
+        template_entries.append({"key": key, "prepared": encoded})
+    state["template_cache"] = {
+        "entries": template_entries,
+        "skipped": template_skipped,
+    }
     if service.adaptation is not None:
         watchers: Dict[str, object] = {}
         for watcher in service.adaptation.watchers():
@@ -333,6 +347,12 @@ def restore_service(service: "CostService", state: Mapping[str, object]) -> None
         (str(entry["key"]), decode_prepared(dict(entry["prepared"])))
         for entry in dict(state.get("feature_cache", {})).get("entries", [])
     ]
+    # Absent in checkpoints written before template memoization: the
+    # template cache simply starts cold, like any other miss.
+    template_entries = [
+        (str(entry["key"]), decode_prepared(dict(entry["prepared"])))
+        for entry in dict(state.get("template_cache", {})).get("entries", [])
+    ]
     adaptation_state = state.get("adaptation")
     watcher_states: Dict[str, Dict[str, object]] = {}
     if adaptation_state is not None:
@@ -359,6 +379,8 @@ def restore_service(service: "CostService", state: Mapping[str, object]) -> None
         service.snapshot_store.restore_entries(store_entries)
     if cache_entries:
         service.cache.restore_entries(cache_entries)
+    if template_entries:
+        service.template_cache.restore_entries(template_entries)
     if service.adaptation is not None:
         for name, entry in watcher_states.items():
             try:

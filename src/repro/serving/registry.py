@@ -72,6 +72,29 @@ class EstimatorBundle:
             labeled, prepared, snapshot_set=self.snapshot_set
         )
 
+    def predict_prepared_batch(
+        self, labeled: Sequence[LabeledPlan], prepared: Optional[Sequence] = None
+    ) -> np.ndarray:
+        """Fused whole-flush prediction (bit-identical to per-record
+        :meth:`predict_prepared`; see
+        :meth:`repro.models.base.CostEstimator.predict_prepared_batch`)."""
+        return self.estimator.predict_prepared_batch(
+            labeled, prepared, snapshot_set=self.snapshot_set
+        )
+
+    def prepare_template(self, record: LabeledPlan):
+        """Featurize the literal-independent template skeleton (None
+        when the estimator has no template form)."""
+        return self.estimator.prepare_template(
+            record, snapshot_set=self.snapshot_set
+        )
+
+    def prepare_from_template(self, record: LabeledPlan, template):
+        """Instantiate a cached template with *record*'s literals."""
+        return self.estimator.prepare_from_template(
+            record, template, snapshot_set=self.snapshot_set
+        )
+
     def with_snapshot_set(self, snapshot_set: "SnapshotSet") -> "EstimatorBundle":
         """A copy serving from *snapshot_set* (same estimator weights)."""
         return replace(self, snapshot_set=snapshot_set)

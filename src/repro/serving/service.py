@@ -5,6 +5,11 @@ predict — against deployed :class:`EstimatorBundle`\\ s, with:
 
 - a :class:`FeatureCache` memoising encoded features by plan
   fingerprint (repeated plans skip featurization entirely);
+- a second :class:`FeatureCache` memoising *template skeletons* by
+  :func:`~repro.featurization.fingerprint.template_fingerprint`
+  (literal-derived dims masked out), so different literals of one
+  statement template skip the expensive one-hot assembly and only
+  patch the numeric dims (see ``prepare_from_template``);
 - a :class:`SnapshotStore` (optional) that fits-and-caches feature
   snapshots for environments the bundle has never seen, hot-swapping
   the bundle onto the extended snapshot set;
@@ -41,7 +46,7 @@ from ..engine.executor import LabeledPlan
 from ..engine.operators import PlanNode
 from ..engine.optimizer import PlanBuilder
 from ..errors import ServingError
-from ..featurization.fingerprint import plan_fingerprint
+from ..featurization.fingerprint import plan_fingerprint, template_fingerprint
 from ..obs import EventLog, MetricsRegistry
 from ..obs.lockwatch import make_lock
 from ..obs.trace import Tracer, current_tracer
@@ -161,6 +166,11 @@ class CostService:
         self.registry = registry or EstimatorRegistry()
         self.snapshot_store = snapshot_store
         self.cache = FeatureCache(cache_capacity)
+        #: Template-skeleton memo: featurized skeletons keyed by
+        #: template fingerprint (literal-derived dims excluded), shared
+        #: by every instantiation of a statement template.  Consulted
+        #: only on feature-cache misses.
+        self.template_cache = FeatureCache(cache_capacity)
         self.stats = ServiceStats()
         #: The unified metrics registry every stats source registers
         #: into; :meth:`counters` and the Prometheus exposition are
@@ -202,6 +212,13 @@ class CostService:
             "feature_cache",
             lambda: dict(
                 self.cache.stats_snapshot().as_dict(), size=len(self.cache)
+            ),
+        )
+        register(
+            "template_cache",
+            lambda: dict(
+                self.template_cache.stats_snapshot().as_dict(),
+                size=len(self.template_cache),
             ),
         )
         register(
@@ -379,22 +396,37 @@ class CostService:
             record.plan, bundle.name, bundle.version, env.name
         )
         tracer = self.tracer
+
+        # Feature-cache miss path: consult the template memo first —
+        # another literal of this statement template may have paid for
+        # the skeleton already, leaving only the numeric-dim patch.  A
+        # template of None ("no template form", the base-estimator
+        # default) is itself cached, falling back to full featurization.
+        def _compute():
+            tkey = template_fingerprint(
+                record.plan, bundle.name, bundle.version, env.name
+            )
+            template = self.template_cache.get_or_compute(
+                tkey, lambda: bundle.prepare_template(record)
+            )
+            if template is None:
+                return bundle.prepare_one(record)
+            return bundle.prepare_from_template(record, template)
+
         # Stampede-safe: concurrent misses on one fingerprint encode
         # once, and a legitimate None ("no cacheable form") is cached
         # rather than recomputed on every request.
         if tracer is None:
-            prepared = self.cache.get_or_compute(
-                key, lambda: bundle.prepare_one(record)
-            )
+            prepared = self.cache.get_or_compute(key, _compute)
         else:
             with tracer.start_span("featurize") as span:
                 computed = []
 
-                def _compute():
+                def _traced_compute():
                     computed.append(True)
-                    return bundle.prepare_one(record)
+                    return _compute()
 
-                prepared = self.cache.get_or_compute(key, _compute)
+                prepared = self.cache.get_or_compute(key, _traced_compute)
                 span.annotate(
                     fingerprint=key,
                     cache="miss" if computed else "hit",
@@ -515,13 +547,13 @@ class CostService:
             hi = min(lo + batch_size, len(records))
             start = time.perf_counter()
             if tracer is None:
-                out[lo:hi] = deployed.predict_prepared(
+                out[lo:hi] = deployed.predict_prepared_batch(
                     records[lo:hi], prepared[lo:hi]
                 )
             else:
                 with tracer.start_span("predict", kind="predict") as span:
                     span.annotate(batch_size=hi - lo)
-                    out[lo:hi] = deployed.predict_prepared(
+                    out[lo:hi] = deployed.predict_prepared_batch(
                         records[lo:hi], prepared[lo:hi]
                     )
             self.stats.record("predict", time.perf_counter() - start, hi - lo)
@@ -750,7 +782,7 @@ class CostService:
             start = time.perf_counter()
             if bspan is None:
                 for bundle, indices in groups.values():
-                    out[indices] = bundle.predict_prepared(
+                    out[indices] = bundle.predict_prepared_batch(
                         [items[i][1] for i in indices],
                         [items[i][2] for i in indices],
                     )
@@ -760,7 +792,7 @@ class CostService:
                 ) as pspan:
                     pspan.annotate(batch_size=len(items))
                     for bundle, indices in groups.values():
-                        out[indices] = bundle.predict_prepared(
+                        out[indices] = bundle.predict_prepared_batch(
                             [items[i][1] for i in indices],
                             [items[i][2] for i in indices],
                         )

@@ -1,0 +1,209 @@
+"""Bit-identity of the fused batched path against the scalar path.
+
+The serving contract (``predict_prepared_batch``, templates, masks) is
+*exact* equality, not closeness: a scalar request is the batch-size-1
+special case of the same fused code, so any float divergence means the
+batching changed the math.  Every assertion here is
+``assert_array_equal`` — no tolerances — over seeded random batch
+compositions and literal perturbations, for both estimators.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.engine.operators import OperatorType
+from repro.featurization.encoding import OperatorEncoder
+from repro.featurization.fingerprint import (
+    plan_fingerprint,
+    template_fingerprint,
+)
+from repro.featurization.mscn_features import MSCNEncoder
+from repro.models.mscn import MSCN
+from repro.models.qppnet import QPPNet
+
+
+@pytest.fixture(scope="module", params=["qppnet", "mscn"])
+def fitted(request, tpch, tpch_split):
+    """A trained estimator of each family plus its held-out records."""
+    train, test = tpch_split
+    if request.param == "qppnet":
+        model = QPPNet(OperatorEncoder(tpch.catalog), epochs=2, seed=7)
+    else:
+        model = MSCN(MSCNEncoder(tpch.catalog), epochs=2, seed=7)
+    model.fit(train)
+    return model, list(test)
+
+
+def _scalar(model, records):
+    """The scalar path: one request per call, concatenated."""
+    return np.array(
+        [model.predict_prepared_batch([r])[0] for r in records]
+    )
+
+
+def test_batch_matches_scalar_bitwise(fitted):
+    model, records = fitted
+    np.testing.assert_array_equal(
+        model.predict_prepared_batch(records), _scalar(model, records)
+    )
+
+
+def test_random_batch_composition_is_invisible(fitted):
+    """Property: a plan's prediction is independent of which plans it
+    shares a flush with, in any order, at any batch boundary."""
+    model, records = fitted
+    reference = model.predict_prepared_batch(records)
+    rng = np.random.default_rng(11)
+    for _ in range(5):
+        order = rng.permutation(len(records))
+        cuts = np.sort(
+            rng.choice(np.arange(1, len(records)), size=3, replace=False)
+        )
+        got = np.empty(len(records))
+        for chunk in np.split(order, cuts):
+            got[chunk] = model.predict_prepared_batch(
+                [records[i] for i in chunk]
+            )
+        np.testing.assert_array_equal(got, reference)
+
+
+def test_cached_prepared_values_replay_bitwise(fitted):
+    """What the feature cache stores must replay to the same bits as
+    featurizing from scratch."""
+    model, records = fitted
+    prepared = [model.prepare_one(r) for r in records]
+    np.testing.assert_array_equal(
+        model.predict_prepared_batch(records, prepared),
+        model.predict_prepared_batch(records),
+    )
+
+
+def test_template_path_matches_direct_path(fitted):
+    model, records = fitted
+    via_template = [
+        model.prepare_from_template(r, model.prepare_template(r))
+        for r in records
+    ]
+    np.testing.assert_array_equal(
+        model.predict_prepared_batch(records, via_template),
+        model.predict_prepared_batch(records),
+    )
+
+
+def _perturb_literals(record, rng):
+    """A same-template, different-literals variant of *record*: new
+    cardinality estimates and predicate constants, identical shape."""
+    clone = copy.deepcopy(record)
+    for node in clone.plan.walk():
+        node.est_rows = float(node.est_rows) * float(rng.uniform(0.5, 2.0))
+        node.predicates = [
+            dataclasses.replace(
+                pred,
+                value=float(pred.value) + float(rng.uniform(0.1, 3.0)),
+            )
+            if isinstance(pred.value, (int, float))
+            and not isinstance(pred.value, bool)
+            else pred
+            for pred in node.predicates
+        ]
+    return clone
+
+
+def test_template_memo_hit_with_perturbed_literals(fitted):
+    """The memoization premise: a literal change keeps the template
+    fingerprint (cache hit) but not the plan fingerprint, and patching
+    the cached skeleton is bit-identical to a cold featurization."""
+    model, records = fitted
+    rng = np.random.default_rng(5)
+    for record in records[:8]:
+        perturbed = _perturb_literals(record, rng)
+        assert template_fingerprint(record.plan) == template_fingerprint(
+            perturbed.plan
+        )
+        assert plan_fingerprint(record.plan) != plan_fingerprint(
+            perturbed.plan
+        )
+        template = model.prepare_template(record)
+        patched = model.prepare_from_template(perturbed, template)
+        np.testing.assert_array_equal(
+            model.predict_prepared_batch([perturbed], [patched]),
+            model.predict_prepared_batch([perturbed]),
+        )
+
+
+def test_soft_zero_mask_preserves_bit_identity(fitted):
+    """The greedy reducer's soft mask is applied per request on every
+    path — scalar, batch and template — so identity must survive it."""
+    model, records = fitted
+    dim = (
+        model.encoder.dim
+        if isinstance(model, QPPNet)
+        else model.encoder.global_dim
+    )
+    rng = np.random.default_rng(3)
+    mask = (rng.random(dim) < 0.6).astype(np.float64)
+    mask[0] = 1.0
+    assert model.zero_mask is None
+    model.zero_mask = mask
+    try:
+        batch = model.predict_prepared_batch(records)
+        np.testing.assert_array_equal(batch, _scalar(model, records))
+        via_template = [
+            model.prepare_from_template(r, model.prepare_template(r))
+            for r in records
+        ]
+        np.testing.assert_array_equal(
+            model.predict_prepared_batch(records, via_template), batch
+        )
+    finally:
+        model.zero_mask = None
+
+
+def test_qppnet_hard_masks_preserve_bit_identity(tpch, tpch_split):
+    """Feature-reduction keep-masks change every unit's input width;
+    the grouped path must stay bit-identical to the scalar path."""
+    train, test = tpch_split
+    model = QPPNet(OperatorEncoder(tpch.catalog), epochs=1, seed=9)
+    model.fit(train)
+    rng = np.random.default_rng(9)
+    masks = {}
+    for op in OperatorType:
+        keep = rng.random(model.encoder.dim) < 0.6
+        keep[0] = True
+        masks[op] = keep
+    model.set_masks(masks)
+    records = list(test)
+    batch = model.predict_prepared_batch(records)
+    np.testing.assert_array_equal(batch, _scalar(model, records))
+    via_template = [
+        model.prepare_from_template(r, model.prepare_template(r))
+        for r in records
+    ]
+    np.testing.assert_array_equal(
+        model.predict_prepared_batch(records, via_template), batch
+    )
+
+
+def test_mscn_hard_mask_preserves_bit_identity(tpch, tpch_split):
+    train, test = tpch_split
+    model = MSCN(MSCNEncoder(tpch.catalog), epochs=1, seed=9)
+    model.fit(train)
+    rng = np.random.default_rng(13)
+    keep = rng.random(model.encoder.global_dim) < 0.6
+    keep[0] = True
+    model.set_global_mask(keep)
+    records = list(test)
+    batch = model.predict_prepared_batch(records)
+    np.testing.assert_array_equal(batch, _scalar(model, records))
+    via_template = [
+        model.prepare_from_template(r, model.prepare_template(r))
+        for r in records
+    ]
+    np.testing.assert_array_equal(
+        model.predict_prepared_batch(records, via_template), batch
+    )

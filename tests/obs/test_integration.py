@@ -81,9 +81,9 @@ def test_service_counters_is_a_registry_view(trained_bundle, serving_envs):
             service.estimate(record.query_sql, serving_envs[0])
         counters = service.counters()
         assert counters == service.metrics.sections_snapshot()
-        assert list(counters)[:5] == [
-            "service", "registry", "feature_cache", "snapshot_store",
-            "batchers",
+        assert list(counters)[:6] == [
+            "service", "registry", "feature_cache", "template_cache",
+            "snapshot_store", "batchers",
         ]
         assert "events" in counters and "tracer" in counters
         assert counters["service"]["requests"] == 3

@@ -197,6 +197,73 @@ def test_prepared_mscn_sample_roundtrips():
     assert np.array_equal(decoded.plan_global, sample.plan_global)
 
 
+def test_prepared_qppnet_plan_roundtrips():
+    from repro.models.prepared import PreparedPlan
+
+    prepared = PreparedPlan(
+        levels=[0, 1],
+        ops=[OperatorType.SEQ_SCAN, OperatorType.AGGREGATE],
+        feats=[np.ones((1, 4)), np.arange(4.0).reshape(1, 4)],
+        nodes=[np.array([1], dtype=np.int64), np.array([0], dtype=np.int64)],
+        children=[
+            np.full((1, 2), -1, dtype=np.int64),
+            np.array([[1, -1]], dtype=np.int64),
+        ],
+        n_nodes=2,
+    )
+    encoded = encode_prepared(prepared)
+    assert encoded is not None and encoded["kind"] == "qppnet_plan"
+    decoded = decode_prepared(_roundtrip(encoded))
+    assert isinstance(decoded, PreparedPlan)
+    assert decoded.levels == prepared.levels
+    assert decoded.ops == prepared.ops  # enum members, not strings
+    assert decoded.n_nodes == 2
+    for field in ("feats", "nodes", "children"):
+        for got, want in zip(
+            getattr(decoded, field), getattr(prepared, field), strict=True
+        ):
+            assert got.dtype == want.dtype
+            # Byte-exact: the grouped features feed the fused forward
+            # directly, so drift here is drift in served predictions.
+            assert got.tobytes() == want.tobytes()
+
+
+def test_prepared_mscn_template_roundtrips():
+    from repro.featurization.mscn_features import MSCNTemplate
+
+    template = MSCNTemplate(
+        tables=np.ones((2, 3)),
+        joins=np.zeros((0, 4)),
+        predicates=np.arange(10.0).reshape(2, 5),
+        plan_matrix=np.arange(12.0).reshape(3, 4),
+    )
+    encoded = encode_prepared(template)
+    assert encoded is not None and encoded["kind"] == "mscn_template"
+    decoded = decode_prepared(_roundtrip(encoded))
+    assert isinstance(decoded, MSCNTemplate)
+    assert np.array_equal(decoded.tables, template.tables)
+    assert decoded.joins.shape == (0, 4)
+    assert decoded.predicates.tobytes() == template.predicates.tobytes()
+    assert decoded.plan_matrix.tobytes() == template.plan_matrix.tobytes()
+
+
+def test_malformed_qppnet_plan_raises_checkpoint_error():
+    with pytest.raises(CheckpointError, match="invalid qppnet_plan"):
+        decode_prepared({"kind": "qppnet_plan", "levels": [0]})
+    with pytest.raises(CheckpointError, match="invalid qppnet_plan"):
+        decode_prepared(
+            {
+                "kind": "qppnet_plan",
+                "levels": [0],
+                "ops": ["No Such Operator"],
+                "feats": [],
+                "nodes": [],
+                "children": [],
+                "n_nodes": 1,
+            }
+        )
+
+
 def test_unrecognised_prepared_form_is_skipped_not_fatal():
     assert encode_prepared(object()) is None
 

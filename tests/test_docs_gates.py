@@ -14,6 +14,7 @@ sys.path.insert(0, str(REPO / "tools"))
 
 import check_docstrings  # noqa: E402
 import check_links  # noqa: E402
+import check_workflows  # noqa: E402
 
 #: The trees whose public APIs the docstring gate covers (mirrors the
 #: ruff D1 invocation in .github/workflows/ci.yml).
@@ -68,6 +69,35 @@ def test_docstring_gate_catches_an_undocumented_def(tmp_path):
     problems = check_docstrings.check_file(module)
     assert len(problems) == 1
     assert "naked" in problems[0]
+
+
+def test_committed_workflows_pass_hygiene_gate():
+    files = check_workflows._default_files(REPO)
+    # The gate must actually be looking at the CI system.
+    names = {f.name for f in files}
+    assert {"ci.yml", "nightly.yml"} <= names
+    problems = check_workflows.check_files(files, REPO)
+    assert problems == [], "\n".join(problems)
+
+
+def test_workflow_gate_catches_hygiene_violations():
+    bad = (
+        "name: X\n"
+        "on: push\n"
+        "jobs:\n"
+        "  build:\n"
+        "    runs-on: ubuntu-latest\n"
+        "    steps:\n"
+        "      - uses: actions/checkout\n"
+        "  call:\n"
+        "    uses: ./.github/workflows/other.yml\n"
+    )
+    problems = check_workflows.check_workflow_text(bad, "bad.yml")
+    assert any("unpinned" in p for p in problems)
+    assert any("timeout-minutes" in p and "`build`" in p for p in problems)
+    # Reusable-workflow jobs delegate their timeouts to the callee.
+    assert not any("`call`" in p for p in problems)
+    assert any("concurrency" in p for p in problems)
 
 
 @pytest.mark.parametrize("name", ["__init__.py"])

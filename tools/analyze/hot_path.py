@@ -41,8 +41,10 @@ HOT_FUNCTIONS = re.compile(
     r"estimate|estimate_many|estimate_async"
     r"|_estimate_inner|_estimate_many_inner|_estimate_async_inner"
     r"|_prepare|prepare_one|prepare_many|predict|predict_prepared"
+    r"|predict_prepared_batch|prepare_template|prepare_from_template"
+    r"|fused_forward|forward_batched|blocked_matmul"
     r"|_resolve_plan|_run_batch|_take_batch|submit|get_or_compute"
-    r"|featurize\w*|plan_fingerprint"
+    r"|featurize\w*|plan_fingerprint|template_fingerprint"
     r")$"
 )
 

@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Workflow hygiene gate: pinned actions, timeouts, concurrency.
+
+CI configuration rots the same way docs do — an unpinned action
+floats to a breaking major, a job without a timeout wedges a runner
+for six hours, a workflow without a concurrency group stacks stale
+runs behind every push.  This script (stdlib-only, run by the CI lint
+job and the test suite) scans ``.github/workflows/*.yml`` line-wise —
+no YAML parser in the stdlib — and fails on:
+
+- **Unpinned actions**: every ``uses:`` reference must carry an
+  ``@<version-or-sha>`` suffix (local ``./path`` actions are exempt).
+- **Missing timeouts**: every job must set ``timeout-minutes`` (jobs
+  that delegate to a reusable workflow via a job-level ``uses:`` are
+  exempt — the callee's jobs carry the timeouts).
+- **Missing concurrency group**: every workflow must declare a
+  top-level ``concurrency:`` block so superseded runs don't pile up.
+
+Usage::
+
+    python tools/check_workflows.py                 # .github/workflows/
+    python tools/check_workflows.py path/to/wf.yml  # explicit files
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List
+
+#: ``uses: owner/repo@ref`` (step- or job-level); group 1 is the
+#: reference, quotes optional.
+_USES = re.compile(r"^(\s*)(?:-\s+)?uses:\s*[\"']?([^\"'\s#]+)")
+
+#: A mapping key opening a block, e.g. ``jobs:`` or ``build:``.
+_KEY = re.compile(r"^(\s*)([A-Za-z0-9_.\-]+):")
+
+
+def _indent(line: str) -> int:
+    """Leading-space count (the line-wise stand-in for YAML nesting)."""
+    return len(line) - len(line.lstrip(" "))
+
+
+def check_workflow_text(text: str, name: str) -> List[str]:
+    """Every hygiene problem in one workflow file, one per line."""
+    problems: List[str] = []
+    lines = text.splitlines()
+
+    # Rule 1: every action reference is pinned.
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            continue
+        match = _USES.match(line)
+        if match is None:
+            continue
+        reference = match.group(2)
+        if reference.startswith("./"):
+            continue  # local composite action: pinned by the checkout
+        if "@" not in reference or reference.endswith("@"):
+            problems.append(
+                f"{name}:{lineno}: unpinned action `{reference}` "
+                "(pin with @vN or @<sha>)"
+            )
+
+    # Rule 2: every job sets timeout-minutes.  Jobs are the indent-2
+    # keys inside the top-level ``jobs:`` block; a job's body is every
+    # deeper-indented line until the next indent<=2 key.
+    jobs_start = None
+    for index, line in enumerate(lines):
+        if _KEY.match(line) and _indent(line) == 0 and line.startswith("jobs:"):
+            jobs_start = index
+            break
+    if jobs_start is None:
+        problems.append(f"{name}:1: no top-level `jobs:` block")
+    else:
+        current_job = None  # (job name, lineno, has_timeout, delegates)
+
+        def flush() -> None:
+            if current_job is None:
+                return
+            job, lineno, has_timeout, delegates = current_job
+            if not has_timeout and not delegates:
+                problems.append(
+                    f"{name}:{lineno}: job `{job}` has no "
+                    "timeout-minutes"
+                )
+
+        for lineno, line in enumerate(
+            lines[jobs_start + 1 :], start=jobs_start + 2
+        ):
+            if not line.strip() or line.strip().startswith("#"):
+                continue
+            indent = _indent(line)
+            key = _KEY.match(line)
+            if indent == 0:
+                break  # next top-level block ends the jobs section
+            if key and indent == 2:
+                flush()
+                current_job = (key.group(2), lineno, False, False)
+            elif current_job is not None and indent == 4:
+                if line.strip().startswith("timeout-minutes:"):
+                    current_job = current_job[:2] + (True, current_job[3])
+                elif line.strip().startswith("uses:"):
+                    current_job = current_job[:3] + (True,)
+        flush()
+
+    # Rule 3: a top-level concurrency group.
+    if not any(
+        line.startswith("concurrency:") for line in lines
+    ):
+        problems.append(
+            f"{name}:1: no top-level `concurrency:` block "
+            "(stale runs will stack up)"
+        )
+    return problems
+
+
+def check_files(files: List[pathlib.Path], root: pathlib.Path) -> List[str]:
+    """Hygiene problems across *files* (see :func:`check_workflow_text`)."""
+    problems: List[str] = []
+    for path in files:
+        try:
+            name = str(path.relative_to(root))
+        except ValueError:
+            name = str(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            problems.append(f"{name}:1: unreadable: {exc}")
+            continue
+        problems.extend(check_workflow_text(text, name))
+    return problems
+
+
+def _default_files(root: pathlib.Path) -> List[pathlib.Path]:
+    """Every committed workflow file under ``.github/workflows/``."""
+    workflows = root / ".github" / "workflows"
+    return sorted(workflows.glob("*.yml")) + sorted(workflows.glob("*.yaml"))
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point: check the given workflow files (or defaults)."""
+    root = pathlib.Path(__file__).resolve().parents[1]
+    files = (
+        [pathlib.Path(arg).resolve() for arg in argv]
+        if argv
+        else _default_files(root)
+    )
+    if not files:
+        print("WORKFLOW GATE: no workflow files found")
+        return 1
+    problems = check_files(files, root)
+    if problems:
+        print(f"WORKFLOW GATE: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    names = ", ".join(
+        str(f.relative_to(root)) if f.is_relative_to(root) else str(f)
+        for f in files
+    )
+    print(f"WORKFLOW GATE: all workflows pass ({names})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
