@@ -190,6 +190,12 @@ _DEFAULT_BANDS: Sequence = (
     # ~0.01x toward 1x is a real regression long before the flag trips.
     ("extra.ttfe_ratio", Tolerance("lower", rel=3.0, abs=0.2)),
     ("extra.first_window_p95_ratio", Tolerance("lower", rel=4.0, abs=1.0)),
+    # Process-tier scaling: the verdict flag is core-aware (strict
+    # monotonic increase only while added workers map to real cores),
+    # so it is machine-independent and gates at zero tolerance.  Any
+    # request error during a scaling run is a regression outright.
+    ("extra.scaling_monotonic", Tolerance("higher", rel=0.0)),
+    ("extra.proc_errors", Tolerance("lower", rel=0.0, abs=0.0)),
     # Admission shedding in the committed scenarios is a regression:
     # the sync load paths are bounded by worker count, far under the
     # per-shard admission limit, so any shed means a logic change.

@@ -27,6 +27,13 @@ stack's distinct failure modes and take everything else from params:
   restored from a checkpoint in the same run: the warm boot must
   reach its first estimate strictly faster, serve a faster first
   window, and predict bit-identically to the pre-kill replica.
+- ``proc_scaling`` — closed-loop SQL traffic against the
+  multi-process tier (:class:`~repro.cluster.proc.ProcClusterService`)
+  at increasing worker counts: with real cores available, throughput
+  must rise strictly monotonically worker-for-worker (the thread tier
+  cannot do this — the GIL serialises its replicas); past the
+  machine's core count the gate relaxes to non-collapse, so the
+  committed baseline carries a machine-independent 0/1 verdict.
 
 Training tiny estimator bundles dominates scenario cost, so bundles
 are memoised per configuration: a run of several scenarios shares its
@@ -35,6 +42,7 @@ pipelines the way the paper benches share labelled collections.
 
 from __future__ import annotations
 
+import os
 import shutil
 import tempfile
 import threading
@@ -45,6 +53,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..cluster import ClusterService
+from ..cluster.proc import ProcClusterService, ProcConfig
 from ..core import QCFE, QCFEConfig, collect_baselines
 from ..engine.environment import random_environments
 from ..engine.executor import LabeledPlan
@@ -1078,6 +1087,127 @@ def _warm_restart(params: Dict[str, object], seed: int) -> Dict[str, object]:
     )
 
 
+def _usable_cores() -> int:
+    """CPU cores this process may actually run on (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # non-Linux hosts
+        return max(1, os.cpu_count() or 1)
+
+
+@driver("proc_scaling")
+def _proc_scaling(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    """Closed-loop throughput of the process tier vs worker count.
+
+    Every request is SQL *text*, so each worker pays the full
+    parse → plan → featurize → predict path — the CPU-bound work the
+    GIL serialises in the thread tier and real processes parallelise.
+    The scaling verdict is core-aware: up to ``min(workers, cores)``
+    throughput must rise strictly with every added worker; past the
+    machine's core count (e.g. 4 workers on a 1-core CI box) added
+    workers cannot add speed, so the gate only demands the tier does
+    not collapse under the extra processes.  ``scaling_monotonic`` is
+    therefore a machine-independent 0/1 flag safe to band at zero
+    tolerance.
+    """
+    setup = _setup(
+        str(params.get("benchmark", "sysbench")),
+        model=str(params.get("model", "qppnet")),
+        env_count=int(params.get("env_count", 2)),
+        plans=int(params.get("plans", 96)),
+        epochs=int(params.get("epochs", 4)),
+        seed=seed,
+    )
+    envs, labeled = setup["envs"], setup["labeled"]
+    env_by_name = {env.name: env for env in envs}
+    items = [(r.query_sql, env_by_name[r.env_name]) for r in labeled]
+    worker_counts = sorted(
+        int(n) for n in params.get("worker_counts", (1, 2, 4))
+    )
+    tenant_count = int(params.get("tenant_count", 6))
+    threads = int(params.get("threads", max(worker_counts)))
+    duration_s = float(params.get("duration_s", 2.0))
+    repeats = int(params.get("repeats", 2))
+    cores = _usable_cores()
+
+    names = [f"tenant-{i}" for i in range(tenant_count)]
+    tenants = [Tenant(name, items, bundle=name) for name in names]
+    rps_by_count: Dict[int, float] = {}
+    errors_total = 0
+    issued_total = 0
+    last_result = None
+    for count in worker_counts:
+        best = 0.0
+        for attempt in range(max(1, repeats)):
+            # A fresh config per tier: the service merges its knob dict.
+            tier = ProcClusterService(
+                worker_count=count,
+                config=ProcConfig(
+                    request_timeout_s=60.0,
+                    boot_timeout_s=120.0,
+                    sync_timeout_s=120.0,
+                    heartbeat_interval_s=1.0,
+                    heartbeat_miss_limit=60,
+                ),
+            )
+            try:
+                for name in names:
+                    tier.deploy(setup["bundle"], name=name)
+                _warm_tenants(tier, tenants)
+                result = run_load(
+                    tier,
+                    tenants,
+                    threads=threads,
+                    arrival=ArrivalSpec(kind="closed"),
+                    duration_s=duration_s,
+                    seed=seed + attempt,
+                )
+            finally:
+                tier.close()
+            best = max(best, result.throughput_rps)
+            errors_total += result.errors
+            issued_total += result.issued
+            last_result = result
+        rps_by_count[count] = best
+
+    # Core-aware verdict: strict monotonicity while added workers map
+    # onto real cores, non-collapse (>= 75% of the best seen) beyond.
+    monotonic_ok = True
+    noncollapse_ok = True
+    prev_rps: Optional[float] = None
+    prev_eff = 0
+    best_so_far = 0.0
+    for count in worker_counts:
+        rps = rps_by_count[count]
+        eff = min(count, cores)
+        if prev_rps is not None:
+            if eff > prev_eff:
+                monotonic_ok = monotonic_ok and rps > prev_rps
+            else:
+                noncollapse_ok = noncollapse_ok and rps >= 0.75 * best_so_far
+        best_so_far = max(best_so_far, rps)
+        prev_rps, prev_eff = rps, eff
+
+    base = rps_by_count[worker_counts[0]]
+    extra: Dict[str, object] = {
+        "cores": cores,
+        "workers_gated_strictly": min(max(worker_counts), cores),
+        "scaling_monotonic": int(monotonic_ok and noncollapse_ok),
+        "speedup_max": best_so_far / max(base, 1e-9),
+        "proc_errors": errors_total,
+    }
+    for count in worker_counts:
+        extra[f"rps_{count}w"] = rps_by_count[count]
+    return load_metrics(
+        last_result.latency,
+        last_result.elapsed_s,
+        issued_total,
+        errors_total,
+        per_tenant=last_result.per_tenant,
+        extra=extra,
+    )
+
+
 # ----------------------------------------------------------------------
 # the registry contents
 # ----------------------------------------------------------------------
@@ -1214,6 +1344,24 @@ register(Scenario(
         plans=64, epochs=3, threads=4, snapshot_scale=4,
     ),
     quick_overrides=dict(storm_envs=2, plans=32, epochs=2),
+))
+
+register(Scenario(
+    name="proc-scaling",
+    kind="proc_scaling",
+    description="Closed-loop SQL traffic against the multi-process "
+    "tier at rising worker counts: throughput must scale with real "
+    "cores (strictly monotonic up to the core count, non-collapsing "
+    "beyond it).",
+    smoke=True,
+    params=dict(
+        benchmark="sysbench", model="qppnet", env_count=2, plans=96,
+        epochs=4, worker_counts=[1, 2, 4], tenant_count=6, threads=4,
+        duration_s=2.0, repeats=2,
+    ),
+    quick_overrides=dict(
+        plans=48, epochs=2, duration_s=1.0, repeats=1,
+    ),
 ))
 
 

@@ -13,13 +13,20 @@ its API:
   replicas (own registry, caches, batcher, adaptation loop) behind
   the same ``estimate`` / ``estimate_many`` / ``estimate_async`` /
   ``record_feedback`` / ``report`` surface, with per-shard health
-  tracking, failure ejection and failover re-routing.
+  tracking, failure ejection and failover re-routing;
+- :class:`ProcClusterService` (:mod:`repro.cluster.proc`) — the same
+  facade over real worker *processes*: per-pid ``CostService``
+  replicas behind a length-prefixed IPC protocol, model weights
+  shared read-only via ``multiprocessing.shared_memory``, and a
+  supervisor that spawns/kills/revives/ejects pids with sentinel-fd
+  death detection.
 
 See ``docs/ARCHITECTURE.md`` for where this sits in the request
 lifecycle and ``docs/SERVING.md`` for operational guarantees.
 """
 
 from .admission import AdmissionController
+from .proc import ProcClusterService, ProcConfig
 from .router import ShardHealth, ShardRouter, rendezvous_score
 from .service import ClusterService, ClusterShard, ClusterStats
 
@@ -28,6 +35,8 @@ __all__ = [
     "ClusterService",
     "ClusterShard",
     "ClusterStats",
+    "ProcClusterService",
+    "ProcConfig",
     "ShardHealth",
     "ShardRouter",
     "rendezvous_score",

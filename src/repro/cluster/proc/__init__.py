@@ -1,0 +1,36 @@
+"""repro.cluster.proc — the multi-process serving tier.
+
+Escapes the GIL: replicas are real worker processes (own interpreter,
+own pid), so cluster throughput can scale with cores instead of being
+time-sliced inside one interpreter.  The pieces:
+
+- :mod:`~repro.cluster.proc.protocol` — length-prefixed JSON/binary
+  frames with per-request ids, hard size caps and typed error frames;
+- :mod:`~repro.cluster.proc.shm` — model weights published read-only
+  through ``multiprocessing.shared_memory`` (N workers, one copy) with
+  orphan-segment sweeping for abnormal exits;
+- :mod:`~repro.cluster.proc.worker` — the child process: one
+  ``CostService`` warm-booted from ``repro.persist`` checkpoints,
+  serving frames until EOF;
+- :mod:`~repro.cluster.proc.supervisor` — spawn/kill/revive/eject over
+  real pids, with sentinel-fd death certification and heartbeats;
+- :mod:`~repro.cluster.proc.service` — :class:`ProcClusterService`,
+  the same ``estimate`` / ``estimate_many`` / ``estimate_async`` /
+  ``record_feedback`` / ``report`` surface as the thread tier.
+
+See ``docs/SERVING.md`` (process tier) for the wire format, the
+shared-memory lifecycle and the supervisor state machine.
+"""
+
+from .service import ProcClusterService
+from .shm import cleanup_orphans, list_segments
+from .supervisor import ProcConfig, ProcSupervisor, WorkerHandle
+
+__all__ = [
+    "ProcClusterService",
+    "ProcConfig",
+    "ProcSupervisor",
+    "WorkerHandle",
+    "cleanup_orphans",
+    "list_segments",
+]

@@ -1,0 +1,320 @@
+"""Length-prefixed JSON/binary framing for supervisor ↔ worker IPC.
+
+Every message on a worker connection is one **frame**:
+
+.. code-block:: text
+
+    0      2      3        4            8           12
+    +------+------+--------+------------+------------+----------+------+
+    | "QF" | ver  | 0x00   | header_len | tail_len   | header   | tail |
+    +------+------+--------+------------+------------+----------+------+
+      magic  u8     pad      u32 BE       u32 BE       JSON       bytes
+
+The *header* is a UTF-8 JSON object carrying at least an integer
+``id`` (request/response correlation) and a string ``kind``; the
+*tail* is an opaque binary payload (array blobs, batched prediction
+vectors) so bulk float64 data never round-trips through text — the
+codec split that keeps process-tier predictions bit-identical to the
+in-process tier.
+
+The decoder is deliberately paranoid: bad magic, an unknown version,
+lengths beyond the hard caps, truncated payloads, non-object headers
+and JSON errors all raise :class:`~repro.errors.ProtocolError` (a
+:class:`~repro.errors.ClusterError`), never a builtin.  A peer that
+dies mid-frame surfaces as :class:`~repro.errors.WorkerDiedError`.
+Error *frames* are typed too: a worker maps an exception onto a
+whitelisted ``repro.errors`` class name which the parent rehydrates,
+so a worker-side ``ShardOverloadError`` sheds on the parent exactly
+like a thread-tier one.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ... import errors
+from ...engine.environment import DatabaseEnvironment
+from ...engine.hardware import PROFILES, HardwareProfile
+from ...engine.knobs import KnobConfiguration
+from ...engine.operators import PlanNode
+from ...errors import ProtocolError, ReproError, WorkerDiedError
+from ...persist import plan_from_state, plan_to_state
+from ...sql.ast import SelectQuery
+
+#: First two bytes of every frame.
+MAGIC = b"QF"
+
+#: Wire format version; bumped on any incompatible layout change.
+PROTOCOL_VERSION = 1
+
+#: Fixed-size frame prefix: magic, version, pad, header len, tail len.
+_PREFIX = struct.Struct(">2sBBII")
+
+#: Byte size of the fixed prefix.
+PREFIX_SIZE = _PREFIX.size
+
+#: Hard cap on the JSON header region (16 MiB).
+MAX_HEADER_BYTES = 16 * 1024 * 1024
+
+#: Hard cap on the binary tail region (256 MiB).
+MAX_TAIL_BYTES = 256 * 1024 * 1024
+
+#: Exception classes a worker may name in an error frame.  Anything
+#: outside this whitelist rehydrates as plain ``ClusterError`` — a
+#: worker cannot make the parent raise an arbitrary class.
+ERROR_TYPES: Dict[str, type] = {
+    name: obj
+    for name, obj in vars(errors).items()
+    if isinstance(obj, type) and issubclass(obj, ReproError)
+}
+
+
+# ----------------------------------------------------------------------
+# frame encode / decode
+# ----------------------------------------------------------------------
+def encode_frame(header: Dict[str, object], tail: bytes = b"") -> bytes:
+    """One wire frame for *header* (+ optional binary *tail*)."""
+    body = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"frame header is {len(body)} bytes, cap {MAX_HEADER_BYTES}"
+        )
+    if len(tail) > MAX_TAIL_BYTES:
+        raise ProtocolError(
+            f"frame tail is {len(tail)} bytes, cap {MAX_TAIL_BYTES}"
+        )
+    prefix = _PREFIX.pack(MAGIC, PROTOCOL_VERSION, 0, len(body), len(tail))
+    return prefix + body + tail
+
+
+def decode_prefix(prefix: bytes) -> Tuple[int, int]:
+    """Validated ``(header_len, tail_len)`` from a 12-byte prefix."""
+    if len(prefix) != PREFIX_SIZE:
+        raise ProtocolError(
+            f"frame prefix is {len(prefix)} bytes, need {PREFIX_SIZE}"
+        )
+    magic, version, _pad, header_len, tail_len = _PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"peer speaks protocol v{version}, this build v{PROTOCOL_VERSION}"
+        )
+    if header_len == 0 or header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"impossible header length {header_len}")
+    if tail_len > MAX_TAIL_BYTES:
+        raise ProtocolError(f"impossible tail length {tail_len}")
+    return header_len, tail_len
+
+
+def decode_header(body: bytes) -> Dict[str, object]:
+    """Validated header object from the JSON region of a frame."""
+    try:
+        header = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparseable frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError(
+            f"frame header must be a JSON object, got {type(header).__name__}"
+        )
+    if not isinstance(header.get("id"), int):
+        raise ProtocolError("frame header lacks an integer 'id'")
+    if not isinstance(header.get("kind"), str):
+        raise ProtocolError("frame header lacks a string 'kind'")
+    return header
+
+
+def decode_frame(data: bytes) -> Tuple[Dict[str, object], bytes]:
+    """Decode one complete frame held in *data* (fuzz-test surface).
+
+    Trailing bytes beyond the declared lengths are a
+    :class:`ProtocolError` — a stream that framed correctly cannot
+    leave residue.
+    """
+    header_len, tail_len = decode_prefix(data[:PREFIX_SIZE])
+    expected = PREFIX_SIZE + header_len + tail_len
+    if len(data) != expected:
+        raise ProtocolError(
+            f"frame declares {expected} bytes, buffer holds {len(data)}"
+        )
+    header = decode_header(data[PREFIX_SIZE : PREFIX_SIZE + header_len])
+    tail = data[PREFIX_SIZE + header_len :]
+    return header, tail
+
+
+# ----------------------------------------------------------------------
+# socket I/O
+# ----------------------------------------------------------------------
+def _recv_exactly(sock, count: int) -> Optional[bytes]:
+    """Exactly *count* bytes from *sock*; None on clean EOF at offset
+    zero; :class:`WorkerDiedError` on EOF mid-read."""
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except OSError as exc:
+            raise WorkerDiedError(f"connection lost mid-frame: {exc}") from exc
+        if not chunk:
+            if remaining == count and not chunks:
+                return None
+            raise WorkerDiedError(
+                f"peer closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock) -> Optional[Tuple[Dict[str, object], bytes]]:
+    """Read one frame from *sock*; None on clean EOF between frames."""
+    prefix = _recv_exactly(sock, PREFIX_SIZE)
+    if prefix is None:
+        return None
+    header_len, tail_len = decode_prefix(prefix)
+    body = _recv_exactly(sock, header_len)
+    if body is None:
+        raise WorkerDiedError("peer closed between prefix and header")
+    header = decode_header(body)
+    tail = b""
+    if tail_len:
+        got = _recv_exactly(sock, tail_len)
+        if got is None:
+            raise WorkerDiedError("peer closed between header and tail")
+        tail = got
+    return header, tail
+
+
+def send_frame(sock, header: Dict[str, object], tail: bytes = b"") -> None:
+    """Write one frame to *sock* (single ``sendall``)."""
+    try:
+        sock.sendall(encode_frame(header, tail))
+    except OSError as exc:
+        raise WorkerDiedError(f"connection lost while sending: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# typed error frames
+# ----------------------------------------------------------------------
+def error_to_wire(exc: BaseException) -> Dict[str, object]:
+    """The error-frame payload naming *exc*'s whitelisted type."""
+    name = type(exc).__name__
+    if name not in ERROR_TYPES:
+        name = "ClusterError"
+    return {"type": name, "message": str(exc)}
+
+
+def error_from_wire(payload: object) -> ReproError:
+    """Rehydrate an error-frame payload into a typed exception."""
+    if not isinstance(payload, dict):
+        return ProtocolError(f"malformed error payload {payload!r}")
+    cls = ERROR_TYPES.get(str(payload.get("type")), errors.ClusterError)
+    return cls(str(payload.get("message", "worker error")))
+
+
+# ----------------------------------------------------------------------
+# value codecs (environments, queries, float vectors)
+# ----------------------------------------------------------------------
+def env_to_wire(env: DatabaseEnvironment) -> Dict[str, object]:
+    """A :class:`DatabaseEnvironment` as plain JSON data.
+
+    Hardware profiles ship by field, not just by name, so custom
+    profiles (``random_profile``) survive the boundary too.
+    """
+    hw = env.hardware
+    return {
+        "knobs": {"name": env.knobs.name, "values": dict(env.knobs.values)},
+        "hardware": {
+            "name": hw.name,
+            "seq_ms_per_page": hw.seq_ms_per_page,
+            "rand_ms_per_page": hw.rand_ms_per_page,
+            "cached_ms_per_page": hw.cached_ms_per_page,
+            "cpu_ms_per_ktuple": hw.cpu_ms_per_ktuple,
+            "memory_gb": hw.memory_gb,
+            "disk": hw.disk,
+        },
+        "name": env.name,
+    }
+
+
+def env_from_wire(state: object) -> DatabaseEnvironment:
+    """Inverse of :func:`env_to_wire` (named profiles reused from
+    :data:`~repro.engine.hardware.PROFILES` when the fields match)."""
+    try:
+        knobs_state = dict(state["knobs"])
+        hw_state = dict(state["hardware"])
+        knobs = KnobConfiguration(
+            name=str(knobs_state["name"]), values=dict(knobs_state["values"])
+        )
+        hardware = HardwareProfile(
+            name=str(hw_state["name"]),
+            seq_ms_per_page=float(hw_state["seq_ms_per_page"]),
+            rand_ms_per_page=float(hw_state["rand_ms_per_page"]),
+            cached_ms_per_page=float(hw_state["cached_ms_per_page"]),
+            cpu_ms_per_ktuple=float(hw_state["cpu_ms_per_ktuple"]),
+            memory_gb=float(hw_state["memory_gb"]),
+            disk=str(hw_state.get("disk", "ssd")),
+        )
+        hardware = PROFILES.get(hardware.name, hardware)
+        return DatabaseEnvironment(
+            knobs=knobs, hardware=hardware, name=str(state["name"])
+        )
+    except ReproError:
+        raise
+    except Exception as exc:  # malformed wire data stays a typed error
+        raise ProtocolError(f"invalid environment payload: {exc}") from exc
+
+
+def query_to_wire(query: object) -> Dict[str, object]:
+    """A request query as plain data: SQL text stays text (the worker
+    re-parses, paying the full serving path), plan trees ship through
+    the persist plan codec."""
+    if isinstance(query, str):
+        return {"sql": query}
+    if isinstance(query, SelectQuery):
+        return {"sql": query.sql()}
+    if isinstance(query, PlanNode):
+        return {"plan": plan_to_state(query)}
+    raise ProtocolError(
+        f"cannot ship {type(query).__name__} across the worker boundary; "
+        "pass SQL text, a SelectQuery or a PlanNode"
+    )
+
+
+def query_from_wire(state: object) -> object:
+    """Inverse of :func:`query_to_wire`."""
+    if isinstance(state, dict):
+        if "sql" in state:
+            return str(state["sql"])
+        if "plan" in state:
+            return plan_from_state(dict(state["plan"]))
+    raise ProtocolError(f"invalid query payload {state!r}")
+
+
+def floats_to_tail(values: np.ndarray) -> Tuple[Dict[str, object], bytes]:
+    """A float vector as ``(header fragment, binary tail)`` — raw
+    float64 bytes, so batched predictions round-trip bit-exactly."""
+    arr = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+    return {"count": int(arr.size)}, arr.tobytes()
+
+
+def floats_from_tail(fragment: object, tail: bytes) -> np.ndarray:
+    """Inverse of :func:`floats_to_tail` (validated)."""
+    try:
+        count = int(fragment["count"])  # type: ignore[index]
+    except (TypeError, KeyError, ValueError) as exc:
+        raise ProtocolError(f"malformed vector fragment {fragment!r}") from exc
+    if count < 0 or len(tail) != count * 8:
+        raise ProtocolError(
+            f"vector tail holds {len(tail)} bytes, {count} float64 need "
+            f"{count * 8}"
+        )
+    return np.frombuffer(tail, dtype=np.float64).copy()
+
+
+#: Signature of the per-kind handlers a serve loop dispatches to.
+Handler = Callable[[Dict[str, object], bytes], Tuple[Dict[str, object], bytes]]

@@ -1,0 +1,370 @@
+"""Read-only model-weight publication over POSIX shared memory.
+
+The parent encodes service state once (``repro.persist`` codec), packs
+every array blob into a single ``multiprocessing.shared_memory``
+segment, and ships only the segment *name* to workers.  N workers then
+hold **one** physical copy of the weights: each worker maps the
+segment read-only and its :class:`SharedBlobStore` materialises arrays
+as zero-copy ``np.frombuffer`` views over the mapping.
+
+Segment layout (all integers little-endian)::
+
+    u32 magic ("QFSM") | u32 count | u64 index_len | index JSON | blobs
+
+where the index JSON is ``{"lengths": [...], "offsets": [...]}``
+relative to the payload region, making every segment self-describing:
+an attacher needs nothing but the name.
+
+Lifecycle and crash hygiene:
+
+- the **parent** owns create and unlink.  Names embed the owning pid
+  (``qcfe-shm-<pid>-<seq>-<token>``) so ownership is decidable post
+  mortem.
+- **workers** never attach through ``SharedMemory(name=...)`` on the
+  primary path: before Python 3.13 the resource tracker unlinks
+  attached segments at interpreter exit, which would tear the weights
+  out from under sibling workers.  They map ``/dev/shm/<name>``
+  directly (with a tracker-unregistered ``SharedMemory`` fallback for
+  hosts without a ``/dev/shm``).
+- a SIGKILLed parent cannot unlink; :func:`cleanup_orphans` sweeps
+  segments whose embedded owner pid is dead, and the supervisor runs
+  it on every start and close.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import secrets
+import struct
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import CheckpointCorruptError, CheckpointError, ProtocolError
+from ...persist import BlobStore
+
+#: Name prefix for every segment this module creates.
+SEGMENT_PREFIX = "qcfe-shm"
+
+#: Segment header: magic, blob count, index length.
+_HEADER = struct.Struct("<4sIQ")
+
+#: Magic marking a segment this module laid out.
+_SHM_MAGIC = b"QFSM"
+
+#: Where POSIX shared memory appears as files on Linux.
+_DEV_SHM = "/dev/shm"
+
+
+def segment_name(seq: int, owner_pid: Optional[int] = None) -> str:
+    """A fresh segment name embedding the owning pid and a random
+    token (two services in one process never collide)."""
+    pid = os.getpid() if owner_pid is None else owner_pid
+    return f"{SEGMENT_PREFIX}-{pid}-{seq}-{secrets.token_hex(4)}"
+
+
+def owner_pid_of(name: str) -> Optional[int]:
+    """The owner pid embedded in *name*, or None when *name* is not
+    one of ours."""
+    if not name.startswith(SEGMENT_PREFIX + "-"):
+        return None
+    parts = name[len(SEGMENT_PREFIX) + 1 :].split("-")
+    try:
+        return int(parts[0])
+    except (IndexError, ValueError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when *pid* names a live process we can see."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def pack_blobs(blobs: Sequence[bytes]) -> bytes:
+    """The self-describing segment image for *blobs*."""
+    lengths = [len(blob) for blob in blobs]
+    offsets: List[int] = []
+    cursor = 0
+    for length in lengths:
+        offsets.append(cursor)
+        cursor += length
+    index = json.dumps(
+        {"lengths": lengths, "offsets": offsets}, separators=(",", ":")
+    ).encode("utf-8")
+    header = _HEADER.pack(_SHM_MAGIC, len(blobs), len(index))
+    return b"".join([header, index, *blobs])
+
+
+def unpack_index(buf) -> Tuple[List[int], List[int], int]:
+    """``(lengths, offsets, payload_start)`` from a segment image.
+
+    Raises :class:`~repro.errors.CheckpointCorruptError` on a segment
+    that was not laid out by :func:`pack_blobs` (or was truncated).
+    """
+    if len(buf) < _HEADER.size:
+        raise CheckpointCorruptError(
+            f"shared segment holds {len(buf)} bytes, header needs "
+            f"{_HEADER.size}"
+        )
+    magic, count, index_len = _HEADER.unpack_from(buf, 0)
+    if magic != _SHM_MAGIC:
+        raise CheckpointCorruptError(f"bad shared-segment magic {magic!r}")
+    start = _HEADER.size + index_len
+    if start > len(buf):
+        raise CheckpointCorruptError("shared-segment index truncated")
+    try:
+        index = json.loads(bytes(buf[_HEADER.size : start]).decode("utf-8"))
+        lengths = [int(n) for n in index["lengths"]]
+        offsets = [int(n) for n in index["offsets"]]
+    except (UnicodeDecodeError, ValueError, KeyError, TypeError) as exc:
+        raise CheckpointCorruptError(
+            f"unparseable shared-segment index: {exc}"
+        ) from exc
+    if len(lengths) != count or len(offsets) != count:
+        raise CheckpointCorruptError(
+            f"shared-segment index describes {len(lengths)} blobs, "
+            f"header says {count}"
+        )
+    for length, offset in zip(lengths, offsets):
+        if length < 0 or offset < 0 or start + offset + length > len(buf):
+            raise CheckpointCorruptError(
+                "shared-segment blob extent exceeds the mapping"
+            )
+    return lengths, offsets, start
+
+
+class BlobSegment:
+    """Parent-side handle on one published segment (create + unlink)."""
+
+    def __init__(self, name: str, shm, size: int):
+        """Wrap an already-created ``SharedMemory`` *shm*."""
+        self.name = name
+        self.size = size
+        self._shm = shm
+
+    @classmethod
+    def create(cls, blobs: Sequence[bytes], seq: int) -> "BlobSegment":
+        """Publish *blobs* as a fresh read-only-by-convention segment."""
+        from multiprocessing import shared_memory
+
+        image = pack_blobs(blobs)
+        name = segment_name(seq)
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(len(image), 1)
+            )
+            shm.buf[: len(image)] = image
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot publish shared segment {name!r}: {exc}"
+            ) from exc
+        return cls(name, shm, len(image))
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+            shm.unlink()
+        except (OSError, FileNotFoundError):
+            pass
+
+    def __enter__(self) -> "BlobSegment":
+        """Context-manager entry."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Unlink on scope exit."""
+        self.close()
+
+
+class AttachedBlobs:
+    """Worker-side read-only view over a published segment."""
+
+    def __init__(self, name: str, buf, closer):
+        """Wrap mapping *buf* of segment *name*; *closer* releases it."""
+        self.name = name
+        self._buf = buf
+        self._closer = closer
+        lengths, offsets, start = unpack_index(buf)
+        self.views: List[memoryview] = [
+            memoryview(buf)[start + offset : start + offset + length]
+            for length, offset in zip(lengths, offsets)
+        ]
+
+    @classmethod
+    def attach(cls, name: str) -> "AttachedBlobs":
+        """Map segment *name* read-only without registering it with the
+        resource tracker (see the module docstring for why)."""
+        path = os.path.join(_DEV_SHM, name)
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return cls._attach_fallback(name)
+        try:
+            size = os.fstat(fd).st_size
+            buf = mmap.mmap(fd, size, prot=mmap.PROT_READ)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"cannot map shared segment {name!r}: {exc}"
+            ) from exc
+        finally:
+            os.close(fd)
+        return cls(name, buf, buf.close)
+
+    @classmethod
+    def _attach_fallback(cls, name: str) -> "AttachedBlobs":
+        """Attach via ``SharedMemory`` on hosts without ``/dev/shm``,
+        unregistering from the resource tracker so interpreter exit
+        does not unlink a segment the parent still owns."""
+        from multiprocessing import resource_tracker, shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except (OSError, FileNotFoundError) as exc:
+            raise CheckpointError(
+                f"shared segment {name!r} is gone: {exc}"
+            ) from exc
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except (OSError, KeyError, AttributeError, ValueError):
+            pass  # tracker may be absent; the mapping is still valid
+        return cls(name, shm.buf, shm.close)
+
+    def close(self) -> None:
+        """Release every view and the underlying mapping (idempotent).
+
+        Decoded state may still hold zero-copy arrays over the
+        mapping; in that case the OS keeps the pages alive until the
+        last array dies (or the process exits), so a refused unmap is
+        tolerated, not an error.
+        """
+        views, self.views = self.views, []
+        for view in views:
+            try:
+                view.release()
+            except BufferError:
+                pass
+        closer, self._closer = self._closer, None
+        if closer is not None:
+            try:
+                closer()
+            except BufferError:
+                pass
+
+
+class SharedBlobStore(BlobStore):
+    """A :class:`~repro.persist.BlobStore` whose arrays are zero-copy
+    read-only views over an attached segment.
+
+    ``get`` skips the base class's defensive ``.copy()``: the arrays
+    returned here alias the shared mapping, which is exactly the
+    point — N workers, one physical copy.  The mapping is read-only,
+    so the views are non-writeable; code that needs to mutate restored
+    weights (warm-retrain) already deep-copies first.
+    """
+
+    def __init__(self, attached: AttachedBlobs):
+        """Expose *attached*'s views through the BlobStore interface."""
+        super().__init__(attached.views)  # type: ignore[arg-type]
+        self._attached = attached
+
+    def get(self, ref: Mapping[str, object]) -> np.ndarray:
+        """The array behind *ref* as a zero-copy read-only view."""
+        try:
+            spec = dict(ref["__ndarray__"])
+            index = int(spec["blob"])
+            dtype = np.dtype(str(spec["dtype"]))
+            shape = tuple(int(dim) for dim in spec["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed array reference {ref!r}") from exc
+        if not 0 <= index < len(self.blobs):
+            raise CheckpointCorruptError(
+                f"array reference points at blob {index}, "
+                f"segment has {len(self.blobs)}"
+            )
+        view = self.blobs[index]
+        expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        if len(view) != expected:
+            raise CheckpointCorruptError(
+                f"blob {index} holds {len(view)} bytes, "
+                f"dtype/shape require {expected}"
+            )
+        return np.frombuffer(view, dtype=dtype).reshape(shape)
+
+
+def list_segments() -> List[str]:
+    """Names of every currently-linked segment this module created
+    (empty when the host exposes no ``/dev/shm``)."""
+    try:
+        names = os.listdir(_DEV_SHM)
+    except OSError:
+        return []
+    return sorted(n for n in names if n.startswith(SEGMENT_PREFIX + "-"))
+
+
+def cleanup_orphans() -> List[str]:
+    """Unlink segments whose embedded owner pid is dead; returns the
+    names removed.  Safe to call concurrently (already-gone segments
+    are skipped, not errors)."""
+    removed: List[str] = []
+    for name in list_segments():
+        pid = owner_pid_of(name)
+        if pid is None or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(_DEV_SHM, name))
+        except OSError:
+            continue
+        removed.append(name)
+    return removed
+
+
+def publish_state(tree: object, blobs: Sequence[bytes], seq: int) -> Tuple[
+    Dict[str, object], Optional[BlobSegment]
+]:
+    """Pack an encoded state tree for the wire: returns the ``sync``
+    header payload plus the segment handle the parent must keep (None
+    when there are no array blobs to share)."""
+    if not blobs:
+        return {"manifest": tree, "shm": None}, None
+    segment = BlobSegment.create(blobs, seq)
+    return {"manifest": tree, "shm": segment.name}, segment
+
+
+def open_state(payload: Mapping[str, object], tail: bytes) -> Tuple[
+    object, BlobStore, Optional[AttachedBlobs]
+]:
+    """Worker-side inverse of :func:`publish_state`.
+
+    Returns ``(manifest tree, blob store, attached mapping or None)``;
+    the caller owns closing the mapping once the decoded state no
+    longer needs it.  When the payload carries no segment name the
+    blobs arrive inline in *tail* (packed with :func:`pack_blobs`) —
+    the sockets-only fallback path.
+    """
+    if "manifest" not in payload:
+        raise ProtocolError("sync payload lacks 'manifest'")
+    tree = payload["manifest"]
+    name = payload.get("shm")
+    if name is None:
+        if tail:
+            lengths, offsets, start = unpack_index(tail)
+            blobs = [
+                tail[start + offset : start + offset + length]
+                for length, offset in zip(lengths, offsets)
+            ]
+            return tree, BlobStore(blobs), None
+        return tree, BlobStore([]), None
+    attached = AttachedBlobs.attach(str(name))
+    return tree, SharedBlobStore(attached), attached

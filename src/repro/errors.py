@@ -67,3 +67,21 @@ class ShardDownError(ClusterError):
 
 class ShardOverloadError(ClusterError):
     """Admission control shed a request: the shard's queue is full."""
+
+
+class ProtocolError(ClusterError):
+    """An IPC frame between supervisor and worker was malformed:
+    bad magic, impossible lengths, truncated payload, unparseable
+    header, or a reply that violates the request/response contract."""
+
+
+class WorkerDiedError(ShardDownError):
+    """A worker process died (or its connection broke) while a request
+    was in flight; the supervisor may revive it, the caller may retry
+    on another worker."""
+
+
+class WorkerTimeoutError(ClusterError):
+    """A worker did not answer a request within its deadline.  The
+    worker may merely be slow, so the request is *not* retried on
+    another replica; the supervisor's heartbeat decides its fate."""

@@ -42,6 +42,15 @@ EVENT_TYPES: Tuple[str, ...] = (
     "checkpoint_restore",
     "checkpoint_failover_older",
     "admission_shed",
+    # process tier (repro.cluster.proc): real-pid lifecycle
+    "worker_spawned",
+    "worker_killed",
+    "worker_died",
+    "worker_revived",
+    "worker_ejected",
+    "worker_sync_failed",
+    "bundle_deployed",
+    "tier_restored",
 )
 
 

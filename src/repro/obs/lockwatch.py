@@ -33,10 +33,19 @@ the thread already holds another watched lock — rare on the hot path).
 Reentrant acquisitions of the same lock class (``RLock``, or two
 instances of one component) are counted but never recorded as edges:
 a self-edge is reentrancy, not an ordering inversion.
+
+The graph is **pid-scoped**: it records the process that created it
+(:attr:`LockGraph.owner_pid`) and ignores acquisitions from any other
+pid.  A worker or forked child that inherits an enabled graph (the
+process serving tier spawns real pids while the tier-1 conftest has
+watching on) therefore gets plain locks from :func:`make_lock` and
+never feeds edges into the parent's graph — the parent's zero-cycle
+assertion keeps describing the parent's locks only.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Dict, List, Optional, Set
@@ -56,6 +65,8 @@ class LockGraph:
     """Process-wide acquisition-order graph + per-lock-class stats."""
 
     def __init__(self) -> None:
+        #: The pid this graph describes; other pids are ignored.
+        self.owner_pid = os.getpid()
         self._glock = threading.Lock()
         #: name -> set of names acquired while holding it.
         self._edges: Dict[str, Set[str]] = {}
@@ -89,7 +100,10 @@ class LockGraph:
 
     # -- recording ----------------------------------------------------
     def on_acquire(self, name: str, wait_s: float, contended: bool) -> None:
-        """Record that the calling thread acquired *name*."""
+        """Record that the calling thread acquired *name* (no-op from
+        any process other than the graph's owner)."""
+        if os.getpid() != self.owner_pid:
+            return
         stack = self._stack()
         held = [h for h in stack if h != name]
         reentrant = len(held) != len(stack)
@@ -110,7 +124,10 @@ class LockGraph:
         stack.append(name)
 
     def on_release(self, name: str, held_s: float) -> None:
-        """Record that the calling thread released *name*."""
+        """Record that the calling thread released *name* (no-op from
+        any process other than the graph's owner)."""
+        if os.getpid() != self.owner_pid:
+            return
         stack = self._stack()
         # Remove the most recent occurrence (RLock release order).
         for index in range(len(stack) - 1, -1, -1):
@@ -312,9 +329,13 @@ def make_lock(name: str, reentrant: bool = False):
     watched when on.  Every lock the serving stack creates comes
     through here, so enabling lockwatch instruments the whole process
     without touching call sites."""
-    if _installed is None:
+    graph = _installed
+    if graph is None or graph.owner_pid != os.getpid():
+        # No watching, or a graph inherited across fork/spawn: a child
+        # process must get plain locks so it neither pollutes nor
+        # trips over the parent's acquisition graph.
         return threading.RLock() if reentrant else threading.Lock()
-    return WatchedLock(name, _installed, reentrant=reentrant)
+    return WatchedLock(name, graph, reentrant=reentrant)
 
 
 def make_condition(name: str) -> threading.Condition:

@@ -14,3 +14,10 @@ def estimate(plan, tracer):
     print(plan)
     span.finish()
     return time.time() - start
+
+
+def rpc(kind, payload):
+    """Wall-clock deadline on the IPC request path."""
+    deadline = time.time() + 5.0
+    logger.info("rpc %s", kind)
+    return kind, payload, deadline

@@ -30,3 +30,11 @@ class BadStats:
             time.sleep(0.01)
             path.write_text("data")
             work_fn()
+
+    def talk(self, sock, worker, frame):
+        """Blocking IPC inside the critical section (convoy)."""
+        with self._lock:
+            sock.sendall(frame)
+            reply = sock.recv(4096)
+            worker.rpc("ping", {})
+        return reply

@@ -13,3 +13,9 @@ def estimate(plan, tracer):
     if span is not None:
         span.finish()
     return result, time.perf_counter() - start
+
+
+def rpc(kind, payload):
+    """Monotonic deadline on the IPC request path; no logging."""
+    deadline = time.monotonic() + 5.0
+    return kind, payload, deadline

@@ -27,3 +27,13 @@ class GoodStats:
         path.write_text(str(requests))
         work_fn()
         return requests
+
+    def talk(self, sock, worker, frame):
+        """Correlation state under the lock; wire I/O after releasing."""
+        with self._lock:
+            self.requests += 1
+            request_id = self.requests
+        sock.sendall(frame)
+        reply = sock.recv(4096)
+        worker.rpc("ping", {"id": request_id})
+        return reply

@@ -35,13 +35,13 @@ FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
 
 #: rule name -> (bad fixture, good fixture, minimum bad findings).
 CORPUS = {
-    "lock-discipline": ("bad_lock_discipline.py", "good_lock_discipline.py", 4),
+    "lock-discipline": ("bad_lock_discipline.py", "good_lock_discipline.py", 9),
     "exception-taxonomy": (
         "bad_exception_taxonomy.py",
         "good_exception_taxonomy.py",
         2,
     ),
-    "hot-path": ("bad_hot_path.py", "good_hot_path.py", 4),
+    "hot-path": ("bad_hot_path.py", "good_hot_path.py", 6),
     "clock-discipline": (
         "bad_clock_discipline.py",
         "good_clock_discipline.py",

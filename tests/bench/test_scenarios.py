@@ -28,6 +28,7 @@ def test_registry_has_the_advertised_scenarios():
         "snapshot-miss-storm",
         "shard-failover",
         "hot-tenant-isolation",
+        "proc-scaling",
     ):
         assert expected in names
     smoke = scenario_names(smoke_only=True)
@@ -38,6 +39,7 @@ def test_registry_has_the_advertised_scenarios():
         "shard-failover",
         "hot-tenant-isolation",
         "warm-restart",
+        "proc-scaling",
     }
     assert set(smoke) <= set(names)
 

@@ -1,0 +1,56 @@
+"""Process-tier fixtures: fast supervision timings, leak tripwires.
+
+Every test in this package runs under the ``shm_leak_check`` autouse
+fixture: the set of linked ``qcfe-shm-*`` segments after the test must
+match the set before it — a leaked segment is a failure, not a warning
+(the acceptance bar for the tier is *zero* leaked shared memory).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.proc import ProcClusterService, ProcConfig
+from repro.cluster.proc.shm import cleanup_orphans, list_segments
+
+
+def fast_config(**overrides) -> ProcConfig:
+    """Supervision timings tight enough for tests that must never
+    hang, loose enough not to flake on a loaded CI box."""
+    defaults = dict(
+        request_timeout_s=30.0,
+        boot_timeout_s=45.0,
+        sync_timeout_s=45.0,
+        heartbeat_interval_s=0.5,
+        heartbeat_miss_limit=20,
+        max_revives=2,
+        poll_interval_s=0.02,
+        counters_interval_s=0.3,
+    )
+    defaults.update(overrides)
+    return ProcConfig(**defaults)
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_check():
+    """Zero-leak tripwire: no test may leave a shared segment behind."""
+    cleanup_orphans()
+    before = set(list_segments())
+    yield
+    cleanup_orphans()
+    after = set(list_segments())
+    assert after <= before, (
+        f"leaked shared-memory segments: {sorted(after - before)}"
+    )
+
+
+@pytest.fixture(scope="package")
+def proc_service(cluster_bundle):
+    """A 2-worker process tier with the package bundle deployed
+    (package-scoped: shared by non-destructive tests only — fault
+    tests spawn their own fleets)."""
+    bundle, _labeled = cluster_bundle
+    service = ProcClusterService(worker_count=2, config=fast_config())
+    service.deploy(bundle)
+    yield service
+    service.close()

@@ -1,0 +1,251 @@
+"""Fault injection against real pids: SIGKILL, hangs, crash hygiene.
+
+Every death here is a *real* process death (``SIGKILL``, which cannot
+be caught, masked, or handled), and every assertion is about the
+supervisor's observable contract: in-flight futures fail typed (never
+hang), routing heals, revives are budgeted, and no shared-memory
+segment outlives its owner.  The package-level autouse fixture
+additionally asserts zero leaked segments after every single test.
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.cluster.proc import ProcClusterService
+from repro.cluster.proc.shm import cleanup_orphans, list_segments
+from repro.cluster.proc.supervisor import WorkerHandle
+from repro.errors import ReproError, WorkerDiedError
+from repro.persist import save_service_checkpoint
+from repro.serving import CostService, SnapshotStore
+
+from .conftest import fast_config
+
+
+def _poll(predicate, timeout_s: float = 20.0, interval_s: float = 0.02) -> bool:
+    """Spin until *predicate* is truthy (bounded); True on success."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+# ----------------------------------------------------------------------
+# SIGKILL mid-flight
+# ----------------------------------------------------------------------
+def test_sigkill_mid_flight_fails_futures_typed_and_revives(
+    cluster_bundle, cluster_envs
+):
+    """Kill a worker while it holds an in-flight request: the pending
+    future fails with WorkerDiedError (promptly — the sentinel, not a
+    timeout, certifies the death), traffic fails over, and the
+    supervisor revives a fresh pid that serves again."""
+    bundle, labeled = cluster_bundle
+    sql, env = labeled[0].query_sql, cluster_envs[0]
+    with ProcClusterService(worker_count=2, config=fast_config()) as tier:
+        tier.deploy(bundle)
+        expected = tier.estimate(sql, env)
+        victim = tier.worker_of(tier.deployed_names()[0])
+        handle = tier.worker(victim)
+        old_pid = handle.pid
+
+        inflight = handle.submit("delay", {"seconds": 30.0}, timeout_s=60.0)
+        tier.kill_worker(victim)
+
+        started = time.monotonic()
+        with pytest.raises(WorkerDiedError):
+            inflight.result(timeout=15.0)
+        # Sentinel EOF, not the 60s request deadline, failed the future.
+        assert time.monotonic() - started < 10.0
+
+        # The tenant's traffic keeps flowing (failover or revival).
+        assert tier.estimate(sql, env) == expected
+        # And the fleet heals: a *different* pid takes the victim's id.
+        assert _poll(
+            lambda: tier.worker(victim).alive
+            and tier.worker(victim).pid != old_pid,
+            timeout_s=30.0,
+        )
+        assert tier.estimate(sql, env) == expected
+        assert tier.supervisor.deaths == 1
+        assert tier.supervisor.revive_count == 1
+        died = tier.events.events("worker_died")
+        assert died and died[0].data["worker"] == victim
+
+
+def test_kill_during_checkpoint_restore(cluster_bundle, tmp_path):
+    """SIGKILL a worker while it is inside the warm-boot checkpoint
+    restore: spawn() must surface a typed WorkerDiedError, not hang
+    until the boot timeout, and must leave nothing behind."""
+    bundle, _ = cluster_bundle
+    spool = tmp_path / "spool"
+    with CostService(snapshot_store=SnapshotStore()) as service:
+        service.deploy(bundle)
+        save_service_checkpoint(service, str(spool))
+
+    # boot_delay_s holds the worker inside the restore phase so the
+    # kill lands mid-restore instead of racing interpreter startup.
+    config = fast_config(
+        service={"boot_delay_s": 5.0}, checkpoint_dir=str(spool)
+    )
+    handle = WorkerHandle("boot-victim", config)
+    outcome = {}
+
+    def _spawn() -> None:
+        try:
+            handle.spawn()
+            outcome["hello"] = True
+        except ReproError as exc:
+            outcome["exc"] = exc
+
+    spawner = threading.Thread(target=_spawn)
+    spawner.start()
+    try:
+        assert _poll(lambda: handle.proc is not None, timeout_s=15.0)
+        time.sleep(1.0)  # let the child get past exec and into boot
+        handle.kill()
+        spawner.join(timeout=30.0)
+        assert not spawner.is_alive()
+        assert isinstance(outcome.get("exc"), WorkerDiedError)
+        assert "hello" not in outcome
+    finally:
+        handle.mark_dead(WorkerDiedError("test cleanup"), kill=True)
+        spawner.join(timeout=10.0)
+
+
+# ----------------------------------------------------------------------
+# revive-vs-eject policy
+# ----------------------------------------------------------------------
+def test_revive_budget_exhaustion_ejects(cluster_bundle, cluster_envs):
+    """First death revives; the second (budget ``max_revives=1``)
+    permanently ejects — and the tier keeps serving on the survivor."""
+    bundle, labeled = cluster_bundle
+    sql, env = labeled[0].query_sql, cluster_envs[0]
+    with ProcClusterService(
+        worker_count=2, config=fast_config(max_revives=1)
+    ) as tier:
+        tier.deploy(bundle)
+        expected = tier.estimate(sql, env)
+        victim = tier.worker_of(tier.deployed_names()[0])
+
+        tier.kill_worker(victim)
+        # Wait for the *replacement* handle (not the dying one, which
+        # still reads "up" until the sentinel fires) to come up.
+        assert _poll(
+            lambda: tier.worker(victim).revives == 1
+            and tier.worker(victim).alive,
+            timeout_s=30.0,
+        )
+
+        tier.kill_worker(victim)
+        assert _poll(lambda: tier.worker(victim).state == "ejected")
+
+        counters = tier.supervisor.counters()
+        assert counters["deaths"] == 2
+        assert counters["revives"] == 1
+        assert counters["ejections"] == 1
+        # Routing never sends traffic to the ejected id again.
+        assert not tier.router.is_alive(victim)
+        assert tier.estimate(sql, env) == expected
+        ejected = tier.events.events("worker_ejected")
+        assert any(e.data.get("reason") == "revives" for e in ejected)
+
+
+def test_heartbeat_kills_and_revives_a_hung_worker():
+    """A live pid that stops answering pings is operationally dead:
+    the supervisor SIGKILLs it (so the sentinel certifies the death)
+    and revives a fresh pid.  No bundle deploy needed — the hang is
+    induced with the worker's delay fault hook."""
+    config = fast_config(heartbeat_interval_s=0.2, heartbeat_miss_limit=4)
+    with ProcClusterService(worker_count=1, config=config) as tier:
+        handle = tier.worker("worker-0")
+        old_pid = handle.pid
+        wedged = handle.submit("delay", {"seconds": 60.0}, timeout_s=120.0)
+
+        assert _poll(
+            lambda: tier.worker("worker-0").alive
+            and tier.worker("worker-0").pid != old_pid,
+            timeout_s=30.0,
+        )
+        with pytest.raises(WorkerDiedError):
+            wedged.result(timeout=5.0)
+        died = tier.events.events("worker_died")
+        assert any(
+            e.data.get("reason") == "heartbeat missed" for e in died
+        )
+
+
+# ----------------------------------------------------------------------
+# shared-memory crash hygiene
+# ----------------------------------------------------------------------
+def test_orphaned_segments_from_a_dead_owner_are_cleaned():
+    """A process that publishes a segment and dies by SIGKILL cannot
+    unlink it; cleanup_orphans() must identify the dead owner pid
+    embedded in the name and sweep the segment."""
+    script = (
+        "import os, signal\n"
+        "from multiprocessing import resource_tracker, shared_memory\n"
+        "name = 'qcfe-shm-%d-1-feedface' % os.getpid()\n"
+        "shm = shared_memory.SharedMemory(name=name, create=True, size=64)\n"
+        "try:\n"
+        "    resource_tracker.unregister(shm._name, 'shared_memory')\n"
+        "except (OSError, KeyError, AttributeError, ValueError):\n"
+        "    pass\n"
+        "print(name, flush=True)\n"
+        "os.kill(os.getpid(), signal.SIGKILL)\n"
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script], stdout=subprocess.PIPE, text=True
+    )
+    name = proc.stdout.readline().strip()
+    proc.wait(timeout=15.0)
+    proc.stdout.close()
+    assert proc.returncode == -signal.SIGKILL
+    assert name in list_segments(), "the orphan must exist to be swept"
+    removed = cleanup_orphans()
+    assert name in removed
+    assert name not in list_segments()
+
+
+def test_live_owner_segments_survive_the_orphan_sweep(
+    cluster_bundle, cluster_envs
+):
+    """cleanup_orphans() must never touch a segment whose owner is
+    alive — sweeping a live tier's weights would break every worker."""
+    bundle, labeled = cluster_bundle
+    before = set(list_segments())  # other live tiers' segments
+    with ProcClusterService(worker_count=1, config=fast_config()) as tier:
+        tier.deploy(bundle)
+        published = set(list_segments()) - before
+        assert published, "deploy publishes at least one segment"
+        assert cleanup_orphans() == []
+        assert published <= set(list_segments())
+        # The tier still serves off the (untouched) shared weights.
+        assert tier.estimate(labeled[0].query_sql, cluster_envs[0]) > 0
+    assert not set(list_segments()) & published  # close() unlinked
+
+
+def test_close_is_idempotent_and_unlinks_everything(
+    cluster_bundle, cluster_envs
+):
+    """Double-close must be safe, and a closed tier leaves zero
+    segments and zero child pids behind."""
+    bundle, _ = cluster_bundle
+    before = set(list_segments())  # other live tiers' segments
+    tier = ProcClusterService(worker_count=2, config=fast_config())
+    tier.deploy(bundle)
+    pids = [tier.worker(w).proc for w in ("worker-0", "worker-1")]
+    assert set(list_segments()) - before, "deploy published a segment"
+    tier.close()
+    tier.close()
+    for proc in pids:
+        assert proc.poll() is not None, "worker pid outlived close()"
+    assert set(list_segments()) <= before

@@ -5,6 +5,8 @@ Expensive objects are session-scoped so the whole suite shares them.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import HealthCheck, settings
 
@@ -39,11 +41,21 @@ def lockwatch_graph():
     even if this run never did.  Tests that exercise lockwatch itself
     use private :class:`~repro.obs.lockwatch.LockGraph` instances so
     deliberate inversions never pollute this graph.
+
+    The graph — and this teardown assertion — is scoped to the pid
+    that enabled it.  The process serving tier spawns real worker
+    pids (and ``pytest`` itself may be forked by a test); locks those
+    children create come back plain and their acquisitions are never
+    recorded, so the zero-cycle assertion here keeps describing
+    exactly this process's lock discipline.  Should the teardown ever
+    run in a forked child (xdist-style runners), it skips the
+    assertion rather than judging a graph it does not own.
     """
     graph = lockwatch.enable()
     yield graph
     lockwatch.disable()
-    graph.assert_no_cycles()
+    if os.getpid() == graph.owner_pid:
+        graph.assert_no_cycles()
 
 
 @pytest.fixture(scope="session")

@@ -66,6 +66,10 @@ def test_vocabulary_covers_the_stack():
         "shard_killed", "shard_ejected", "shard_revived", "shard_restarted",
         "checkpoint_write", "checkpoint_error", "checkpoint_restore",
         "checkpoint_failover_older", "admission_shed",
+        # process tier: real-pid lifecycle
+        "worker_spawned", "worker_killed", "worker_died", "worker_revived",
+        "worker_ejected", "worker_sync_failed", "bundle_deployed",
+        "tier_restored",
     }
     assert expected == set(EVENT_TYPES)
 

@@ -16,7 +16,10 @@ two halves, both enforced here:
    span allocation or thread lifecycle calls while a lock is held.**
    Those dwell (or re-enter: an event subscriber may call back into
    the locked component) and turn a microsecond critical section into
-   a convoy.
+   a convoy.  The process tier (``repro.cluster.proc``) adds blocking
+   IPC to the list: a socket ``sendall``/``recv`` — or a worker
+   ``rpc`` wrapping one — under a held lock parks the critical
+   section on another *process*'s scheduling.
 
 ``__init__`` is exempt from (1): no other thread can hold a reference
 yet.  Cross-function analysis is out of scope — a helper that does I/O
@@ -68,6 +71,22 @@ _FORBIDDEN_SUFFIXES = (
     ".read_text",
     ".write_bytes",
     ".read_bytes",
+)
+
+#: Blocking IPC while a lock is held (process tier,
+#: ``repro.cluster.proc``): a socket send/recv — or an ``rpc`` that
+#: wraps one — parks the critical section on a *worker process*'s
+#: scheduling, so one slow worker convoys every thread behind the
+#: lock.  The supervisor's contract is: correlation state under the
+#: lock, wire I/O on the dedicated writer/reader threads only.
+_IPC_SUFFIXES = (
+    ".sendall",
+    ".recv",
+    ".recv_into",
+    ".recvfrom",
+    ".accept",
+    ".connect",
+    ".rpc",
 )
 
 #: ``os.``-rooted calls forbidden under a lock (filesystem syscalls).
@@ -258,6 +277,13 @@ class _FunctionChecker(ast.NodeVisitor):
                 if suffix in (".start_span", ".start_batch_span"):
                     return "span allocation/recording dwells under the lock"
                 return "blocking I/O / sleeping dwells in the critical section"
+        for suffix in _IPC_SUFFIXES:
+            if name.endswith(suffix):
+                return (
+                    "blocking IPC under a held lock parks the critical "
+                    "section on a worker process's scheduling (convoy); "
+                    "do wire I/O on the dedicated I/O threads"
+                )
         for prefix in _CROSS_SUBSYSTEM_PREFIXES:
             if name.startswith(prefix):
                 return (
@@ -310,7 +336,8 @@ RULE = Rule(
     name="lock-discipline",
     summary=(
         "stats RMW/snapshots inside 'with self._lock'; no I/O, logging, "
-        "callbacks, event emission or thread lifecycle while a lock is held"
+        "callbacks, event emission, blocking IPC or thread lifecycle "
+        "while a lock is held"
     ),
     check=_check,
 )
