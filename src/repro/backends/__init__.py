@@ -1,0 +1,37 @@
+"""repro.backends — per-engine cost semantics for multi-backend serving.
+
+QCFE's feature-snapshot engineering is engine-agnostic; this package
+makes the serving stack agnostic too.  A :class:`BackendProfile`
+captures one engine family's optimizer contract (cost units, relative
+cardinality behavior, featurization config, native-cost calibration);
+the module-level registry maps backend tags on incoming requests to
+profiles; and :func:`get_backend` raises the typed
+:class:`~repro.errors.UnknownBackendError` the routing layer in
+:class:`repro.serving.CostService` surfaces for unknown tags.
+
+Two profiles ship built in: ``postgres`` (the reference family, and
+the default every legacy checkpoint restores as) and ``aurora`` (a
+second family with rescaled cost units and warped cardinalities,
+modeled on brad's per-backend featurization variants over one shared
+zero-shot core).
+"""
+
+from .profile import (
+    AURORA,
+    DEFAULT_BACKEND,
+    POSTGRES,
+    BackendProfile,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+
+__all__ = [
+    "AURORA",
+    "DEFAULT_BACKEND",
+    "POSTGRES",
+    "BackendProfile",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]

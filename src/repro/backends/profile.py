@@ -1,0 +1,167 @@
+"""Backend profiles: per-engine cost semantics over one estimation core.
+
+A :class:`BackendProfile` describes everything the serving stack needs
+to know about one engine family's optimizer output: what unit its
+costs are denominated in, how its cardinality estimates behave
+relative to the reference engine, which featurization knobs a learned
+bundle for it should train with, and a default slope/intercept
+calibration that maps native optimizer cost to milliseconds when no
+learned bundle is deployed (the
+:class:`~repro.models.native.NativeCostEstimator` fallback).
+
+The design follows brad's ``cost_model/encoder/specific_models``
+layout — aurora/athena/redshift featurization variants over one shared
+``ZeroShotModel`` core — and FasCo's argument for keeping a cheap
+calibrated native-cost model per backend.  Profiles are the *static*
+half of multi-backend serving; the dynamic half (which estimator
+answers a request tagged with a backend) lives in
+:meth:`repro.serving.CostService.estimate`'s routing step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Tuple
+
+from ..engine.operators import PlanNode
+from ..errors import UnknownBackendError
+
+#: The reference engine family every checkpoint written before the
+#: backend-aware schema implicitly belongs to.
+DEFAULT_BACKEND = "postgres"
+
+
+@dataclass(frozen=True)
+class BackendProfile:
+    """One engine family's cost-unit, cardinality and calibration contract.
+
+    ``cost_scale`` and ``cardinality_exponent`` describe how the
+    backend's optimizer output relates to the reference (PostgreSQL)
+    engine: native cost ≈ ``cost_scale`` × (PG cost of the same plan
+    over rows warped by ``rows ** cardinality_exponent``).  They drive
+    :meth:`native_plan`, which synthesizes what this backend's
+    optimizer would have emitted for a reference plan — the hook the
+    mixed-fleet scenario and tests use to produce cross-engine traffic
+    without a second plan enumerator.
+
+    ``calibration`` is the default ``(slope, intercept)`` linear map
+    from native cost units to milliseconds, seeding the per-backend
+    :class:`~repro.models.native.NativeCostEstimator` fallback before
+    any feedback-driven refit.
+
+    ``featurization`` holds per-backend featurization config consumed
+    when training a learned bundle for this backend (recorded in bundle
+    metadata so a restored bundle knows how it was featurized).
+    """
+
+    name: str
+    cost_unit: str
+    description: str = ""
+    cost_scale: float = 1.0
+    cardinality_exponent: float = 1.0
+    calibration: Tuple[float, float] = (1.0, 0.0)
+    featurization: Mapping[str, object] = field(default_factory=dict)
+
+    def to_native_cost(self, pg_cost: float) -> float:
+        """Map a reference-engine (PG-unit) cost into this backend's units."""
+        return float(pg_cost) * self.cost_scale
+
+    def warp_rows(self, est_rows: float) -> float:
+        """This backend's cardinality estimate for a reference estimate."""
+        return float(max(est_rows, 0.0)) ** self.cardinality_exponent
+
+    def native_plan(self, plan: PlanNode) -> PlanNode:
+        """Synthesize this backend's optimizer output for a reference plan.
+
+        Returns a deep-copied tree whose ``est_rows`` are warped by
+        ``cardinality_exponent`` and whose costs are rescaled into this
+        backend's units; structure, predicates and ground-truth fields
+        are untouched.  The identity profile returns an equal-valued
+        copy, so reference-backend traffic is unchanged.
+        """
+        children = [self.native_plan(child) for child in plan.children]
+        return replace(
+            plan,
+            children=children,
+            predicates=list(plan.predicates),
+            est_rows=self.warp_rows(plan.est_rows),
+            est_startup_cost=self.to_native_cost(plan.est_startup_cost),
+            est_total_cost=self.to_native_cost(plan.est_total_cost),
+            resource_counts=dict(plan.resource_counts),
+        )
+
+    def native_estimator(self):
+        """A fresh per-backend calibrated native-cost fallback estimator."""
+        # Local import: models sits beside backends in the layer stack
+        # and imports nothing from it; importing lazily here keeps the
+        # profile definition importable from anywhere.
+        from ..models.native import NativeCostEstimator
+
+        slope, intercept = self.calibration
+        return NativeCostEstimator(
+            backend=self.name, slope=slope, intercept=intercept
+        )
+
+
+_REGISTRY: Dict[str, BackendProfile] = {}
+
+
+def register_backend(profile: BackendProfile) -> BackendProfile:
+    """Install *profile* under ``profile.name`` (idempotent overwrite)."""
+    _REGISTRY[profile.name] = profile
+    return profile
+
+
+def get_backend(name: str) -> BackendProfile:
+    """Look up a profile by name.
+
+    Raises :class:`~repro.errors.UnknownBackendError` for names no
+    profile is registered under — the typed error the routing layer
+    surfaces for requests tagged with an unknown backend.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise UnknownBackendError(
+            f"unknown backend {name!r} (registered: {known})"
+        ) from None
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Registered profile names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+#: The reference engine family: PG cost units pass through unchanged
+#: and the native fallback starts uncalibrated (slope 1, intercept 0).
+POSTGRES = register_backend(
+    BackendProfile(
+        name=DEFAULT_BACKEND,
+        cost_unit="pg_page_fetches",
+        description=(
+            "Reference engine family: abstract page-fetch cost units, "
+            "cardinalities as estimated."
+        ),
+        featurization={"cost_log": False, "snapshot_source": "template"},
+    )
+)
+
+#: A second engine family in the brad mold: provisioned replicas whose
+#: optimizer reports IO-blended units two orders of magnitude smaller
+#: than PG's and whose cardinality model runs slightly hot on large
+#: intermediates (exponent > 1), like aurora's over one shared core.
+AURORA = register_backend(
+    BackendProfile(
+        name="aurora",
+        cost_unit="blended_io_units",
+        description=(
+            "Provisioned second engine family: IO-blended cost units "
+            "(~0.025x PG scale), optimistic-hot cardinalities."
+        ),
+        cost_scale=0.025,
+        cardinality_exponent=1.08,
+        calibration=(40.0, 0.15),
+        featurization={"cost_log": True, "snapshot_source": "template"},
+    )
+)

@@ -200,6 +200,29 @@ _DEFAULT_BANDS: Sequence = (
     # the sync load paths are bounded by worker count, far under the
     # per-shard admission limit, so any shed means a logic change.
     ("extra.shed", Tolerance("lower", rel=0.0, abs=0.0)),
+    # Mixed-fleet routing structure: both backends routed, the learned
+    # bundle served the default family, the second family auto-deployed
+    # and served its native fallback, cross-tier estimates stayed
+    # bit-identical, and the pre-backend (schema-v1 shaped) state
+    # restored onto the default backend.  All 0/1 and machine-
+    # independent; any typed routing error is a regression outright.
+    ("extra.routed_all_backends", Tolerance("higher", rel=0.0)),
+    ("extra.learned_served_default", Tolerance("higher", rel=0.0)),
+    ("extra.native_fallback_used", Tolerance("higher", rel=0.0)),
+    ("extra.fallback_auto_deployed", Tolerance("higher", rel=0.0)),
+    ("extra.cross_tier_bit_identical", Tolerance("higher", rel=0.0)),
+    ("extra.legacy_restore_ok", Tolerance("higher", rel=0.0)),
+    ("extra.routing_errors", Tolerance("lower", rel=0.0, abs=0.0)),
+    # Per-backend accuracy and caching: deterministic given the seeded
+    # training, so the bands only need room for BLAS last-ulp drift
+    # (and the learned default backend must stay far ahead of the
+    # second backend's uncalibrated native fallback).
+    ("extra.default_qerr_p50", Tolerance("lower", rel=0.25)),
+    ("extra.default_qerr_p95", Tolerance("lower", rel=0.5)),
+    ("extra.second_qerr_p50", Tolerance("lower", rel=0.25)),
+    ("extra.second_qerr_p95", Tolerance("lower", rel=0.5)),
+    ("extra.default_hit_rate", Tolerance("higher", rel=0.0, abs=0.05)),
+    ("extra.second_hit_rate", Tolerance("higher", rel=0.0, abs=0.05)),
 )
 
 

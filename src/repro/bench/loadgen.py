@@ -109,13 +109,18 @@ class Tenant:
     ``items`` are ``(query, env)`` pairs — ``query`` is anything
     :meth:`CostService.estimate` accepts (SQL text, parsed query or
     pre-built plan).  ``bundle`` routes the tenant at a specific
-    deployment; None uses the service's sole bundle.
+    deployment; None uses the service's sole bundle.  ``backend`` tags
+    every request with a :mod:`repro.backends` profile name, routing
+    through the service's :class:`~repro.serving.BackendRouter` (the
+    mixed-fleet discipline: tenants on different engine families share
+    one serving tier).
     """
 
     name: str
     items: Sequence[Tuple[object, object]]
     weight: float = 1.0
     bundle: Optional[str] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.items:
@@ -247,10 +252,14 @@ def run_load(
             try:
                 if use_async:
                     value = service.estimate_async(
-                        query, env, bundle=tenant.bundle
+                        query, env, bundle=tenant.bundle,
+                        backend=tenant.backend,
                     ).result(timeout=timeout_s)
                 else:
-                    value = service.estimate(query, env, bundle=tenant.bundle)
+                    value = service.estimate(
+                        query, env, bundle=tenant.bundle,
+                        backend=tenant.backend,
+                    )
             except Exception:
                 state.count("errors")
                 continue

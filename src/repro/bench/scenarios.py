@@ -34,6 +34,12 @@ stack's distinct failure modes and take everything else from params:
   cannot do this — the GIL serialises its replicas); past the
   machine's core count the gate relaxes to non-collapse, so the
   committed baseline carries a machine-independent 0/1 verdict.
+- ``mixed_fleet`` — two engine families (backend profiles) under one
+  tenant mix: per-request backend routing must serve the learned
+  bundle for the default backend, auto-deploy the native-cost
+  fallback for the second, produce zero routing errors, stay
+  bit-identical between the thread and process tiers, and restore
+  pre-backend (schema-v1) bundle states onto the default backend.
 
 Training tiny estimator bundles dominates scenario cost, so bundles
 are memoised per configuration: a run of several scenarios shares its
@@ -52,6 +58,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backends import DEFAULT_BACKEND, get_backend
 from ..cluster import ClusterService
 from ..cluster.proc import ProcClusterService, ProcConfig
 from ..core import QCFE, QCFEConfig, collect_baselines
@@ -717,7 +724,9 @@ def _warm_tenants(cluster, tenants: Sequence[Tenant]) -> None:
     shard's feature cache is warm before the measured window."""
     for tenant in tenants:
         for query, env in tenant.items:
-            cluster.estimate(query, env, bundle=tenant.bundle)
+            cluster.estimate(
+                query, env, bundle=tenant.bundle, backend=tenant.backend
+            )
 
 
 @driver("shard_failover")
@@ -1208,6 +1217,232 @@ def _proc_scaling(params: Dict[str, object], seed: int) -> Dict[str, object]:
     )
 
 
+@driver("mixed_fleet")
+def _mixed_fleet(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    """Two engine families under one tenant mix on the sharded tier.
+
+    The default-backend tenant serves the learned bundle; the second
+    backend's tenant sends plans as *its* optimizer would present them
+    (costs in the profile's native units, cardinalities warped by its
+    estimation behaviour) with no learned bundle deployed, so the
+    routers auto-deploy the profile's native-cost fallback.  Gated
+    structure, all machine-independent 0/1 flags or deterministic
+    values:
+
+    - both backends routed, zero routing errors, the fallback really
+      auto-deployed and served;
+    - per-backend q-error and feature-cache hit rate;
+    - a thread-tier vs proc-tier probe over the same SQL must come out
+      bit-identical per backend (routing is deterministic, so the two
+      tiers must pick the same bundle and the same weights);
+    - a pre-backend (schema-v1 shaped) bundle state must restore into
+      the backend-aware registry on the default backend and answer a
+      tagged request.
+    """
+    setup = _setup(
+        str(params.get("benchmark", "sysbench")),
+        model=str(params.get("model", "qppnet")),
+        env_count=int(params.get("env_count", 2)),
+        plans=int(params.get("plans", 96)),
+        epochs=int(params.get("epochs", 4)),
+        seed=seed,
+    )
+    envs, labeled = setup["envs"], setup["labeled"]
+    env_by_name = {env.name: env for env in envs}
+    default = DEFAULT_BACKEND
+    second = str(params.get("second_backend", "aurora"))
+    profile = get_backend(second)
+
+    default_items = _plan_items(labeled, envs)
+    # The second fleet's traffic: identical queries, re-planned the way
+    # that engine family's optimizer reports them.
+    second_items = [
+        (profile.native_plan(record.plan), env_by_name[record.env_name])
+        for record in labeled
+    ]
+    actuals = np.array([r.latency_ms for r in labeled], dtype=np.float64)
+    items_by_backend = {default: default_items, second: second_items}
+
+    def _cache_totals(counters: Dict[str, object]) -> Tuple[int, int]:
+        hits = misses = 0
+        for shard in dict(counters.get("shards", {})).values():
+            section = dict(shard).get("feature_cache") or {}
+            hits += int(section.get("hits", 0))
+            misses += int(section.get("misses", 0))
+        return hits, misses
+
+    def _router_totals(counters: Dict[str, object]) -> Dict[str, object]:
+        agg: Dict[str, object] = {
+            "routed": {}, "learned": {}, "native_fallback": {},
+            "auto_deployed": 0, "unknown_backend_errors": 0,
+            "mismatch_errors": 0,
+        }
+        for shard in dict(counters.get("shards", {})).values():
+            section = dict(shard).get("backends") or {}
+            for kind in ("routed", "learned", "native_fallback"):
+                for backend, count in dict(section.get(kind) or {}).items():
+                    agg[kind][backend] = agg[kind].get(backend, 0) + int(count)
+            for total in (
+                "auto_deployed", "unknown_backend_errors", "mismatch_errors"
+            ):
+                agg[total] += int(section.get(total, 0))
+        return agg
+
+    cluster = _cluster_factory(params)
+    try:
+        cluster.deploy(setup["bundle"], name="fleet-learned")
+        tenants = [
+            Tenant(
+                f"fleet-{default}", default_items,
+                weight=float(params.get("default_weight", 0.65)),
+                backend=default,
+            ),
+            Tenant(
+                f"fleet-{second}", second_items,
+                weight=float(params.get("second_weight", 0.35)),
+                backend=second,
+            ),
+        ]
+        # The warm pass also triggers the per-shard native-fallback
+        # auto-deploys, so the measured window is pure routing.
+        _warm_tenants(cluster, tenants)
+        before = cluster.counters()
+        result = run_load(
+            cluster,
+            tenants,
+            threads=int(params.get("threads", 4)),
+            arrival=ArrivalSpec(
+                kind="poisson",
+                rate_rps=float(params.get("rate_rps", 300.0)),
+            ),
+            duration_s=float(params.get("duration_s", 3.0)),
+            seed=seed,
+        )
+        delta = counters_delta(before, cluster.counters())
+
+        # Deterministic per-backend accuracy + hit-rate probes (plan
+        # order and cache state cannot change the predicted bits).
+        accuracy: Dict[str, Dict[str, float]] = {}
+        for backend, items in items_by_backend.items():
+            h0, m0 = _cache_totals(cluster.counters())
+            preds, acts = [], []
+            for env in envs:
+                picked = [
+                    i for i, r in enumerate(labeled) if r.env_name == env.name
+                ]
+                values = cluster.estimate_many(
+                    [items[i][0] for i in picked], env, backend=backend
+                )
+                preds.append(np.asarray(values, dtype=np.float64))
+                acts.append(actuals[picked])
+            h1, m1 = _cache_totals(cluster.counters())
+            q = numpy_q_error(np.concatenate(preds), np.concatenate(acts))
+            requests = (h1 - h0) + (m1 - m0)
+            accuracy[backend] = {
+                "qerr_p50": float(np.median(q)),
+                "qerr_p95": float(np.quantile(q, 0.95)),
+                "hit_rate": ((h1 - h0) / requests) if requests else 0.0,
+            }
+
+        # Cross-tier probe: the same SQL, tagged per backend, through
+        # the thread tier and a 1-worker process tier.
+        probe_sqls = [
+            r.query_sql for r in labeled if r.env_name == envs[0].name
+        ][: int(params.get("probe_requests", 12))]
+        thread_values = {
+            backend: np.asarray(
+                cluster.estimate_many(probe_sqls, envs[0], backend=backend)
+            )
+            for backend in (default, second)
+        }
+        totals = _router_totals(cluster.counters())
+    finally:
+        cluster.close()
+
+    proc = ProcClusterService(
+        worker_count=int(params.get("probe_workers", 1)),
+        config=ProcConfig(
+            request_timeout_s=60.0,
+            boot_timeout_s=120.0,
+            sync_timeout_s=120.0,
+            heartbeat_interval_s=1.0,
+            heartbeat_miss_limit=60,
+        ),
+    )
+    try:
+        proc.deploy(setup["bundle"], name="fleet-learned")
+        proc_values = {
+            backend: np.asarray(
+                proc.estimate_many(probe_sqls, envs[0], backend=backend)
+            )
+            for backend in (default, second)
+        }
+    finally:
+        proc.close()
+    cross_tier_identical = all(
+        np.array_equal(thread_values[backend], proc_values[backend])
+        for backend in (default, second)
+    )
+
+    # Legacy-checkpoint shape: a bundle state with no backend field
+    # (schema v1) must restore onto the default backend and route.
+    from ..persist.service_state import bundle_from_state, bundle_to_state
+
+    legacy_state = bundle_to_state(setup["bundle"])
+    legacy_state.pop("backend", None)
+    legacy_state["name"] = "legacy-restored"
+    restored = bundle_from_state(legacy_state)
+    legacy_ok = restored.backend == default
+    with CostService() as probe_service:
+        probe_service.registry.install_restored(restored)
+        value = probe_service.estimate(
+            labeled[0].plan, env_by_name[labeled[0].env_name], backend=default
+        )
+        legacy_ok = legacy_ok and bool(np.isfinite(value))
+
+    return load_metrics(
+        result.latency,
+        result.elapsed_s,
+        result.issued,
+        result.errors,
+        counters=delta,
+        per_tenant=result.per_tenant,
+        extra={
+            "second_backend": second,
+            # 0/1 structural gates (machine-independent).
+            "routed_all_backends": int(
+                all(
+                    totals["routed"].get(b, 0) > 0 for b in (default, second)
+                )
+            ),
+            "learned_served_default": int(
+                totals["learned"].get(default, 0) > 0
+            ),
+            "native_fallback_used": int(
+                totals["native_fallback"].get(second, 0) > 0
+            ),
+            "fallback_auto_deployed": int(totals["auto_deployed"] > 0),
+            "cross_tier_bit_identical": int(cross_tier_identical),
+            "legacy_restore_ok": int(legacy_ok),
+            # Hard zeros: routing must produce no typed errors.
+            "routing_errors": (
+                totals["unknown_backend_errors"] + totals["mismatch_errors"]
+            ),
+            "error_rate": (
+                result.errors / result.issued if result.issued else 0.0
+            ),
+            # Per-backend accuracy/caching, under fixed metric names so
+            # the tolerance bands stay stable across backend choices.
+            "default_qerr_p50": accuracy[default]["qerr_p50"],
+            "default_qerr_p95": accuracy[default]["qerr_p95"],
+            "default_hit_rate": accuracy[default]["hit_rate"],
+            "second_qerr_p50": accuracy[second]["qerr_p50"],
+            "second_qerr_p95": accuracy[second]["qerr_p95"],
+            "second_hit_rate": accuracy[second]["hit_rate"],
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # the registry contents
 # ----------------------------------------------------------------------
@@ -1344,6 +1579,26 @@ register(Scenario(
         plans=64, epochs=3, threads=4, snapshot_scale=4,
     ),
     quick_overrides=dict(storm_envs=2, plans=32, epochs=2),
+))
+
+register(Scenario(
+    name="mixed-fleet",
+    kind="mixed_fleet",
+    description="Two backends (postgres + aurora-style units) under "
+    "one tenant mix: per-backend routing counters, native fallback "
+    "auto-deploy, zero routing errors, thread-vs-proc bit-identity "
+    "and legacy-checkpoint restore.",
+    smoke=True,
+    params=dict(
+        benchmark="sysbench", model="qppnet", env_count=2, plans=96,
+        epochs=4, shards=2, second_backend="aurora", default_weight=0.65,
+        second_weight=0.35, threads=4, rate_rps=300.0, duration_s=3.0,
+        probe_requests=12, probe_workers=1,
+    ),
+    quick_overrides=dict(
+        plans=48, epochs=2, duration_s=1.5, rate_rps=200.0,
+        probe_requests=8,
+    ),
 ))
 
 register(Scenario(

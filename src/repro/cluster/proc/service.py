@@ -293,9 +293,21 @@ class ProcClusterService:
             return list(self._deployed)
 
     def _resolve_key(
-        self, bundle: Optional[str], tenant: Optional[str]
-    ) -> Tuple[str, str]:
-        """(routing key, bundle name), thread-tier semantics."""
+        self,
+        bundle: Optional[str],
+        tenant: Optional[str],
+        backend: Optional[str] = None,
+    ) -> Tuple[str, Optional[str]]:
+        """(routing key, bundle name), thread-tier semantics.
+
+        Backend-tagged requests with no explicit bundle defer bundle
+        selection to each worker's in-process
+        :class:`~repro.serving.routing.BackendRouter` (deterministic,
+        so every worker picks the same bundle) and key affinity on the
+        tenant or the backend tag — identical to the thread tier.
+        """
+        if backend is not None and bundle is None:
+            return (tenant or f"backend:{backend}"), None
         with self._lock:
             deployed = list(self._deployed)
         if bundle is None:
@@ -403,12 +415,18 @@ class ProcClusterService:
         env,
         bundle: Optional[str] = None,
         tenant: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> float:
         """Estimated latency (ms) of *query* under *env*, served by the
-        tenant's worker process (with failover)."""
-        key, name = self._resolve_key(bundle, tenant)
+        tenant's worker process (with failover).  A ``backend`` tag
+        rides the wire and routes inside the worker exactly as the
+        thread tier routes in-process; an unknown tag crosses back as
+        a typed :class:`~repro.errors.UnknownBackendError` (request-
+        shaped: no health charge, no failover)."""
+        key, name = self._resolve_key(bundle, tenant, backend)
         payload = {
             "bundle": name,
+            "backend": backend,
             "query": protocol.query_to_wire(query),
             "env": protocol.env_to_wire(env),
         }
@@ -426,12 +444,14 @@ class ProcClusterService:
         bundle: Optional[str] = None,
         batch_size: int = 64,
         tenant: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> np.ndarray:
         """Batched estimates, routed as one unit to the tenant's
         worker; predictions cross back as raw float64 (bit-exact)."""
-        key, name = self._resolve_key(bundle, tenant)
+        key, name = self._resolve_key(bundle, tenant, backend)
         payload = {
             "bundle": name,
+            "backend": backend,
             "queries": [protocol.query_to_wire(q) for q in queries],
             "env": protocol.env_to_wire(env),
             "batch_size": batch_size,
@@ -449,6 +469,7 @@ class ProcClusterService:
         env,
         bundle: Optional[str] = None,
         tenant: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> Future:
         """Submit *query* to the tenant's worker; returns a Future.
 
@@ -457,9 +478,10 @@ class ProcClusterService:
         released — and worker health judged, thread-tier style — when
         the reply (or the deadline sweeper, or a death) resolves it.
         """
-        key, name = self._resolve_key(bundle, tenant)
+        key, name = self._resolve_key(bundle, tenant, backend)
         payload = {
             "bundle": name,
+            "backend": backend,
             "query": protocol.query_to_wire(query),
             "env": protocol.env_to_wire(env),
         }
@@ -505,13 +527,15 @@ class ProcClusterService:
         actual_ms: Optional[float] = None,
         bundle: Optional[str] = None,
         tenant: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> None:
         """Report an actual runtime to the tenant worker's adaptation
         loop (worker-local, exactly like the thread tier's per-shard
         loops)."""
-        key, name = self._resolve_key(bundle, tenant)
+        key, name = self._resolve_key(bundle, tenant, backend)
         payload = {
             "bundle": name,
+            "backend": backend,
             "query": protocol.query_to_wire(query),
             "env": protocol.env_to_wire(env),
             "actual_ms": actual_ms,

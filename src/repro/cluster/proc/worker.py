@@ -148,8 +148,12 @@ class WorkerRuntime:
         env = protocol.env_from_wire(header["env"])
         query = protocol.query_from_wire(header["query"])
         bundle = header.get("bundle")
+        backend = header.get("backend")
         value = self.service.estimate(
-            query, env, bundle=str(bundle) if bundle is not None else None
+            query,
+            env,
+            bundle=str(bundle) if bundle is not None else None,
+            backend=str(backend) if backend is not None else None,
         )
         return {"value": value}, b""
 
@@ -158,11 +162,13 @@ class WorkerRuntime:
         env = protocol.env_from_wire(header["env"])
         queries = [protocol.query_from_wire(q) for q in header["queries"]]
         bundle = header.get("bundle")
+        backend = header.get("backend")
         values = self.service.estimate_many(
             queries,
             env,
             bundle=str(bundle) if bundle is not None else None,
             batch_size=int(header.get("batch_size", 64)),
+            backend=str(backend) if backend is not None else None,
         )
         fragment, blob = protocol.floats_to_tail(np.asarray(values))
         return {"values": fragment}, blob
@@ -172,12 +178,14 @@ class WorkerRuntime:
         env = protocol.env_from_wire(header["env"])
         query = protocol.query_from_wire(header["query"])
         bundle = header.get("bundle")
+        backend = header.get("backend")
         actual = header.get("actual_ms")
         self.service.record_feedback(
             query,
             env,
             actual_ms=float(actual) if actual is not None else None,
             bundle=str(bundle) if bundle is not None else None,
+            backend=str(backend) if backend is not None else None,
         )
         return {"value": "recorded"}, b""
 

@@ -29,6 +29,7 @@ code cannot tell one replica from eight.  What they *can* observe:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -249,7 +250,14 @@ class ClusterService:
         with self._lock:
             if key not in self._deployed:
                 self._deployed.append(key)
-            self._bundle_objects[key] = bundle
+            # Retain the bundle normalized to its routing key: an
+            # aliased deploy (name != bundle.name) must not leave a
+            # stale name on the retained copy, or a replica restart
+            # would re-deploy it under cache/event/persist identities
+            # that diverge from the key every live replica serves.
+            self._bundle_objects[key] = (
+                bundle if bundle.name == key else replace(bundle, name=key)
+            )
         return key
 
     def deployed_names(self) -> List[str]:
@@ -258,15 +266,27 @@ class ClusterService:
             return list(self._deployed)
 
     def _resolve_key(
-        self, bundle: Optional[str], tenant: Optional[str]
-    ) -> Tuple[str, str]:
+        self,
+        bundle: Optional[str],
+        tenant: Optional[str],
+        backend: Optional[str] = None,
+    ) -> Tuple[str, Optional[str]]:
         """(routing key, bundle name) for a request.
 
         The routing key defaults to the bundle name — tenants are
         bundles unless the caller says otherwise — and a missing
         bundle name falls back to the sole deployment, mirroring
         ``CostService`` semantics.
+
+        A backend-tagged request with no explicit bundle leaves bundle
+        selection to the shard service's
+        :class:`~repro.serving.routing.BackendRouter` (every replica
+        resolves identically) and keys shard affinity on the tenant,
+        falling back to the backend tag itself — so one backend's
+        traffic stays on one warm replica by default.
         """
+        if backend is not None and bundle is None:
+            return (tenant or f"backend:{backend}"), None
         with self._lock:
             deployed = list(self._deployed)
         if bundle is None:
@@ -412,12 +432,19 @@ class ClusterService:
         env,
         bundle: Optional[str] = None,
         tenant: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> float:
         """Estimated latency (ms) of *query* under *env*, served by the
-        tenant's shard (with failover)."""
-        key, name = self._resolve_key(bundle, tenant)
+        tenant's shard (with failover).  ``backend`` tags the request
+        with its engine family; the shard service routes it (unknown
+        tags raise :class:`~repro.errors.UnknownBackendError`, which —
+        being request-shaped — never charges health or fails over)."""
+        key, name = self._resolve_key(bundle, tenant, backend)
         return self._with_failover(
-            key, lambda shard: shard.service.estimate(query, env, bundle=name)
+            key,
+            lambda shard: shard.service.estimate(
+                query, env, bundle=name, backend=backend
+            ),
         )
 
     def estimate_many(
@@ -427,13 +454,15 @@ class ClusterService:
         bundle: Optional[str] = None,
         batch_size: int = 64,
         tenant: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> np.ndarray:
         """Batched estimates, routed as one unit to the tenant's shard."""
-        key, name = self._resolve_key(bundle, tenant)
+        key, name = self._resolve_key(bundle, tenant, backend)
         return self._with_failover(
             key,
             lambda shard: shard.service.estimate_many(
-                queries, env, bundle=name, batch_size=batch_size
+                queries, env, bundle=name, batch_size=batch_size,
+                backend=backend,
             ),
         )
 
@@ -443,6 +472,7 @@ class ClusterService:
         env,
         bundle: Optional[str] = None,
         tenant: Optional[str] = None,
+        backend: Optional[str] = None,
     ):
         """Queue *query* on the tenant shard's micro-batcher; returns a
         Future.  Submission (parse/plan/featurize) fails over like
@@ -453,10 +483,12 @@ class ClusterService:
         what bounds the batcher queue on the async path, so a flood of
         submissions sheds at the door instead of growing an unbounded
         backlog of pending futures."""
-        key, name = self._resolve_key(bundle, tenant)
+        key, name = self._resolve_key(bundle, tenant, backend)
 
         def _submit(shard: ClusterShard):
-            future = shard.service.estimate_async(query, env, bundle=name)
+            future = shard.service.estimate_async(
+                query, env, bundle=name, backend=backend
+            )
 
             def _record(done) -> None:
                 # The slot rides with the request through the batcher
@@ -493,14 +525,15 @@ class ClusterService:
         actual_ms: Optional[float] = None,
         bundle: Optional[str] = None,
         tenant: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> None:
         """Report an actual runtime to the tenant shard's adaptation
         loop (no-op there when adaptation is disabled)."""
-        key, name = self._resolve_key(bundle, tenant)
+        key, name = self._resolve_key(bundle, tenant, backend)
         self._with_failover(
             key,
             lambda shard: shard.service.record_feedback(
-                query, env, actual_ms=actual_ms, bundle=name
+                query, env, actual_ms=actual_ms, bundle=name, backend=backend
             ),
         )
 

@@ -2,6 +2,7 @@
 
 from .base import CostEstimator, TrainStats, snapshot_mapping_for
 from .mscn import MSCN
+from .native import NativeCostEstimator
 from .postgres import PostgresCostEstimator
 from .prepared import PreparedPlan, fused_forward, plan_topology
 from .qppnet import QPPNet
@@ -21,6 +22,7 @@ __all__ = [
     "PreparedPlan",
     "fused_forward",
     "plan_topology",
+    "NativeCostEstimator",
     "PostgresCostEstimator",
     "train_test_split",
     "evaluate_estimator",

@@ -84,7 +84,14 @@ class CostEstimator:
         ``prepared[i]`` is the cached encoding of ``labeled[i]`` or None,
         in which case the record is encoded on the fly (with
         ``snapshot_set``).  The default ignores ``prepared`` entirely.
+
+        Empty-flush contract: a zero-length ``labeled`` returns an
+        empty **float64** array — never raises, never a default-dtype
+        array — so batcher flushes that raced to empty stay cheap and
+        dtype-stable.
         """
+        if not labeled:
+            return np.zeros(0, dtype=np.float64)
         return self.predict_many(labeled, snapshot_set=snapshot_set)
 
     def predict_prepared_batch(

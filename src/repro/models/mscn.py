@@ -354,7 +354,7 @@ class MSCN(CostEstimator):
         independent of its neighbours — scalar requests are the
         batch-size-1 case of the same code."""
         if not labeled:
-            return np.zeros(0)
+            return np.zeros(0, dtype=np.float64)
         if prepared is None:
             prepared = [None] * len(labeled)
         samples = [

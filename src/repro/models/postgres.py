@@ -7,6 +7,11 @@ precisely why the paper's Table IV shows three-to-six-digit q-errors
 for this baseline while its Pearson correlation stays modest but
 positive.  A calibrated variant (single multiplicative scale fitted on
 the training split) is included for ablations.
+
+Structurally this is the intercept-free special case of the
+per-backend :class:`~repro.models.native.NativeCostEstimator` — the
+subclassing makes the routing layer's "is this a native fallback?"
+check cover both.
 """
 
 from __future__ import annotations
@@ -21,44 +26,52 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.snapshot import SnapshotSet
-from .base import CostEstimator, TrainStats
+from .base import TrainStats
+from .native import NativeCostEstimator, finite_cost_pairs
 
 
-class PostgresCostEstimator(CostEstimator):
+class PostgresCostEstimator(NativeCostEstimator):
     """Raw optimizer cost as the latency prediction."""
 
     name = "postgres"
 
     def __init__(self, calibrated: bool = False):
-        self.calibrated = calibrated
-        self._scale = 1.0
+        super().__init__(
+            backend="postgres", slope=1.0, intercept=0.0, calibrated=calibrated
+        )
+
+    @property
+    def _scale(self) -> float:
+        """Legacy alias: the single multiplicative calibration scale."""
+        return self.slope
+
+    @_scale.setter
+    def _scale(self, value: float) -> None:
+        self.slope = float(value)
 
     def fit(
         self,
         train: Sequence[LabeledPlan],
         snapshot_set: Optional["SnapshotSet"] = None,
     ) -> TrainStats:
+        """Median latency/cost ratio over the *finite* training pairs.
+
+        Live feedback can carry NaN/inf latencies (timeouts, clock
+        bugs); those pairs are dropped before the median so a single
+        poisoned label cannot corrupt ``_scale`` for every subsequent
+        prediction.  With no usable pairs the scale is left unchanged.
+        """
         start = time.perf_counter()
-        if self.calibrated and train:
-            ratios = [
-                record.latency_ms / max(record.plan.est_total_cost, 1e-9)
-                for record in train
-            ]
-            self._scale = float(np.median(ratios))
+        if self.calibrated:
+            costs, latencies = finite_cost_pairs(train)
+            if costs.size:
+                self.slope = float(np.median(latencies / costs))
         return TrainStats(
             epochs=0,
             final_loss=float("nan"),
             train_seconds=time.perf_counter() - start,
             n_parameters=1 if self.calibrated else 0,
         )
-
-    def predict_many(
-        self,
-        labeled: Sequence[LabeledPlan],
-        snapshot_set: Optional["SnapshotSet"] = None,
-    ) -> np.ndarray:
-        costs = np.array([record.plan.est_total_cost for record in labeled])
-        return costs * self._scale
 
     # ------------------------------------------------------------------
     # checkpoint serialization (repro.persist)
@@ -68,12 +81,12 @@ class PostgresCostEstimator(CostEstimator):
         return {
             "kind": "postgres",
             "calibrated": self.calibrated,
-            "scale": float(self._scale),
+            "scale": float(self.slope),
         }
 
     @classmethod
     def from_state(cls, state) -> "PostgresCostEstimator":
         """Rebuild from :meth:`state_dict` output."""
         model = cls(calibrated=bool(state.get("calibrated", False)))
-        model._scale = float(state.get("scale", 1.0))
+        model.slope = float(state.get("scale", 1.0))
         return model

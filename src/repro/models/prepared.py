@@ -172,7 +172,10 @@ def fused_forward(
     log-latency per plan, in input order.
     """
     if not prepared_seq:
-        return np.zeros(0)
+        # Empty flush: the contract is an empty *float64* array, same
+        # dtype as the populated path, so downstream concatenation and
+        # the persist codec never see a dtype flip.
+        return np.zeros(0, dtype=np.float64)
     counts = np.array([p.n_nodes for p in prepared_seq], dtype=np.int64)
     offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
     total = int(offsets[-1])

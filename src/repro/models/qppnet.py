@@ -476,7 +476,7 @@ class QPPNet(CostEstimator):
         of the same code, which is what makes the bit-identity
         guarantee structural rather than aspirational."""
         if not labeled:
-            return np.zeros(0)
+            return np.zeros(0, dtype=np.float64)
         if prepared is None:
             prepared = [None] * len(labeled)
         plans = [

@@ -48,8 +48,12 @@ from .codec import BlobStore, decode_state, encode_state
 
 #: File magic: identifies (and versions the framing of) the container.
 MAGIC = b"QCFE-CKPT\x00"
-#: Manifest schema this build writes and reads.
-SCHEMA_VERSION = 1
+#: Manifest schema this build writes.  v2 added the per-bundle
+#: ``backend`` field (multi-backend routing); v1 checkpoints restore
+#: with every bundle defaulting to the default backend.
+SCHEMA_VERSION = 2
+#: Manifest schemas this build reads.
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2})
 
 _HEADER = struct.Struct(">Q")
 _NAME_RE = re.compile(r"^ckpt-(\d{8})\.qcp$")
@@ -153,10 +157,11 @@ def _parse_manifest(
     if not isinstance(manifest, dict):
         raise CheckpointCorruptError(f"{label}: manifest is not an object")
     version = manifest.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        supported = ", ".join(str(v) for v in sorted(SUPPORTED_SCHEMA_VERSIONS))
         raise CheckpointError(
             f"{label}: unknown checkpoint schema_version {version!r} "
-            f"(this build reads {SCHEMA_VERSION}); refusing to guess"
+            f"(this build reads {supported}); refusing to guess"
         )
     return manifest, head + manifest_len
 

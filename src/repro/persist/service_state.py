@@ -38,7 +38,9 @@ import numpy as np
 from ..core.snapshot import SnapshotSet
 from ..engine.operators import OperatorType
 from ..errors import CheckpointError, ReproError
+from ..backends import DEFAULT_BACKEND
 from ..models.mscn import MSCN
+from ..models.native import NativeCostEstimator
 from ..models.postgres import PostgresCostEstimator
 from ..models.qppnet import QPPNet
 from ..serving.registry import EstimatorBundle
@@ -88,6 +90,8 @@ def estimator_from_state(
     try:
         if kind == "postgres":
             return PostgresCostEstimator.from_state(state)
+        if kind == "native_cost":
+            return NativeCostEstimator.from_state(state)
         if kind in ("qppnet", "mscn"):
             if benchmark is None:
                 raise CheckpointError(
@@ -112,7 +116,7 @@ def estimator_from_state(
         ) from exc
     raise CheckpointError(
         f"unknown estimator kind {kind!r} in checkpoint "
-        "(known: postgres, qppnet, mscn)"
+        "(known: postgres, native_cost, qppnet, mscn)"
     )
 
 
@@ -149,6 +153,7 @@ def bundle_to_state(bundle: EstimatorBundle) -> Dict[str, object]:
     return {
         "name": bundle.name,
         "version": bundle.version,
+        "backend": bundle.backend,
         "benchmark": bundle.benchmark.name if bundle.benchmark else None,
         "estimator": estimator_to_state(bundle.estimator),
         "snapshot_set": (
@@ -222,6 +227,9 @@ def bundle_from_state(
             ),
             metadata=_metadata_from_state(dict(state.get("metadata", {}))),
             version=int(state.get("version", 0)),
+            # Absent in schema-v1 (pre-backend) checkpoints: those
+            # bundles were all postgres-family by construction.
+            backend=str(state.get("backend") or DEFAULT_BACKEND),
         )
     except CheckpointError:
         raise

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..backends import DEFAULT_BACKEND
 from ..engine.executor import LabeledPlan
 from ..engine.operators import OperatorType
 from ..errors import ServingError
@@ -42,6 +43,12 @@ class EstimatorBundle:
     metadata: Dict[str, object] = field(default_factory=dict)
     #: Assigned by the registry; bumped on every (re)deploy of the name.
     version: int = 0
+    #: The :mod:`repro.backends` profile this bundle estimates for.
+    #: Participates in feature-cache and template-cache keys (identical
+    #: plans under different backends never share an entry) and
+    #: round-trips through the persist codec; pre-backend checkpoints
+    #: restore as the default.
+    backend: str = DEFAULT_BACKEND
 
     @property
     def env_names(self) -> List[str]:
@@ -225,6 +232,29 @@ class EstimatorRegistry:
         """Every deployed bundle name, sorted."""
         with self._lock:
             return sorted(self._bundles)
+
+    def names_for_backend(self, backend: str) -> List[str]:
+        """Deployed bundle names serving *backend*, sorted.
+
+        The routing layer's lookup: a request tagged with a backend is
+        answered by a bundle whose ``backend`` field matches.
+        """
+        with self._lock:
+            return sorted(
+                name
+                for name, bundle in self._bundles.items()
+                if bundle.backend == backend
+            )
+
+    def bundles_for_backend(self, backend: str) -> List[EstimatorBundle]:
+        """Deployed bundles serving *backend*, name-sorted (the order
+        the router's deterministic preference scan relies on)."""
+        with self._lock:
+            return [
+                self._bundles[name]
+                for name in sorted(self._bundles)
+                if self._bundles[name].backend == backend
+            ]
 
     def version_of(self, name: str) -> int:
         """Deployment count for *name* (0 when never deployed)."""

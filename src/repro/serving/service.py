@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..backends import get_backend
 from ..engine.environment import DatabaseEnvironment
 from ..engine.executor import LabeledPlan
 from ..engine.operators import PlanNode
@@ -56,6 +57,7 @@ from .adaptation import AdaptationConfig, AdaptationManager
 from .batcher import MicroBatcher
 from .feature_cache import FeatureCache
 from .registry import EstimatorBundle, EstimatorRegistry
+from .routing import BackendRouter
 from .snapshot_store import SnapshotStore, template_snapshot_fitter
 
 #: What estimate() accepts: SQL text, a parsed query, or a built plan.
@@ -193,6 +195,10 @@ class CostService:
         self.adaptation: Optional[AdaptationManager] = (
             AdaptationManager(self, adaptation) if adaptation is not None else None
         )
+        #: Per-request backend routing (see :mod:`repro.serving.routing`):
+        #: requests tagged with a backend resolve through here instead of
+        #: the plain name lookup.
+        self.router = BackendRouter(self)
         self._register_collectors()
 
     def _register_collectors(self) -> None:
@@ -243,6 +249,7 @@ class CostService:
             if self.adaptation is None
             else self.adaptation.stats.snapshot(),
         )
+        register("backends", self.router.counters_or_none)
         register("events", self.events.counters)
         register(
             "tracer",
@@ -272,6 +279,21 @@ class CostService:
 
     def _bundle(self, name: Optional[str]) -> EstimatorBundle:
         return self.registry.get(name)
+
+    def _route(
+        self, name: Optional[str], backend: Optional[str]
+    ) -> EstimatorBundle:
+        """Resolve the serving bundle for a (name, backend tag) pair.
+
+        An untagged request (``backend is None``) is the legacy path —
+        a plain registry lookup, byte for byte.  Tagged requests go
+        through the :class:`~repro.serving.routing.BackendRouter`:
+        typed :class:`~repro.errors.UnknownBackendError` for unknown
+        tags, learned-bundle preference, native-cost fallback.
+        """
+        if backend is None:
+            return self._bundle(name)
+        return self.router.resolve(name, backend)
 
     # ------------------------------------------------------------------
     # environment handling
@@ -393,7 +415,7 @@ class CostService:
     ):
         start = time.perf_counter()
         key = plan_fingerprint(
-            record.plan, bundle.name, bundle.version, env.name
+            record.plan, bundle.name, bundle.version, bundle.backend, env.name
         )
         tracer = self.tracer
 
@@ -404,7 +426,11 @@ class CostService:
         # default) is itself cached, falling back to full featurization.
         def _compute():
             tkey = template_fingerprint(
-                record.plan, bundle.name, bundle.version, env.name
+                record.plan,
+                bundle.name,
+                bundle.version,
+                bundle.backend,
+                env.name,
             )
             template = self.template_cache.get_or_compute(
                 tkey, lambda: bundle.prepare_template(record)
@@ -449,8 +475,13 @@ class CostService:
         query: QueryLike,
         env: DatabaseEnvironment,
         bundle: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> float:
         """Estimated latency (ms) of *query* under *env*, synchronously.
+
+        ``backend`` tags the request with the engine family it is for;
+        tagged requests route through :attr:`router` (see
+        :meth:`_route`) instead of the plain ``bundle`` name lookup.
 
         With a tracer attached the request runs under a root
         ``request`` span with ``parse``/``plan``/``featurize``/
@@ -459,22 +490,27 @@ class CostService:
         """
         tracer = self.tracer
         if tracer is None:
-            return self._estimate_inner(query, env, bundle)
+            return self._estimate_inner(query, env, bundle, backend)
         with tracer.start_span("request") as span:
-            span.annotate(bundle=bundle or "<default>", env=env.name)
-            return self._estimate_inner(query, env, bundle)
+            span.annotate(
+                bundle=bundle or "<default>",
+                env=env.name,
+                backend=backend or "<untagged>",
+            )
+            return self._estimate_inner(query, env, bundle, backend)
 
     def _estimate_inner(
         self,
         query: QueryLike,
         env: DatabaseEnvironment,
         bundle: Optional[str],
+        backend: Optional[str] = None,
     ) -> float:
         """The untraced body of :meth:`estimate` (stage spans, if any,
         parent onto the caller's active span via the tracer's
         thread-local stack)."""
         tracer = self.tracer
-        deployed = self._ensure_environment(self._bundle(bundle), env)
+        deployed = self._ensure_environment(self._route(bundle, backend), env)
         plan, sql_text = self._resolve_plan(query, deployed, env)
         record = self._record_for(plan, env, sql_text)
         prepared = self._prepare(deployed, record, env)
@@ -497,6 +533,7 @@ class CostService:
         env: DatabaseEnvironment,
         bundle: Optional[str] = None,
         batch_size: int = 64,
+        backend: Optional[str] = None,
     ) -> np.ndarray:
         """Batched estimates: featurize each query (through the cache),
         then predict in chunks of *batch_size* fused forward passes.
@@ -512,15 +549,20 @@ class CostService:
             raise ServingError(f"batch_size must be >= 1, got {batch_size}")
         tracer = self.tracer
         if tracer is None:
-            return self._estimate_many_inner(queries, env, bundle, batch_size)
+            return self._estimate_many_inner(
+                queries, env, bundle, batch_size, backend
+            )
         with tracer.start_span("estimate_many", kind="request") as span:
             span.annotate(
                 bundle=bundle or "<default>",
                 env=env.name,
                 n_queries=len(queries),
                 batch_size=batch_size,
+                backend=backend or "<untagged>",
             )
-            return self._estimate_many_inner(queries, env, bundle, batch_size)
+            return self._estimate_many_inner(
+                queries, env, bundle, batch_size, backend
+            )
 
     def _estimate_many_inner(
         self,
@@ -528,11 +570,12 @@ class CostService:
         env: DatabaseEnvironment,
         bundle: Optional[str],
         batch_size: int,
+        backend: Optional[str] = None,
     ) -> np.ndarray:
         """The body of :meth:`estimate_many` (runs under its root span
         when tracing is on)."""
         tracer = self.tracer
-        deployed = self._ensure_environment(self._bundle(bundle), env)
+        deployed = self._ensure_environment(self._route(bundle, backend), env)
         records: List[LabeledPlan] = []
         prepared: List[object] = []
         for query in queries:
@@ -567,6 +610,7 @@ class CostService:
         query: QueryLike,
         env: DatabaseEnvironment,
         bundle: Optional[str] = None,
+        backend: Optional[str] = None,
     ):
         """Queue *query* on the bundle's micro-batcher; returns a Future
         resolving to the estimate.  Concurrent callers are coalesced
@@ -581,11 +625,16 @@ class CostService:
         """
         tracer = self.tracer
         if tracer is None:
-            return self._estimate_async_inner(query, env, bundle, None)
+            return self._estimate_async_inner(query, env, bundle, None, backend)
         span = tracer.start_span("request")
-        span.annotate(bundle=bundle or "<default>", env=env.name, path="async")
+        span.annotate(
+            bundle=bundle or "<default>",
+            env=env.name,
+            path="async",
+            backend=backend or "<untagged>",
+        )
         try:
-            future = self._estimate_async_inner(query, env, bundle, span)
+            future = self._estimate_async_inner(query, env, bundle, span, backend)
         except BaseException as exc:
             span.finish(error=exc)
             raise
@@ -609,10 +658,11 @@ class CostService:
         env: DatabaseEnvironment,
         bundle: Optional[str],
         span,
+        backend: Optional[str] = None,
     ):
         """Featurize and enqueue one async request (*span* is the open
         root span when tracing, else None; it rides with the item)."""
-        deployed = self._ensure_environment(self._bundle(bundle), env)
+        deployed = self._ensure_environment(self._route(bundle, backend), env)
         plan, sql_text = self._resolve_plan(query, deployed, env)
         record = self._record_for(plan, env, sql_text)
         prepared = self._prepare(deployed, record, env)
@@ -687,6 +737,7 @@ class CostService:
         env: DatabaseEnvironment,
         actual_ms: Optional[float] = None,
         bundle: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> None:
         """Report what a query actually took once the database ran it.
 
@@ -694,12 +745,19 @@ class CostService:
         and wake the refit worker.  *query* is ideally a fully labelled
         :class:`LabeledPlan` (per-node actuals included, as an EXPLAIN
         ANALYZE would supply); with SQL/plan + ``actual_ms``, per-node
-        actuals are apportioned by optimizer cost fractions.  No-op
-        when adaptation is disabled.
+        actuals are apportioned by optimizer cost fractions.  A
+        ``backend`` tag routes the feedback to the backend's serving
+        bundle exactly as :meth:`estimate` would (an unknown tag raises
+        even when adaptation is off — same typed error, both tiers).
+        Otherwise a no-op when adaptation is disabled.
         """
+        if backend is not None:
+            # Validate the tag up front so misrouted feedback is a
+            # typed caller error regardless of adaptation config.
+            get_backend(backend)
         if self.adaptation is None:
             return
-        deployed = self._ensure_environment(self._bundle(bundle), env)
+        deployed = self._ensure_environment(self._route(bundle, backend), env)
         if isinstance(query, LabeledPlan):
             record = query
             if record.env_name != env.name:

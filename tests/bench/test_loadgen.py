@@ -19,7 +19,7 @@ class FakeService:
         self.fail_every = fail_every
         self.calls = 0
 
-    def estimate(self, query, env, bundle=None):
+    def estimate(self, query, env, bundle=None, backend=None):
         self.calls += 1
         if self.fail_every and self.calls % self.fail_every == 0:
             raise RuntimeError("boom")

@@ -28,6 +28,7 @@ def test_registry_has_the_advertised_scenarios():
         "snapshot-miss-storm",
         "shard-failover",
         "hot-tenant-isolation",
+        "mixed-fleet",
         "proc-scaling",
     ):
         assert expected in names
@@ -39,6 +40,7 @@ def test_registry_has_the_advertised_scenarios():
         "shard-failover",
         "hot-tenant-isolation",
         "warm-restart",
+        "mixed-fleet",
         "proc-scaling",
     }
     assert set(smoke) <= set(names)

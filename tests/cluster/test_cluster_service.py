@@ -221,7 +221,7 @@ def test_async_post_submit_failures_classified_like_sync(
     real = shard.service.estimate_async
 
     def failed_future(exc):
-        def fake(query, env, bundle=None):
+        def fake(query, env, bundle=None, backend=None):
             future = Future()
             future.set_exception(exc)
             return future
@@ -286,7 +286,7 @@ def test_async_requests_hold_their_admission_slot_until_resolved(
         real = shard.service.estimate_async
         pending: Future = Future()
         shard.service.estimate_async = (
-            lambda query, env, bundle=None: pending
+            lambda query, env, bundle=None, backend=None: pending
         )
         try:
             future = tier.estimate_async(labeled[0].query_sql, cluster_envs[0])
@@ -338,3 +338,87 @@ def test_counters_and_report_shape(cluster, cluster_bundle, cluster_envs):
         assert tier["per_shard"][shard_id]["alive"] is True
     report = cluster.report()
     assert "shard" in report and "routed" in report and "reroutes" in report
+
+
+# ----------------------------------------------------------------------
+# backend routing across the tier
+# ----------------------------------------------------------------------
+def test_unknown_backend_is_typed_and_charges_no_health(
+    cluster, cluster_bundle, cluster_envs
+):
+    """An unknown backend tag is a caller bug surfaced by the serving
+    replica's router: typed error back to the caller, zero replica
+    health damage, zero failover — same discipline as an unknown
+    bundle name."""
+    from repro.errors import UnknownBackendError
+
+    _, labeled = cluster_bundle
+    sql = labeled[0].query_sql
+    for _ in range(6):  # 2x the failure threshold
+        with pytest.raises(UnknownBackendError):
+            cluster.estimate(sql, cluster_envs[0], backend="oracle")
+    health = cluster.router.health()
+    assert all(state.alive for state in health.values())
+    assert all(state.failures == 0 for state in health.values())
+    assert cluster.counters()["cluster"]["reroutes"] == 0
+
+
+def test_tagged_estimates_match_untagged_and_count_per_shard(
+    cluster, cluster_bundle, cluster_envs
+):
+    """Backend-tagged traffic resolves to the same learned bundle the
+    untagged path serves — bit-identical — and the serving shard's
+    ``backends`` counter section appears."""
+    from repro.backends import DEFAULT_BACKEND
+
+    _, labeled = cluster_bundle
+    sql, env = labeled[0].query_sql, cluster_envs[0]
+    untagged = cluster.estimate(sql, env)
+    assert cluster.estimate(sql, env, backend=DEFAULT_BACKEND) == untagged
+    routed = [
+        shard["backends"]["routed"]
+        for shard in cluster.counters()["shards"].values()
+        if "backends" in shard
+    ]
+    assert sum(section.get(DEFAULT_BACKEND, 0) for section in routed) == 1
+
+
+def test_unserved_backend_falls_back_to_native_on_the_shard(
+    cluster, cluster_bundle, cluster_envs
+):
+    """A tagged request for a backend with no learned bundle is served
+    by an auto-deployed native fallback on whichever replica answers."""
+    _, labeled = cluster_bundle
+    value = cluster.estimate(
+        labeled[0].query_sql, cluster_envs[0], backend="aurora"
+    )
+    assert np.isfinite(value) and value >= 0
+    fallbacks = [
+        shard_id
+        for shard_id in cluster.router.shard_ids()
+        if "native-aurora" in cluster.shard(shard_id).service.registry
+    ]
+    assert len(fallbacks) == 1  # deployed lazily, only where routed
+
+
+# ----------------------------------------------------------------------
+# aliased deploys
+# ----------------------------------------------------------------------
+def test_aliased_deploy_survives_replica_restart(
+    cluster_bundle, cluster_envs
+):
+    """Regression: the tier retained aliased bundles under their
+    original ``bundle.name``, so a replica restart re-deployed the
+    tenant under the wrong key and the tenant 404'd post-restart."""
+    bundle, labeled = cluster_bundle
+    sql, env = labeled[0].query_sql, cluster_envs[0]
+    with make_cluster() as tier:
+        tier.deploy(bundle, name="tenant-alias")
+        expected = tier.estimate(sql, env, bundle="tenant-alias")
+        victim = tier.shard_of("tenant-alias")
+        tier.kill_shard(victim)
+        assert tier.restart_shard(victim) is False  # cold boot, re-deploy
+        restarted = tier.shard(victim).service
+        assert "tenant-alias" in restarted.registry
+        assert restarted.registry.get("tenant-alias").name == "tenant-alias"
+        assert tier.estimate(sql, env, bundle="tenant-alias") == expected

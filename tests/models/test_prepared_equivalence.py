@@ -46,6 +46,36 @@ def _scalar(model, records):
     )
 
 
+def test_empty_flush_is_an_empty_float64_array(fitted):
+    """Regression: a MicroBatcher flush that raced to empty must come
+    back as ``shape (0,), float64`` — a dtype flip here poisons the
+    downstream concatenation and the persist codec."""
+    model, _ = fitted
+    for out in (
+        model.predict_prepared_batch([]),
+        model.predict_prepared_batch([], []),
+        model.predict_prepared([]),
+    ):
+        assert out.shape == (0,)
+        assert out.dtype == np.float64
+
+
+def test_fused_forward_empty_flush_is_float64():
+    from repro.models.prepared import fused_forward
+
+    out = fused_forward([], {}, data_size=4)
+    assert out.shape == (0,)
+    assert out.dtype == np.float64
+
+
+def test_base_class_empty_flush_is_float64():
+    from repro.models.base import CostEstimator
+
+    out = CostEstimator().predict_prepared([])
+    assert out.shape == (0,)
+    assert out.dtype == np.float64
+
+
 def test_batch_matches_scalar_bitwise(fitted):
     model, records = fitted
     np.testing.assert_array_equal(

@@ -1,13 +1,18 @@
-"""The committed golden checkpoint: the on-disk format's regression pin.
+"""The committed golden checkpoints: the on-disk format's regression pin.
 
-``golden-v1.qcp`` was written by ``make_golden.py`` at schema version 1
-and is committed; this module restores it with the *current* code.  A
-PR that changes the container framing, the array-reference shape or any
-component's state layout fails here — before it silently invalidates
-every checkpoint already on operators' disks.  (Within-process restores
-are bit-identical by the round-trip battery; across machines the golden
-comparison allows BLAS last-ulp drift, hence the tight ``rtol`` instead
-of exact equality.)
+``golden-v<schema>.qcp`` was written by ``make_golden.py`` at the
+current schema version and is committed; this module restores it with
+the *current* code.  A PR that changes the container framing, the
+array-reference shape or any component's state layout fails here —
+before it silently invalidates every checkpoint already on operators'
+disks.  (Within-process restores are bit-identical by the round-trip
+battery; across machines the golden comparison allows BLAS last-ulp
+drift, hence the tight ``rtol`` instead of exact equality.)
+
+``golden-v1.qcp`` stays committed as the *legacy* artifact: schema v1
+predates the per-bundle ``backend`` field, and the backward-compat
+tests below pin that v1 checkpoints keep restoring, with every bundle
+defaulting to the default (postgres) backend.
 """
 
 from __future__ import annotations
@@ -31,6 +36,8 @@ from tests.persist.make_golden import (
 GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
 GOLDEN = GOLDEN_DIR / f"golden-v{SCHEMA_VERSION}.qcp"
 EXPECTED = GOLDEN_DIR / f"golden-v{SCHEMA_VERSION}.expected.json"
+LEGACY = GOLDEN_DIR / "golden-v1.qcp"
+LEGACY_EXPECTED = GOLDEN_DIR / "golden-v1.expected.json"
 
 
 @pytest.fixture(scope="module")
@@ -101,6 +108,38 @@ def test_golden_predictions_match_recorded_values(golden_service):
     assert golden_service.snapshot_store.stats_snapshot().misses == 0
     got_pg = golden_service.estimate_many(plans, envs[0], bundle="golden-pg")
     np.testing.assert_allclose(got_pg, expected["postgres"], rtol=1e-6)
+
+
+def test_golden_bundles_carry_their_backend(golden_service):
+    """Schema-v2 checkpoints round-trip the per-bundle backend tag."""
+    for name in golden_service.registry.names():
+        assert golden_service.registry.get(name).backend == "postgres"
+
+
+def test_legacy_v1_golden_restores_with_default_backend():
+    """The backward-compat contract: a schema-v1 (pre-backend)
+    checkpoint restores into the backend-aware registry, every bundle
+    defaulting to the default backend, predictions unchanged."""
+    assert LEGACY.is_file(), "legacy v1 golden checkpoint went missing"
+    manifest = read_manifest(LEGACY)
+    assert manifest["schema_version"] == 1
+    service = CostService(snapshot_store=SnapshotStore(), snapshot_scale=2)
+    try:
+        state, _ = load_checkpoint(LEGACY)
+        service.load_state(state)
+        expected = json.loads(LEGACY_EXPECTED.read_text())
+        assert service.registry.names() == expected["bundles"]
+        for name in expected["bundles"]:
+            assert service.registry.get(name).backend == "postgres"
+        # ... and the defaulted backend is routable: a postgres-tagged
+        # request resolves onto the restored learned bundle.
+        plans, envs = _workload()
+        tagged = service.estimate_many(
+            plans, envs[0], bundle="golden-qppnet", backend="postgres"
+        )
+        np.testing.assert_allclose(tagged, expected["qppnet"], rtol=1e-6)
+    finally:
+        service.close()
 
 
 def test_future_schema_golden_raises_cleanly(tmp_path):

@@ -8,15 +8,19 @@ object; predictions and lookups must match the live object *exactly*
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
+from repro.backends import DEFAULT_BACKEND
 from repro.core.snapshot import FeatureSnapshot, SnapshotSet
 from repro.engine.environment import random_environments
 from repro.errors import CheckpointError
 from repro.featurization.encoding import OperatorEncoder
 from repro.featurization.mscn_features import MSCNEncoder
 from repro.models.mscn import MSCN
+from repro.models.native import NativeCostEstimator
 from repro.models.postgres import PostgresCostEstimator
 from repro.models.qppnet import QPPNet
 from repro.persist import (
@@ -194,6 +198,40 @@ def test_bundle_with_unknown_benchmark_is_a_clean_error(tmp_path, qppnet_setup):
     state["benchmark"] = "no-such-benchmark"
     with pytest.raises(CheckpointError, match="unknown benchmark"):
         bundle_from_state(state)
+
+
+def test_native_estimator_restores_bit_identical(tmp_path, qppnet_setup):
+    labeled = qppnet_setup["labeled"]
+    model = NativeCostEstimator(backend="aurora", slope=1.0, intercept=0.0)
+    model.fit(labeled)
+    state = _through_disk(model.state_dict(), tmp_path)
+    restored = estimator_from_state(state, None)
+    assert isinstance(restored, NativeCostEstimator)
+    assert (restored.backend, restored.slope, restored.intercept) == (
+        model.backend, model.slope, model.intercept,
+    )
+    assert np.array_equal(
+        model.predict_many(labeled), restored.predict_many(labeled)
+    )
+
+
+def test_bundle_backend_round_trips(tmp_path, qppnet_setup):
+    bundle = replace(qppnet_setup["bundle"], backend="aurora")
+    state = _through_disk(bundle_to_state(bundle), tmp_path)
+    restored = bundle_from_state(state)
+    assert restored.backend == "aurora"
+
+
+def test_pre_backend_bundle_state_defaults_to_default_backend(
+    tmp_path, qppnet_setup
+):
+    """Schema-v1 bundle states carry no backend field; they restore as
+    the default backend (those deployments were all postgres-family)."""
+    state = bundle_to_state(qppnet_setup["bundle"])
+    removed = state.pop("backend")
+    assert removed == DEFAULT_BACKEND
+    restored = bundle_from_state(_through_disk(state, tmp_path))
+    assert restored.backend == DEFAULT_BACKEND
 
 
 def test_registry_restore_preserves_versions(qppnet_setup):

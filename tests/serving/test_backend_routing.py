@@ -1,0 +1,208 @@
+"""BackendRouter through CostService: tags, fallbacks, typed errors.
+
+Same tiny Sysbench QCFE(qpp) bundle as the service tests; the learned
+bundle serves the default backend, ``aurora`` exercises the
+native-fallback tiers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import DEFAULT_BACKEND
+from repro.core import QCFE, QCFEConfig
+from repro.engine.environment import random_environments
+from repro.errors import ServingError, UnknownBackendError
+from repro.models.native import NativeCostEstimator
+from repro.serving import CostService, EstimatorBundle, SnapshotStore
+from repro.workload.collect import collect_labeled_plans
+
+
+@pytest.fixture(scope="module")
+def routing_envs():
+    return random_environments(2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def routing_bundle(sysbench, routing_envs):
+    labeled = collect_labeled_plans(sysbench, routing_envs, 40, seed=1)
+    pipeline = QCFE(
+        sysbench,
+        routing_envs,
+        QCFEConfig(model="qppnet", epochs=2, template_scale=4),
+    )
+    pipeline.fit(labeled)
+    return pipeline.export_bundle(), labeled
+
+
+@pytest.fixture()
+def service(routing_bundle):
+    bundle, _ = routing_bundle
+    svc = CostService(snapshot_store=SnapshotStore(), batch_window_s=0.01)
+    svc.deploy(bundle)
+    yield svc
+    svc.close()
+
+
+# ----------------------------------------------------------------------
+# counters + default-backend routing
+# ----------------------------------------------------------------------
+def test_counters_stay_absent_until_first_tagged_request(
+    service, routing_bundle, routing_envs
+):
+    """Untagged traffic must not grow a ``backends`` metrics section —
+    single-backend deployments' counter snapshots (and their committed
+    bench baselines) are unchanged by the router's existence."""
+    _, labeled = routing_bundle
+    env = routing_envs[0]
+    assert service.router.counters_or_none() is None
+    service.estimate(labeled[0].query_sql, env)
+    assert service.router.counters_or_none() is None
+    assert "backends" not in service.counters()
+
+    service.estimate(labeled[0].query_sql, env, backend=DEFAULT_BACKEND)
+    counters = service.router.counters_or_none()
+    assert counters is not None
+    assert counters["routed"] == {DEFAULT_BACKEND: 1}
+    assert counters["learned"] == {DEFAULT_BACKEND: 1}
+    assert counters["native_fallback"] == {}
+    assert service.counters()["backends"]["routed"] == {DEFAULT_BACKEND: 1}
+
+
+def test_tagged_estimate_is_bit_identical_to_explicit_bundle(
+    service, routing_bundle, routing_envs
+):
+    bundle, labeled = routing_bundle
+    env = routing_envs[0]
+    sql = labeled[0].query_sql
+    assert service.estimate(sql, env, backend=DEFAULT_BACKEND) == (
+        service.estimate(sql, env, bundle=bundle.name)
+    )
+
+
+def test_explicit_bundle_with_matching_tag_verifies_and_serves(
+    service, routing_bundle, routing_envs
+):
+    bundle, labeled = routing_bundle
+    value = service.estimate(
+        labeled[0].query_sql,
+        routing_envs[0],
+        bundle=bundle.name,
+        backend=DEFAULT_BACKEND,
+    )
+    assert np.isfinite(value) and value > 0
+
+
+# ----------------------------------------------------------------------
+# typed errors
+# ----------------------------------------------------------------------
+def test_unknown_backend_is_a_typed_error_on_every_api(
+    service, routing_bundle, routing_envs
+):
+    _, labeled = routing_bundle
+    env = routing_envs[0]
+    sql = labeled[0].query_sql
+    with pytest.raises(UnknownBackendError):
+        service.estimate(sql, env, backend="oracle")
+    with pytest.raises(UnknownBackendError):
+        service.estimate_many([sql], env, backend="oracle")
+    with pytest.raises(UnknownBackendError):
+        service.estimate_async(sql, env, backend="oracle")
+    # Adaptation is off on this service; the tag is still validated.
+    with pytest.raises(UnknownBackendError):
+        service.record_feedback(sql, env, actual_ms=5.0, backend="oracle")
+    assert issubclass(UnknownBackendError, ServingError)
+    counters = service.router.counters_or_none()
+    assert counters["unknown_backend_errors"] == 3
+    assert counters["routed"] == {}
+
+
+def test_mismatched_explicit_bundle_is_a_serving_error(
+    service, routing_bundle, routing_envs
+):
+    """Pinning a postgres bundle on an aurora-tagged request is a
+    caller bug, not a routing decision."""
+    bundle, labeled = routing_bundle
+    with pytest.raises(ServingError, match="serves backend"):
+        service.estimate(
+            labeled[0].query_sql,
+            routing_envs[0],
+            bundle=bundle.name,
+            backend="aurora",
+        )
+    counters = service.router.counters_or_none()
+    assert counters["mismatch_errors"] == 1
+    assert counters["routed"] == {}
+
+
+# ----------------------------------------------------------------------
+# native-fallback tiers
+# ----------------------------------------------------------------------
+def test_unserved_backend_auto_deploys_a_native_fallback(
+    service, routing_bundle, routing_envs
+):
+    _, labeled = routing_bundle
+    env = routing_envs[0]
+    sql = labeled[0].query_sql
+    value = service.estimate(sql, env, backend="aurora")
+    assert np.isfinite(value) and value >= 0
+
+    deployed = service.registry.get("native-aurora")
+    assert deployed.backend == "aurora"
+    assert deployed.metadata["native_fallback"] is True
+    assert isinstance(deployed.estimator, NativeCostEstimator)
+
+    service.estimate(sql, env, backend="aurora")
+    counters = service.router.counters_or_none()
+    assert counters["auto_deployed"] == 1  # second request reuses it
+    assert counters["native_fallback"] == {"aurora": 2}
+    assert counters["learned"] == {}
+
+
+def test_predeployed_native_fallback_wins_over_auto_deploy(
+    service, routing_bundle, routing_envs, sysbench
+):
+    """A backend served only by an operator-deployed native bundle
+    routes there; the router must not shadow it with its own."""
+    _, labeled = routing_bundle
+    service.deploy(
+        EstimatorBundle(
+            name="aurora-ops",
+            estimator=NativeCostEstimator(
+                backend="aurora", slope=2.0, intercept=1.0
+            ),
+            benchmark=sysbench,
+            backend="aurora",
+        )
+    )
+    value = service.estimate(labeled[0].query_sql, routing_envs[0], backend="aurora")
+    assert np.isfinite(value)
+    assert "native-aurora" not in service.registry
+    counters = service.router.counters_or_none()
+    assert counters["auto_deployed"] == 0
+    assert counters["native_fallback"] == {"aurora": 1}
+
+
+def test_learned_bundle_preferred_over_native_for_same_backend(
+    service, routing_bundle, routing_envs, sysbench
+):
+    """Preference order: with both deployed for one backend, the
+    learned bundle serves tagged traffic."""
+    _, labeled = routing_bundle
+    service.deploy(
+        EstimatorBundle(
+            # Name-sorted before the learned "sysbench:qppnet" — the
+            # learned tier must still win.
+            name="a-native-postgres",
+            estimator=NativeCostEstimator(backend=DEFAULT_BACKEND),
+            benchmark=sysbench,
+            backend=DEFAULT_BACKEND,
+        )
+    )
+    service.estimate(
+        labeled[0].query_sql, routing_envs[0], backend=DEFAULT_BACKEND
+    )
+    counters = service.router.counters_or_none()
+    assert counters["learned"] == {DEFAULT_BACKEND: 1}
+    assert counters["native_fallback"] == {}
